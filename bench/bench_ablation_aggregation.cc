@@ -1,0 +1,67 @@
+// Ablation: arithmetic-mean vs geometric-mean aggregation of multiple
+// reference-horizon predictors (Sec. 3.2.3), for the HWK (6h,1d,4d)
+// configuration, across the full horizon grid.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "core/hawkes_predictor.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+
+namespace {
+using namespace horizon;
+}  // namespace
+
+int main() {
+  std::printf("Ablation: multi-reference aggregation rule "
+              "(arithmetic vs geometric mean).\n\n");
+
+  const std::vector<double> grid = eval::PaperHorizonGrid();
+  eval::ExperimentConfig config;
+  config.examples.reference_horizons = grid;
+  eval::ExperimentData data = eval::PrepareExperiment(config);
+
+  auto train = [&](core::Aggregation agg) {
+    core::HawkesPredictorParams params;
+    params.reference_horizons = {grid[2], grid[4], grid[6]};  // 6h, 1d, 4d
+    params.aggregation = agg;
+    params.gbdt_count = eval::BenchGbdtParams();
+    params.gbdt_alpha = eval::BenchGbdtParams();
+    core::HawkesPredictor model(params);
+    model.Fit(data.train.x,
+              {data.train.log1p_increments[2], data.train.log1p_increments[4],
+               data.train.log1p_increments[6]},
+              data.train.alpha_targets);
+    return model;
+  };
+  core::HawkesPredictor arith = train(core::Aggregation::kArithmeticMean);
+  core::HawkesPredictor geo = train(core::Aggregation::kGeometricMean);
+
+  Table table({"Horizon", "arith MAPE", "geo MAPE", "arith tau", "geo tau"});
+  double arith_avg = 0.0, geo_avg = 0.0;
+  for (double delta : grid) {
+    const auto truth = eval::TrueCounts(data.dataset, data.test, delta);
+    std::vector<double> ap(data.test.size()), gp(data.test.size());
+    for (size_t i = 0; i < data.test.size(); ++i) {
+      ap[i] = data.test.refs[i].n_s +
+              arith.PredictIncrement(data.test.x.Row(i), delta);
+      gp[i] = data.test.refs[i].n_s + geo.PredictIncrement(data.test.x.Row(i), delta);
+    }
+    const auto am = eval::ComputeMetrics(ap, truth);
+    const auto gm = eval::ComputeMetrics(gp, truth);
+    arith_avg += am.median_ape / static_cast<double>(grid.size());
+    geo_avg += gm.median_ape / static_cast<double>(grid.size());
+    table.AddRow({FormatDuration(delta), Table::Num(am.median_ape, 3),
+                  Table::Num(gm.median_ape, 3), Table::Num(am.kendall_tau, 3),
+                  Table::Num(gm.kendall_tau, 3)});
+  }
+  table.Print("Aggregation ablation: HWK (6h,1d,4d)");
+  table.WriteCsv("ablation_aggregation.csv");
+  std::printf("average Median APE: arithmetic %.3f, geometric %.3f\n", arith_avg,
+              geo_avg);
+  std::printf("\nExpected: the two rules are close; geometric (Eq. 10, averaging "
+              "in log\nspace) is typically slightly better on Median APE because "
+              "the targets are\nlog-scale.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation: which estimator of the effective growth exponent should the
+// alpha regressor g be trained on?  Mean-value vs quantile-value targets
+// (gamma in {0.25, 0.5, 0.75}), evaluated by downstream prediction
+// accuracy of HWK (1d) on long horizons.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/hawkes_predictor.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+
+namespace {
+using namespace horizon;
+
+struct Variant {
+  std::string name;
+  core::AlphaEstimatorKind kind;
+  double gamma;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: alpha-estimator targets for the growth regressor g "
+              "(Sec. 3.2.4).\n\n");
+
+  const std::vector<double> grid = eval::PaperHorizonGrid();
+  const std::vector<Variant> variants = {
+      {"mean", core::AlphaEstimatorKind::kMeanValue, 0.5},
+      {"quantile g=0.25", core::AlphaEstimatorKind::kQuantileValue, 0.25},
+      {"quantile g=0.5", core::AlphaEstimatorKind::kQuantileValue, 0.5},
+      {"quantile g=0.75", core::AlphaEstimatorKind::kQuantileValue, 0.75},
+  };
+
+  std::vector<std::string> header = {"Horizon"};
+  for (const auto& v : variants) header.push_back(v.name);
+  Table mape_table(header);
+
+  // Build per-variant training data (alpha targets differ; counts do not).
+  std::vector<std::vector<std::string>> rows(grid.size());
+  for (size_t g = 0; g < grid.size(); ++g) rows[g].push_back(FormatDuration(grid[g]));
+
+  for (const auto& variant : variants) {
+    eval::ExperimentConfig config;
+    config.examples.reference_horizons = grid;
+    config.examples.alpha_kind = variant.kind;
+    config.examples.alpha_quantile_gamma = variant.gamma;
+    eval::ExperimentData data = eval::PrepareExperiment(config);
+
+    core::HawkesPredictorParams params;
+    params.reference_horizons = {grid[4]};  // 1d
+    params.gbdt_count = eval::BenchGbdtParams();
+    params.gbdt_alpha = eval::BenchGbdtParams();
+    core::HawkesPredictor model(params);
+    model.Fit(data.train.x, {data.train.log1p_increments[4]},
+              data.train.alpha_targets);
+
+    for (size_t g = 0; g < grid.size(); ++g) {
+      const auto truth = eval::TrueCounts(data.dataset, data.test, grid[g]);
+      std::vector<double> pred(data.test.size());
+      for (size_t i = 0; i < data.test.size(); ++i) {
+        pred[i] = data.test.refs[i].n_s +
+                  model.PredictIncrement(data.test.x.Row(i), grid[g]);
+      }
+      rows[g].push_back(Table::Num(eval::MedianApe(pred, truth), 3));
+    }
+  }
+  for (auto& row : rows) mape_table.AddRow(row);
+  mape_table.Print("Median APE of HWK(1d) by alpha-target estimator");
+  mape_table.WriteCsv("ablation_alpha_estimator.csv");
+
+  std::printf("Expected: accuracy at delta = delta* (1d) is identical by "
+              "construction; the\nestimators differ on horizons far from "
+              "delta*, where the transfer factor\n(1-e^{-alpha delta}) "
+              "matters; the mean-value estimator is the most stable.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: GBDT capacity (trees x depth) for the count predictor f at
+// delta* = 1d -- the accuracy / training-cost / inference-cost frontier
+// behind the constant-time prediction claim.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "common/timer.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+
+namespace {
+using namespace horizon;
+}  // namespace
+
+int main() {
+  std::printf("Ablation: GBDT capacity for the delta* = 1d count predictor.\n\n");
+
+  eval::ExperimentConfig config;
+  config.examples.reference_horizons = {1 * kDay};
+  eval::ExperimentData data = eval::PrepareExperiment(config);
+  const auto truth = eval::TrueCounts(data.dataset, data.test, 1 * kDay);
+
+  Table table({"trees", "depth", "Median APE", "tau", "train s", "predict us/row"});
+  for (int trees : {10, 40, 80, 160}) {
+    for (int depth : {3, 5, 7}) {
+      gbdt::GbdtParams params = eval::BenchGbdtParams();
+      params.num_trees = trees;
+      params.tree.max_depth = depth;
+      gbdt::GbdtRegressor model(params);
+
+      Timer train_timer;
+      model.Fit(data.train.x, data.train.log1p_increments[0]);
+      const double train_s = train_timer.ElapsedSeconds();
+
+      std::vector<double> pred(data.test.size());
+      Timer predict_timer;
+      for (size_t i = 0; i < data.test.size(); ++i) {
+        pred[i] = data.test.refs[i].n_s +
+                  std::max(std::expm1(model.Predict(data.test.x.Row(i))), 0.0);
+      }
+      const double predict_us =
+          predict_timer.ElapsedSeconds() * 1e6 / static_cast<double>(data.test.size());
+
+      const auto metrics = eval::ComputeMetrics(pred, truth);
+      table.AddRow({std::to_string(trees), std::to_string(depth),
+                    Table::Num(metrics.median_ape, 3),
+                    Table::Num(metrics.kendall_tau, 3), Table::Num(train_s, 3),
+                    Table::Num(predict_us, 3)});
+    }
+  }
+  table.Print("GBDT capacity frontier (count predictor at 1d)");
+  table.WriteCsv("ablation_gbdt_capacity.csv");
+
+  std::printf("Expected: accuracy saturates around ~80 trees x depth 5; inference "
+              "stays\nin the microsecond range throughout -- the paper's "
+              "constant-cost regime.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation: learning curve -- prediction accuracy of HWK (6h,1d,4d) as a
+// function of the number of training cascades.  Quantifies how much
+// labeled history a deployment needs before the feature-based model beats
+// the training-free velocity predictor.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "core/hawkes_predictor.h"
+#include "core/velocity_predictor.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "stream/cascade_tracker.h"
+
+namespace {
+using namespace horizon;
+}  // namespace
+
+int main() {
+  std::printf("Ablation: learning curve over training-set size.\n\n");
+
+  eval::ExperimentConfig config;
+  eval::ExperimentData data = eval::PrepareExperiment(config);
+  const double delta = 1 * kDay;
+  const auto truth = eval::TrueCounts(data.dataset, data.test, delta);
+
+  // Training-free reference: velocity predictor on replayed trackers.
+  double velocity_mape = 0.0;
+  {
+    core::VelocityHawkesPredictor velocity;
+    std::vector<double> pred(data.test.size());
+    for (size_t i = 0; i < data.test.size(); ++i) {
+      const auto& ref = data.test.refs[i];
+      const auto snapshot = data.extractor->ReplaySnapshot(
+          data.dataset.cascades[ref.cascade_index], ref.prediction_age);
+      pred[i] = ref.n_s + velocity.PredictIncrement(snapshot, delta);
+    }
+    velocity_mape = eval::MedianApe(pred, truth);
+  }
+
+  Table table({"train cascades", "examples", "HWK MAPE", "HWK tau",
+               "beats velocity?"});
+  for (size_t train_cascades : {25u, 50u, 100u, 400u, 1200u}) {
+    if (train_cascades > data.split.train.size()) break;
+    std::vector<size_t> subset(data.split.train.begin(),
+                               data.split.train.begin() +
+                                   static_cast<ptrdiff_t>(train_cascades));
+    const auto examples = core::BuildExampleSet(data.dataset, subset,
+                                                *data.extractor, config.examples);
+    core::HawkesPredictorParams params;
+    params.reference_horizons = config.examples.reference_horizons;
+    params.gbdt_count = eval::BenchGbdtParams();
+    params.gbdt_alpha = eval::BenchGbdtParams();
+    params.gbdt_count.tree.min_samples_leaf =
+        train_cascades < 100 ? 3 : params.gbdt_count.tree.min_samples_leaf;
+    params.gbdt_alpha.tree.min_samples_leaf =
+        params.gbdt_count.tree.min_samples_leaf;
+    core::HawkesPredictor model(params);
+    model.Fit(examples.x, examples.log1p_increments, examples.alpha_targets);
+
+    std::vector<double> pred(data.test.size());
+    for (size_t i = 0; i < data.test.size(); ++i) {
+      pred[i] = data.test.refs[i].n_s +
+                model.PredictIncrement(data.test.x.Row(i), delta);
+    }
+    const auto metrics = eval::ComputeMetrics(pred, truth);
+    table.AddRow({std::to_string(train_cascades), std::to_string(examples.size()),
+                  Table::Num(metrics.median_ape, 3),
+                  Table::Num(metrics.kendall_tau, 3),
+                  metrics.median_ape < velocity_mape ? "yes" : "no"});
+  }
+  table.Print("Learning curve at the 1d horizon");
+  table.WriteCsv("ablation_training_size.csv");
+  std::printf("training-free velocity predictor MAPE at 1d: %.3f\n\n",
+              velocity_mape);
+  std::printf("Shape to check: accuracy improves steeply up to a few hundred "
+              "cascades and\nsaturates; even small training sets beat the "
+              "training-free fallback.\n");
+  return 0;
+}

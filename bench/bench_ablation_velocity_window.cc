@@ -1,0 +1,77 @@
+// Ablation: the sliding-window layout behind the velocity features --
+// the constant-time proxy for the stochastic intensity lambda(s) (Sec. 4,
+// "Hawkes with exponential kernel").  Sweeps the window bank and the DGIM
+// approximation accuracy and reports downstream accuracy of HWK (1d).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/hawkes_predictor.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+
+namespace {
+using namespace horizon;
+
+struct Variant {
+  std::string name;
+  std::vector<double> windows;
+  double epsilon;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: velocity-window layout and DGIM epsilon.\n\n");
+
+  const std::vector<Variant> variants = {
+      {"single 15m", {15 * kMinute}, 0.05},
+      {"single 6h", {6 * kHour}, 0.05},
+      {"bank {15m,1h,6h,1d}", {15 * kMinute, kHour, 6 * kHour, kDay}, 0.05},
+      {"bank, coarse eps=0.5", {15 * kMinute, kHour, 6 * kHour, kDay}, 0.5},
+  };
+  const std::vector<double> eval_horizons = {3 * kHour, 1 * kDay, 4 * kDay};
+
+  std::vector<std::string> header = {"Tracker variant"};
+  for (double d : eval_horizons) header.push_back("MAPE @" + FormatDuration(d));
+  header.push_back("features");
+  Table table(header);
+
+  for (const auto& variant : variants) {
+    eval::ExperimentConfig config;
+    config.tracker.window_lengths = variant.windows;
+    config.tracker.epsilon = variant.epsilon;
+    config.examples.reference_horizons = {1 * kDay};
+    eval::ExperimentData data = eval::PrepareExperiment(config);
+
+    core::HawkesPredictorParams params;
+    params.reference_horizons = {1 * kDay};
+    params.gbdt_count = eval::BenchGbdtParams();
+    params.gbdt_alpha = eval::BenchGbdtParams();
+    core::HawkesPredictor model(params);
+    model.Fit(data.train.x, data.train.log1p_increments, data.train.alpha_targets);
+
+    std::vector<std::string> row = {variant.name};
+    for (double delta : eval_horizons) {
+      const auto truth = eval::TrueCounts(data.dataset, data.test, delta);
+      std::vector<double> pred(data.test.size());
+      for (size_t i = 0; i < data.test.size(); ++i) {
+        pred[i] = data.test.refs[i].n_s +
+                  model.PredictIncrement(data.test.x.Row(i), delta);
+      }
+      row.push_back(Table::Num(eval::MedianApe(pred, truth), 3));
+    }
+    row.push_back(std::to_string(data.extractor->schema().size()));
+    table.AddRow(row);
+  }
+  table.Print("Velocity-window ablation: downstream Median APE of HWK(1d)");
+  table.WriteCsv("ablation_velocity_window.csv");
+
+  std::printf("Expected: differences are small -- the EWMA rate already carries "
+              "most of\nthe lambda(s) signal -- and a coarse DGIM epsilon costs "
+              "almost nothing\n(the GBDT absorbs bounded counter noise), which "
+              "is why the O(log)-space\ncounters are safe at production "
+              "scale.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Appendix A.10 / Corollary A.4: the bias of the quantile-value estimator.
+// For lambda(0) = alpha n and gamma = 1 - 1/n,
+//   E[T_{1-1/n}] <= (log n + 1 + o(1)) / alpha,
+// hence E[alpha_hat] >= alpha (1 - o(1)) / (log n + 1).  We verify the
+// bound empirically across n and report the actual bias factor.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/alpha_estimator.h"
+#include "pointprocess/exp_hawkes.h"
+
+namespace {
+using namespace horizon;
+}  // namespace
+
+int main() {
+  std::printf("Validation of Corollary A.4 (Appendix A.10): quantile-estimator "
+              "bias bound.\n\n");
+
+  const double beta = 2.0, rho1 = 0.5;
+  const double alpha = beta * (1.0 - rho1);
+
+  Table table({"n", "gamma", "mean T_gamma * alpha", "bound log(n)+1",
+               "mean alpha_hat / alpha", "lower bound 1/(log n + 1)"});
+
+  Rng rng(2024);
+  for (double n : {10.0, 30.0, 100.0, 300.0, 1000.0}) {
+    const double gamma = 1.0 - 1.0 / n;
+    pp::ExpHawkesParams params;
+    params.beta = beta;
+    params.lambda0 = alpha * n;  // so that E[N(inf)] = n
+    params.marks = std::make_shared<pp::ConstantMark>(rho1);
+    pp::SimulateOptions options;
+    options.horizon = 60.0 / alpha;
+
+    RunningStats t_gamma_stats, ratio_stats;
+    core::AlphaEstimatorOptions est_options;
+    est_options.gamma = gamma;
+    const int reps = 600;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto events = pp::SimulateExpHawkes(params, options, rng);
+      if (events.empty()) continue;
+      std::vector<double> times;
+      for (const auto& e : events) times.push_back(e.time);
+      const double alpha_hat = core::QuantileAlphaEstimate(times, est_options);
+      if (alpha_hat <= 0.0) continue;
+      t_gamma_stats.Add(1.0 / alpha_hat);  // T_gamma
+      ratio_stats.Add(alpha_hat / alpha);
+    }
+    table.AddRow({Table::Num(n, 4), Table::Num(gamma, 4),
+                  Table::Num(t_gamma_stats.mean() * alpha, 4),
+                  Table::Num(std::log(n) + 1.0, 4),
+                  Table::Num(ratio_stats.mean(), 4),
+                  Table::Num(1.0 / (std::log(n) + 1.0), 4)});
+  }
+  table.Print("Corollary A.4: E[T_gamma] vs the (log n + 1)/alpha bound");
+  table.WriteCsv("appendix_quantile_bias.csv");
+
+  std::printf("Shape to check: column 3 stays below column 4 (the bound holds), "
+              "and the\nbias factor (column 5) stays above column 6 -- the "
+              "estimator is biased but\nonly logarithmically in n.\n");
+  return 0;
+}

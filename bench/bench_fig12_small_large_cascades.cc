@@ -1,0 +1,83 @@
+// Figure 12 (Appendix A.18): prediction performance conditioned on the
+// true content popularity -- Median APE and Kendall tau vs horizon for
+// small vs large cascades, for HWK (6h,1d,4d) and PB.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/feature_models.h"
+#include "common/table.h"
+#include "core/hawkes_predictor.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+
+namespace {
+using namespace horizon;
+}  // namespace
+
+int main() {
+  std::printf("Reproduction of Figure 12 (Appendix A.18): performance on small "
+              "vs large cascades.\n\n");
+
+  const std::vector<double> grid = eval::PaperHorizonGrid();
+
+  eval::ExperimentConfig config;
+  config.examples.reference_horizons = grid;
+  eval::ExperimentData data = eval::PrepareExperiment(config);
+
+  // HWK (6h,1d,4d): grid indices 2, 4, 6.
+  core::HawkesPredictorParams params;
+  params.reference_horizons = {grid[2], grid[4], grid[6]};
+  params.gbdt_count = eval::BenchGbdtParams();
+  params.gbdt_alpha = eval::BenchGbdtParams();
+  core::HawkesPredictor hwk(params);
+  hwk.Fit(data.train.x,
+          {data.train.log1p_increments[2], data.train.log1p_increments[4],
+           data.train.log1p_increments[6]},
+          data.train.alpha_targets);
+
+  baselines::PointBasedModels pb(eval::BenchGbdtParams());
+  pb.Fit(data.train.x, grid, data.train.log1p_increments);
+
+  // Split test examples by final cascade size (median of the test set).
+  std::vector<double> final_sizes;
+  for (const auto& ref : data.test.refs) {
+    final_sizes.push_back(
+        static_cast<double>(data.dataset.cascades[ref.cascade_index].TotalViews()));
+  }
+  std::vector<double> sorted = final_sizes;
+  std::sort(sorted.begin(), sorted.end());
+  const double split_size = sorted[sorted.size() / 2];
+  std::printf("size split at %g total views (test-set median)\n\n", split_size);
+
+  for (const bool large : {false, true}) {
+    Table table({"Horizon", "HWK MAPE", "PB MAPE", "HWK tau", "PB tau", "n"});
+    for (double delta : grid) {
+      const auto truth_all = eval::TrueCounts(data.dataset, data.test, delta);
+      std::vector<double> hwk_pred, pb_pred, truth;
+      for (size_t i = 0; i < data.test.size(); ++i) {
+        const bool is_large = final_sizes[i] >= split_size;
+        if (is_large != large) continue;
+        hwk_pred.push_back(data.test.refs[i].n_s +
+                           hwk.PredictIncrement(data.test.x.Row(i), delta));
+        pb_pred.push_back(data.test.refs[i].n_s +
+                          pb.PredictIncrement(data.test.x.Row(i), delta));
+        truth.push_back(truth_all[i]);
+      }
+      const auto hm = eval::ComputeMetrics(hwk_pred, truth);
+      const auto pm = eval::ComputeMetrics(pb_pred, truth);
+      table.AddRow({FormatDuration(delta), Table::Num(hm.median_ape, 3),
+                    Table::Num(pm.median_ape, 3), Table::Num(hm.kendall_tau, 3),
+                    Table::Num(pm.kendall_tau, 3), std::to_string(hm.n)});
+    }
+    const std::string name = large ? "large cascades" : "small cascades";
+    table.Print("Figure 12: " + name);
+    table.WriteCsv(large ? "fig12_large.csv" : "fig12_small.csv");
+  }
+
+  std::printf("Paper shape to check: all methods feature better Median APE on "
+              "large\ncascades than small ones; HWK's edge on long horizons is "
+              "clearest for\nsmall cascades.\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Figure 1: Median APE (left) and Kendall tau rank correlation (right) as
+// a function of the prediction horizon, for:
+//   HWK (1d), HWK (6h,4d), HWK (6h,1d,4d)  -- the proposed models,
+//   PB                                      -- per-horizon point-based models,
+//   HF (1h-7d), HF (1h,6h,1d,4d)            -- horizon-as-feature models.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/feature_models.h"
+#include "common/table.h"
+#include "core/hawkes_predictor.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+
+namespace {
+using namespace horizon;
+
+core::HawkesPredictor TrainHwk(const eval::ExperimentData& data,
+                               const std::vector<double>& grid,
+                               const std::vector<size_t>& ref_indices) {
+  core::HawkesPredictorParams params;
+  params.reference_horizons.clear();
+  std::vector<std::vector<double>> targets;
+  for (size_t idx : ref_indices) {
+    params.reference_horizons.push_back(grid[idx]);
+    targets.push_back(data.train.log1p_increments[idx]);
+  }
+  params.gbdt_count = eval::BenchGbdtParams();
+  params.gbdt_alpha = eval::BenchGbdtParams();
+  core::HawkesPredictor model(params);
+  model.Fit(data.train.x, targets, data.train.alpha_targets);
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Reproduction of Figure 1 (Sec. 5.3): accuracy over arbitrary "
+              "horizons.\n\n");
+
+  const std::vector<double> grid = eval::PaperHorizonGrid();
+
+  eval::ExperimentConfig config;
+  config.examples.reference_horizons = grid;  // targets at all 8 horizons
+  eval::ExperimentData data = eval::PrepareExperiment(config);
+  std::printf("dataset: %zu cascades, %zu train / %zu test examples\n\n",
+              data.dataset.cascades.size(), data.train.size(), data.test.size());
+
+  // Grid indices: 0=1h 1=3h 2=6h 3=12h 4=1d 5=2d 6=4d 7=7d.
+  core::HawkesPredictor hwk_1d = TrainHwk(data, grid, {4});
+  core::HawkesPredictor hwk_2ref = TrainHwk(data, grid, {2, 6});
+  core::HawkesPredictor hwk_3ref = TrainHwk(data, grid, {2, 4, 6});
+
+  baselines::PointBasedModels pb(eval::BenchGbdtParams());
+  pb.Fit(data.train.x, grid, data.train.log1p_increments);
+
+  baselines::HorizonFeatureModel hf_all(eval::BenchGbdtParams());
+  hf_all.Fit(data.train.x, grid, data.train.log1p_increments);
+
+  baselines::HorizonFeatureModel hf_subset(eval::BenchGbdtParams());
+  hf_subset.Fit(data.train.x, {grid[0], grid[2], grid[4], grid[6]},
+                {data.train.log1p_increments[0], data.train.log1p_increments[2],
+                 data.train.log1p_increments[4], data.train.log1p_increments[6]});
+
+  struct ModelEntry {
+    std::string name;
+    std::function<double(const float*, double)> predict_increment;
+  };
+  std::vector<ModelEntry> models;
+  models.push_back({"HWK (1d)", [&](const float* row, double d) {
+                      return hwk_1d.PredictIncrement(row, d);
+                    }});
+  models.push_back({"HWK (6h,4d)", [&](const float* row, double d) {
+                      return hwk_2ref.PredictIncrement(row, d);
+                    }});
+  models.push_back({"HWK (6h,1d,4d)", [&](const float* row, double d) {
+                      return hwk_3ref.PredictIncrement(row, d);
+                    }});
+  models.push_back({"PB", [&](const float* row, double d) {
+                      return pb.PredictIncrement(row, d);
+                    }});
+  models.push_back({"HF (1h-7d)", [&](const float* row, double d) {
+                      return hf_all.PredictIncrement(row, d);
+                    }});
+  models.push_back({"HF (1h,6h,1d,4d)", [&](const float* row, double d) {
+                      return hf_subset.PredictIncrement(row, d);
+                    }});
+
+  std::vector<std::string> header = {"Horizon"};
+  for (const auto& m : models) header.push_back(m.name);
+  Table mape_table(header);
+  Table tau_table(header);
+
+  for (double delta : grid) {
+    const std::vector<double> truth = eval::TrueCounts(data.dataset, data.test, delta);
+    std::vector<std::string> mape_row = {FormatDuration(delta)};
+    std::vector<std::string> tau_row = {FormatDuration(delta)};
+    for (const auto& m : models) {
+      std::vector<double> pred(data.test.size());
+      for (size_t i = 0; i < data.test.size(); ++i) {
+        pred[i] = data.test.refs[i].n_s +
+                  m.predict_increment(data.test.x.Row(i), delta);
+      }
+      const auto metrics = eval::ComputeMetrics(pred, truth);
+      mape_row.push_back(Table::Num(metrics.median_ape, 3));
+      tau_row.push_back(Table::Num(metrics.kendall_tau, 3));
+    }
+    mape_table.AddRow(mape_row);
+    tau_table.AddRow(tau_row);
+  }
+
+  mape_table.Print("Figure 1 (left): Median APE vs horizon");
+  mape_table.WriteCsv("fig1_mape.csv");
+  tau_table.Print("Figure 1 (right): Kendall tau vs horizon");
+  tau_table.WriteCsv("fig1_tau.csv");
+
+  // --- Replication on a second dataset (the paper used two datasets and
+  // "obtained similar results"): different seed, different scale. ---
+  {
+    eval::ExperimentConfig config_b;
+    config_b.examples.reference_horizons = grid;
+    config_b.generator.seed = 20191107;  // "dataset 2"
+    config_b.generator.num_posts = 1800;
+    config_b.generator.base_mean_size = 220.0;
+    eval::ExperimentData data_b = eval::PrepareExperiment(config_b);
+
+    core::HawkesPredictor hwk_b = TrainHwk(data_b, grid, {2, 4, 6});
+    baselines::PointBasedModels pb_b(eval::BenchGbdtParams());
+    pb_b.Fit(data_b.train.x, grid, data_b.train.log1p_increments);
+
+    Table table_b({"Horizon", "HWK (6h,1d,4d) MAPE", "PB MAPE",
+                   "HWK tau", "PB tau"});
+    for (double delta : grid) {
+      const auto truth = eval::TrueCounts(data_b.dataset, data_b.test, delta);
+      std::vector<double> hp(data_b.test.size()), pp(data_b.test.size());
+      for (size_t i = 0; i < data_b.test.size(); ++i) {
+        hp[i] = data_b.test.refs[i].n_s +
+                hwk_b.PredictIncrement(data_b.test.x.Row(i), delta);
+        pp[i] = data_b.test.refs[i].n_s +
+                pb_b.PredictIncrement(data_b.test.x.Row(i), delta);
+      }
+      const auto hm = eval::ComputeMetrics(hp, truth);
+      const auto pm = eval::ComputeMetrics(pp, truth);
+      table_b.AddRow({FormatDuration(delta), Table::Num(hm.median_ape, 3),
+                      Table::Num(pm.median_ape, 3), Table::Num(hm.kendall_tau, 3),
+                      Table::Num(pm.kendall_tau, 3)});
+    }
+    table_b.Print("Replication on dataset B (different seed/scale)");
+    table_b.WriteCsv("fig1_dataset_b.csv");
+  }
+
+  std::printf(
+      "Paper shape to check: HWK variants track PB closely for delta > 24h;\n"
+      "HF (1h,6h,1d,4d) dips at unseen horizons (3h, 12h, 2d) relative to\n"
+      "HF (1h-7d); multi-reference HWK slightly beats single-reference;\n"
+      "the dataset-B replication shows the same HWK-vs-PB relationship.\n");
+  return 0;
+}

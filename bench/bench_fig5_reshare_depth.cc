@@ -1,0 +1,89 @@
+// Figures 4/5 (Appendix A.1): the information-diffusion genealogy of an
+// example post.  Figure 4's graph snapshots become summary statistics of
+// the reshare tree over time; Figure 5 is the view-event intensity broken
+// down by reshare depth (hop distance from the original post).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "datagen/generator.h"
+
+namespace {
+using namespace horizon;
+}  // namespace
+
+int main() {
+  std::printf("Reproduction of Figures 4-5 (Appendix A.1): diffusion genealogy "
+              "and per-depth intensities.\n\n");
+
+  datagen::GeneratorConfig config;
+  config.num_pages = 100;
+  config.num_posts = 600;
+  config.base_mean_size = 250.0;
+  config.base_share_prob = 0.05;  // richer reshare trees for the example
+  config.seed = 424242;
+  const auto data = datagen::Generator(config).Generate();
+
+  // Pick the cascade with the deepest reshare tree among large cascades.
+  size_t best = 0;
+  int best_depth = -1;
+  for (size_t c = 0; c < data.cascades.size(); ++c) {
+    const auto& cascade = data.cascades[c];
+    if (cascade.TotalViews() < 1000) continue;
+    const int depth = cascade.reshare_depth.empty()
+                          ? 0
+                          : *std::max_element(cascade.reshare_depth.begin(),
+                                              cascade.reshare_depth.end());
+    if (depth > best_depth) {
+      best_depth = depth;
+      best = c;
+    }
+  }
+  const auto& cascade = data.cascades[best];
+  std::printf("example post: total views=%zu reshares=%zu max depth=%d\n\n",
+              cascade.TotalViews(), cascade.share_times.size(), best_depth);
+
+  // Figure 4 analogue: growth of the diffusion structure over time.
+  Table graph_table({"age", "views", "reshare nodes", "max depth"});
+  for (double age : {1 * kHour, 6 * kHour, 1 * kDay, 2 * kDay, 7 * kDay}) {
+    size_t views = 0, shares = 0;
+    int depth = 0;
+    for (size_t i = 0; i < cascade.views.size(); ++i) {
+      if (cascade.views[i].time >= age) break;
+      ++views;
+      if (cascade.is_share[i]) ++shares;
+      depth = std::max(depth, cascade.reshare_depth[i]);
+    }
+    graph_table.AddRow({FormatDuration(age), std::to_string(views),
+                        std::to_string(shares), std::to_string(depth)});
+  }
+  graph_table.Print("Figure 4: diffusion structure over time");
+  graph_table.WriteCsv("fig4.csv");
+
+  // Figure 5: view intensity per 2-hour bin, by reshare depth (0, 1, 2+).
+  const double bin = 2 * kHour;
+  const int num_bins = static_cast<int>(4 * kDay / bin);
+  std::vector<std::vector<size_t>> counts(3, std::vector<size_t>(num_bins, 0));
+  for (size_t i = 0; i < cascade.views.size(); ++i) {
+    const int b = static_cast<int>(cascade.views[i].time / bin);
+    if (b >= num_bins) continue;
+    const int d = std::min(cascade.reshare_depth[i], 2);
+    ++counts[static_cast<size_t>(d)][static_cast<size_t>(b)];
+  }
+  Table depth_table({"age (h)", "depth 0", "depth 1", "depth 2+"});
+  for (int b = 0; b < num_bins; ++b) {
+    depth_table.AddRow({Table::Num((b + 1) * bin / kHour, 4),
+                        std::to_string(counts[0][static_cast<size_t>(b)]),
+                        std::to_string(counts[1][static_cast<size_t>(b)]),
+                        std::to_string(counts[2][static_cast<size_t>(b)])});
+  }
+  depth_table.Print("Figure 5: view intensity by reshare depth (2h bins)");
+  depth_table.WriteCsv("fig5.csv");
+
+  std::printf("Paper shape to check: depth-0 views dominate early; deeper-depth "
+              "view\nactivity arrives later and produces the inflection points "
+              "of the aggregate\ncumulative curve.\n");
+  return 0;
+}

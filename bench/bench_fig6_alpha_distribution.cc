@@ -1,0 +1,85 @@
+// Figure 6 (Appendix A.2): distribution of effective-growth-exponent
+// estimates over the dataset -- mean-value vs median-value estimator, with
+// start time 0 vs 1 hour.  The paper reports a wide range of values, a
+// median around 1/day for the mean-value estimator, and the median-value
+// estimator systematically above the mean-value one.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/table.h"
+#include "core/alpha_estimator.h"
+#include "datagen/generator.h"
+
+namespace {
+using namespace horizon;
+
+std::vector<double> Estimates(const datagen::SyntheticDataset& data,
+                              core::AlphaEstimatorKind kind, double start_time) {
+  std::vector<double> out;
+  core::AlphaEstimatorOptions options;
+  options.start_time = start_time;
+  options.gamma = 0.5;
+  for (const auto& cascade : data.cascades) {
+    if (cascade.TotalViews() < 20) continue;
+    std::vector<double> times;
+    times.reserve(cascade.TotalViews());
+    for (const auto& e : cascade.views) times.push_back(e.time);
+    const double alpha = core::EstimateAlpha(kind, times, options);
+    if (alpha > 0.0) out.push_back(alpha * kDay);  // report in 1/day units
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Reproduction of Figure 6 (Appendix A.2): CDFs of alpha estimates "
+              "(units: 1/day).\n\n");
+
+  datagen::GeneratorConfig config;
+  config.num_pages = 300;
+  config.num_posts = 2600;
+  config.base_mean_size = 150.0;
+  config.seed = 20211215;
+  const auto data = datagen::Generator(config).Generate();
+
+  struct Variant {
+    const char* name;
+    core::AlphaEstimatorKind kind;
+    double start;
+  };
+  const std::vector<Variant> variants = {
+      {"mean, start 0", core::AlphaEstimatorKind::kMeanValue, 0.0},
+      {"mean, start 1h", core::AlphaEstimatorKind::kMeanValue, kHour},
+      {"median, start 0", core::AlphaEstimatorKind::kQuantileValue, 0.0},
+      {"median, start 1h", core::AlphaEstimatorKind::kQuantileValue, kHour},
+  };
+
+  std::vector<std::vector<double>> estimates;
+  for (const auto& v : variants) estimates.push_back(Estimates(data, v.kind, v.start));
+
+  // CDF table at fixed quantile levels.
+  Table table({"quantile", "mean s0", "mean s1h", "median s0", "median s1h"});
+  for (double q : {0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95}) {
+    std::vector<std::string> row = {Table::Num(q, 2)};
+    for (const auto& est : estimates) row.push_back(Table::Num(Quantile(est, q), 3));
+    table.AddRow(row);
+  }
+  table.Print("Figure 6: quantiles of alpha estimates (1/day)");
+  table.WriteCsv("fig6.csv");
+
+  // Headline comparisons from the paper's text.
+  const double median_mean0 = Median(estimates[0]);
+  const double median_median0 = Median(estimates[2]);
+  std::printf("median of mean-value estimates (start 0):   %.3f /day\n",
+              median_mean0);
+  std::printf("median of median-value estimates (start 0): %.3f /day\n",
+              median_median0);
+  std::printf("\nPaper shape to check: wide range of estimates; mean-value "
+              "median ~1/day;\nmedian-value estimator larger than mean-value; "
+              "excluding the first hour\nshifts the median-value estimator "
+              "more than the mean-value one.\n");
+  return 0;
+}

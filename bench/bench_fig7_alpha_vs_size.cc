@@ -1,0 +1,86 @@
+// Figure 7 (Appendix A.2): median and quartiles of the effective-growth-
+// exponent estimates conditional on cascade size (normalized by the mean).
+// The paper observes a decrease for small cascades and near-invariance for
+// larger ones.
+#include <cstdio>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/table.h"
+#include "core/alpha_estimator.h"
+#include "datagen/generator.h"
+
+namespace {
+using namespace horizon;
+}  // namespace
+
+int main() {
+  std::printf("Reproduction of Figure 7 (Appendix A.2): alpha estimates vs "
+              "cascade size.\n\n");
+
+  datagen::GeneratorConfig config;
+  config.num_pages = 300;
+  config.num_posts = 2600;
+  config.base_mean_size = 150.0;
+  config.seed = 20211215;
+  const auto data = datagen::Generator(config).Generate();
+
+  double mean_size = 0.0;
+  for (const auto& c : data.cascades) mean_size += static_cast<double>(c.TotalViews());
+  mean_size /= static_cast<double>(data.cascades.size());
+
+  struct Bin {
+    double lo, hi;
+    std::vector<double> mean_est;
+    std::vector<double> median_est;
+  };
+  std::vector<Bin> bins;
+  for (double lo = 0.01; lo < 100.0; lo *= 3.0) {
+    bins.push_back({lo, lo * 3.0, {}, {}});
+  }
+
+  core::AlphaEstimatorOptions mean_opt;   // start 0
+  core::AlphaEstimatorOptions median_opt;
+  median_opt.start_time = kHour;          // the more robust variant
+  median_opt.gamma = 0.5;
+
+  for (const auto& cascade : data.cascades) {
+    if (cascade.TotalViews() < 10) continue;
+    const double norm = static_cast<double>(cascade.TotalViews()) / mean_size;
+    std::vector<double> times;
+    for (const auto& e : cascade.views) times.push_back(e.time);
+    const double a_mean =
+        core::EstimateAlpha(core::AlphaEstimatorKind::kMeanValue, times, mean_opt);
+    const double a_median = core::EstimateAlpha(
+        core::AlphaEstimatorKind::kQuantileValue, times, median_opt);
+    for (auto& bin : bins) {
+      if (norm >= bin.lo && norm < bin.hi) {
+        if (a_mean > 0) bin.mean_est.push_back(a_mean * kDay);
+        if (a_median > 0) bin.median_est.push_back(a_median * kDay);
+        break;
+      }
+    }
+  }
+
+  Table table({"norm. size bin", "n", "mean est q25", "mean est q50", "mean est q75",
+               "median est q25", "median est q50", "median est q75"});
+  for (const auto& bin : bins) {
+    if (bin.mean_est.size() < 10) continue;
+    char label[64];
+    std::snprintf(label, sizeof(label), "[%.2f, %.2f)", bin.lo, bin.hi);
+    table.AddRow({label, std::to_string(bin.mean_est.size()),
+                  Table::Num(Quantile(bin.mean_est, 0.25), 3),
+                  Table::Num(Quantile(bin.mean_est, 0.5), 3),
+                  Table::Num(Quantile(bin.mean_est, 0.75), 3),
+                  Table::Num(Quantile(bin.median_est, 0.25), 3),
+                  Table::Num(Quantile(bin.median_est, 0.5), 3),
+                  Table::Num(Quantile(bin.median_est, 0.75), 3)});
+  }
+  table.Print("Figure 7: alpha estimate quartiles vs normalized cascade size (1/day)");
+  table.WriteCsv("fig7.csv");
+
+  std::printf("Paper shape to check: estimates decrease with size for small "
+              "cascades, then\nstay largely invariant; the median-value (start "
+              "1h) variant is the more\nstable of the two.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Micro-benchmark (google-benchmark): GBDT single-row inference latency vs
+// ensemble size/depth -- the constant "few GBDT inferences" cost of the
+// proposed predictor (Fig. 2's flat curve) -- plus training throughput.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "gbdt/gbdt.h"
+
+namespace {
+
+using namespace horizon;
+using namespace horizon::gbdt;
+
+DataMatrix MakeData(size_t rows, size_t features, std::vector<double>* y) {
+  Rng rng(11);
+  DataMatrix x(rows, features);
+  y->resize(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    double target = 0.0;
+    for (size_t f = 0; f < features; ++f) {
+      const double v = rng.Uniform();
+      x.Set(i, f, static_cast<float>(v));
+      if (f < 5) target += v;
+    }
+    (*y)[i] = target + rng.Normal(0.0, 0.1);
+  }
+  return x;
+}
+
+void BM_GbdtPredictSingleRow(benchmark::State& state) {
+  std::vector<double> y;
+  const DataMatrix x = MakeData(4000, 100, &y);
+  GbdtParams params;
+  params.num_trees = static_cast<int>(state.range(0));
+  params.tree.max_depth = static_cast<int>(state.range(1));
+  GbdtRegressor model(params);
+  model.Fit(x, y);
+  size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(x.Row(row)));
+    row = (row + 1) % x.num_rows();
+  }
+}
+BENCHMARK(BM_GbdtPredictSingleRow)
+    ->Args({20, 3})
+    ->Args({80, 5})
+    ->Args({160, 7});
+
+void BM_GbdtTrain(benchmark::State& state) {
+  std::vector<double> y;
+  const DataMatrix x = MakeData(static_cast<size_t>(state.range(0)), 100, &y);
+  GbdtParams params;
+  params.num_trees = 40;
+  params.tree.max_depth = 5;
+  for (auto _ : state) {
+    GbdtRegressor model(params);
+    model.Fit(x, y);
+    benchmark::DoNotOptimize(model.base_score());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GbdtTrain)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_BinnedDatasetCreate(benchmark::State& state) {
+  std::vector<double> y;
+  const DataMatrix x = MakeData(static_cast<size_t>(state.range(0)), 100, &y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BinnedDataset::Create(x));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BinnedDatasetCreate)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,171 @@
+// Section 4 of the paper discusses the per-item computation cost and
+// accuracy profile of four generative approaches: RPP, SEISMIC, HIP, and
+// MLE-fitted exponential-kernel Hawkes.  This bench puts all four (plus
+// the proposed feature-based HWK model) on the same footing: infinite-
+// horizon accuracy and per-item prediction cost on a common test set.
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "baselines/hip.h"
+#include "baselines/rpp.h"
+#include "baselines/seismic.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/hawkes_predictor.h"
+#include "core/velocity_predictor.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "pointprocess/exp_hawkes.h"
+#include "pointprocess/exp_hawkes_mle.h"
+
+namespace {
+using namespace horizon;
+}  // namespace
+
+int main() {
+  std::printf("Sec. 4 discussion: generative per-item models vs the feature-based "
+              "Hawkes model.\n\n");
+
+  eval::ExperimentConfig config;
+  config.generator.num_posts = 1500;
+  eval::ExperimentData data = eval::PrepareExperiment(config);
+
+  core::HawkesPredictorParams hwk_params;
+  hwk_params.reference_horizons = config.examples.reference_horizons;
+  hwk_params.gbdt_count = eval::BenchGbdtParams();
+  hwk_params.gbdt_alpha = eval::BenchGbdtParams();
+  core::HawkesPredictor hwk(hwk_params);
+  hwk.Fit(data.train.x, data.train.log1p_increments, data.train.alpha_targets);
+
+  baselines::SeismicCf seismic;
+  baselines::RppModel rpp;
+  baselines::HipModel hip;
+
+  const double inf = std::numeric_limits<double>::infinity();
+  // Cap the evaluation subset: the per-item fitters are the bottleneck.
+  const size_t max_items = 400;
+
+  struct Row {
+    std::string name;
+    std::vector<double> pred, truth;
+    double seconds = 0.0;
+    size_t n = 0;
+  };
+  Row rows[6] = {{"HWK (6h,1d,4d)", {}, {}, 0.0, 0},
+                 {"Velocity (training-free)", {}, {}, 0.0, 0},
+                 {"SEISMIC-CF", {}, {}, 0.0, 0},
+                 {"RPP (MLE/item)", {}, {}, 0.0, 0},
+                 {"HIP (LSQ/item)", {}, {}, 0.0, 0},
+                 {"Hawkes exp (MLE/item)", {}, {}, 0.0, 0}};
+  core::VelocityHawkesPredictor velocity;
+  const stream::TrackerConfig tracker_config = config.tracker;
+
+  const auto truth_all = eval::TrueCounts(data.dataset, data.test, inf);
+  size_t used = 0;
+  for (size_t i = 0; i < data.test.size() && used < max_items; i += 2) {
+    const auto& ref = data.test.refs[i];
+    const auto& cascade = data.dataset.cascades[ref.cascade_index];
+    std::vector<double> times;
+    for (const auto& e : cascade.views) {
+      if (e.time >= ref.prediction_age) break;
+      times.push_back(e.time);
+    }
+    if (times.size() < 5) continue;
+    ++used;
+    const double truth = truth_all[i];
+    const double s = ref.prediction_age;
+
+    {
+      Timer t;
+      const double pred = ref.n_s + hwk.PredictFinalIncrement(data.test.x.Row(i));
+      rows[0].seconds += t.ElapsedSeconds();
+      rows[0].pred.push_back(pred);
+      rows[0].truth.push_back(truth);
+    }
+    {
+      // Training-free velocity predictor: O(1)-state tracker replay (the
+      // replay itself is ingest cost, not prediction cost; only the final
+      // query is timed).
+      stream::CascadeTracker tracker(0.0, tracker_config);
+      for (double time : times) {
+        tracker.Observe(stream::EngagementType::kView, time);
+      }
+      const auto snapshot = tracker.Snapshot(s);
+      Timer t;
+      const double pred = ref.n_s + velocity.PredictIncrement(snapshot, inf);
+      rows[1].seconds += t.ElapsedSeconds();
+      rows[1].pred.push_back(pred);
+      rows[1].truth.push_back(truth);
+    }
+    {
+      Timer t;
+      const double pred = seismic.PredictFinal(times, s);
+      rows[2].seconds += t.ElapsedSeconds();
+      rows[2].pred.push_back(pred);
+      rows[2].truth.push_back(truth);
+    }
+    {
+      Timer t;
+      const auto fit = rpp.Fit(times, s);
+      const double pred = ref.n_s + rpp.PredictIncrement(fit, ref.n_s, s, inf);
+      rows[3].seconds += t.ElapsedSeconds();
+      if (fit.ok) {
+        rows[3].pred.push_back(pred);
+        rows[3].truth.push_back(truth);
+      }
+    }
+    {
+      Timer t;
+      const auto fit = hip.Fit(times, s);
+      const double pred = ref.n_s + hip.PredictIncrement(fit, times, s, inf);
+      rows[4].seconds += t.ElapsedSeconds();
+      if (fit.ok) {
+        rows[4].pred.push_back(pred);
+        rows[4].truth.push_back(truth);
+      }
+    }
+    {
+      Timer t;
+      const auto fit = pp::FitExpHawkesMle(times, s);
+      double pred = truth;  // fallback never used when ok
+      if (fit.ok) {
+        const double lambda_s = fit.lambda0 * std::exp(-fit.beta * s);
+        // Conditional mean needs lambda(s) including excitation; evaluate
+        // via the fitted parameters and the observed history.
+        double a = 0.0, prev = 0.0;
+        for (double time : times) {
+          a *= std::exp(-fit.beta * (time - prev));
+          a += 1.0;
+          prev = time;
+        }
+        const double lam =
+            lambda_s + fit.beta * fit.rho1 * a * std::exp(-fit.beta * (s - prev));
+        pred = ref.n_s + pp::ConditionalMeanIncrement(lam, fit.alpha(), inf);
+      }
+      rows[5].seconds += t.ElapsedSeconds();
+      if (fit.ok) {
+        rows[5].pred.push_back(pred);
+        rows[5].truth.push_back(truth);
+      }
+    }
+  }
+
+  Table table({"Model", "MAPE", "tau", "n", "ms/item"});
+  for (const auto& row : rows) {
+    const auto metrics = eval::ComputeMetrics(row.pred, row.truth);
+    table.AddRow({row.name, Table::Num(metrics.median_ape, 3),
+                  Table::Num(metrics.kendall_tau, 3), std::to_string(metrics.n),
+                  Table::Num(row.seconds / std::max<size_t>(used, 1) * 1e3, 3)});
+  }
+  table.Print("Sec. 4: infinite-horizon accuracy and per-item cost");
+  table.WriteCsv("sec4_generative_baselines.csv");
+
+  std::printf("Shape to check: the feature-based HWK model is both the most "
+              "accurate and\nthe only one whose cost does not involve a per-item "
+              "history pass or fit;\nthe per-item MLE approaches are orders of "
+              "magnitude more expensive.\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Table 1: infinite-horizon prediction accuracy of the proposed Hawkes
+// model vs SEISMIC-CF, overall and conditional on content popularity
+// (Low/High, split at 1000 views) and prediction time (Early/Late, split
+// at 24h content age).  Also reproduces the Sec. 5.2 RPP result: per-item
+// MLE cost and MAPE on a subset.
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "baselines/rpp.h"
+#include "baselines/seismic.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/hawkes_predictor.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+
+namespace {
+
+using namespace horizon;  // bench binary: brevity over namespace hygiene
+
+std::vector<double> ViewTimesBefore(const datagen::Cascade& cascade, double s) {
+  std::vector<double> times;
+  for (const auto& e : cascade.views) {
+    if (e.time >= s) break;
+    times.push_back(e.time);
+  }
+  return times;
+}
+
+struct SliceResult {
+  std::string name;
+  eval::MetricSummary hawkes;
+  eval::MetricSummary seismic;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Reproduction of Table 1 (Sec. 5.2): infinite-horizon prediction.\n");
+  std::printf("Hawkes = HWK(6h,1d,4d) with GBDT point predictors; baseline = "
+              "SEISMIC-CF.\n\n");
+
+  eval::ExperimentConfig config;
+  eval::ExperimentData data = eval::PrepareExperiment(config);
+  std::printf("dataset: %zu cascades, %zu train / %zu test examples\n",
+              data.dataset.cascades.size(), data.train.size(), data.test.size());
+
+  core::HawkesPredictorParams hwk_params;
+  hwk_params.reference_horizons = config.examples.reference_horizons;
+  hwk_params.gbdt_count = eval::BenchGbdtParams();
+  hwk_params.gbdt_alpha = eval::BenchGbdtParams();
+  core::HawkesPredictor hwk(hwk_params);
+  hwk.Fit(data.train.x, data.train.log1p_increments, data.train.alpha_targets);
+
+  baselines::SeismicCf seismic;
+
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> truth_all = eval::TrueCounts(data.dataset, data.test, inf);
+
+  std::vector<double> hwk_pred(data.test.size());
+  std::vector<double> seismic_pred(data.test.size());
+  for (size_t i = 0; i < data.test.size(); ++i) {
+    const auto& ref = data.test.refs[i];
+    hwk_pred[i] = ref.n_s + hwk.PredictFinalIncrement(data.test.x.Row(i));
+    const auto times =
+        ViewTimesBefore(data.dataset.cascades[ref.cascade_index], ref.prediction_age);
+    seismic_pred[i] = seismic.PredictFinal(times, ref.prediction_age);
+  }
+
+  // Slices.
+  auto evaluate_slice = [&](const std::string& name, auto&& keep) {
+    SliceResult result;
+    result.name = name;
+    std::vector<double> hp, sp, t;
+    for (size_t i = 0; i < data.test.size(); ++i) {
+      if (!keep(i)) continue;
+      hp.push_back(hwk_pred[i]);
+      sp.push_back(seismic_pred[i]);
+      t.push_back(truth_all[i]);
+    }
+    result.hawkes = eval::ComputeMetrics(hp, t);
+    result.seismic = eval::ComputeMetrics(sp, t);
+    return result;
+  };
+
+  const double kPopularitySplit = 1000.0;  // views, as in the paper
+  const double kAgeSplit = 24 * kHour;
+  std::vector<SliceResult> slices;
+  slices.push_back(evaluate_slice("Overall", [&](size_t) { return true; }));
+  slices.push_back(evaluate_slice(
+      "Low", [&](size_t i) { return truth_all[i] < kPopularitySplit; }));
+  slices.push_back(evaluate_slice(
+      "High", [&](size_t i) { return truth_all[i] >= kPopularitySplit; }));
+  slices.push_back(evaluate_slice("Early", [&](size_t i) {
+    return data.test.refs[i].prediction_age < kAgeSplit;
+  }));
+  slices.push_back(evaluate_slice("Late", [&](size_t i) {
+    return data.test.refs[i].prediction_age >= kAgeSplit;
+  }));
+
+  Table table({"Dataset", "HWK MAPE", "HWK tau", "HWK RMSE", "SEISMIC MAPE",
+               "SEISMIC tau", "SEISMIC RMSE", "n"});
+  for (const auto& s : slices) {
+    table.AddRow({s.name, Table::Num(s.hawkes.median_ape, 3),
+                  Table::Num(s.hawkes.kendall_tau, 3), Table::Sci(s.hawkes.rmse),
+                  Table::Num(s.seismic.median_ape, 3),
+                  Table::Num(s.seismic.kendall_tau, 3), Table::Sci(s.seismic.rmse),
+                  std::to_string(s.hawkes.n)});
+  }
+  table.Print("Table 1: Hawkes vs SEISMIC-CF, infinite horizon");
+  table.WriteCsv("table1.csv");
+
+  // --- RPP on a subset (Sec. 5.2): per-item iterative MLE ---
+  baselines::RppModel rpp;
+  std::vector<double> rpp_pred, rpp_truth;
+  double fit_seconds = 0.0;
+  long long evals = 0;
+  size_t attempted = 0;
+  for (size_t i = 0; i < data.test.size() && rpp_pred.size() < 150; i += 3) {
+    const auto& ref = data.test.refs[i];
+    const auto times =
+        ViewTimesBefore(data.dataset.cascades[ref.cascade_index], ref.prediction_age);
+    if (times.size() < 5) continue;
+    ++attempted;
+    Timer timer;
+    const auto fit = rpp.Fit(times, ref.prediction_age);
+    fit_seconds += timer.ElapsedSeconds();
+    evals += fit.likelihood_evaluations;
+    if (!fit.ok) continue;
+    rpp_pred.push_back(ref.n_s + rpp.PredictIncrement(fit, ref.n_s,
+                                                      ref.prediction_age,
+                                                      std::numeric_limits<double>::infinity()));
+    rpp_truth.push_back(truth_all[i]);
+  }
+  const auto rpp_metrics = eval::ComputeMetrics(rpp_pred, rpp_truth);
+  Table rpp_table({"Model", "MAPE", "tau", "n", "mean fit ms", "mean LL evals"});
+  rpp_table.AddRow({"RPP (subset)", Table::Num(rpp_metrics.median_ape, 3),
+                    Table::Num(rpp_metrics.kendall_tau, 3),
+                    std::to_string(rpp_metrics.n),
+                    Table::Num(fit_seconds / std::max<size_t>(attempted, 1) * 1e3, 3),
+                    Table::Num(static_cast<double>(evals) /
+                                   std::max<size_t>(attempted, 1),
+                               4)});
+  rpp_table.Print("Sec. 5.2: RPP per-item MLE on a subset");
+  rpp_table.WriteCsv("table1_rpp.csv");
+
+  std::printf("Paper shape to check: HWK beats SEISMIC-CF on MAPE and tau in every "
+              "slice;\nRMSE gap largest on Low/Early; RPP MAPE far worse "
+              "(paper: 4.1) with per-item\niterative fitting cost.\n");
+  return 0;
+}

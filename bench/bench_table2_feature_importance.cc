@@ -1,0 +1,87 @@
+// Table 2: cardinality and permutation importance of the feature
+// categories for (a) the cascade-size point predictor f at delta* = 1d and
+// (b) the effective-growth-exponent predictor g.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/table.h"
+#include "core/hawkes_predictor.h"
+#include "eval/experiment.h"
+#include "eval/importance.h"
+
+namespace {
+using namespace horizon;
+}  // namespace
+
+int main() {
+  std::printf("Reproduction of Table 2 (Appendix A.16): feature-category "
+              "importances.\n\n");
+
+  eval::ExperimentConfig config;
+  config.examples.reference_horizons = {1 * kDay};
+  eval::ExperimentData data = eval::PrepareExperiment(config);
+
+  // Train f (count at 1d) and g (log alpha) directly as plain GBDTs so we
+  // can compute permutation importances against their own targets.
+  gbdt::GbdtRegressor f(eval::BenchGbdtParams());
+  f.Fit(data.train.x, data.train.log1p_increments[0]);
+
+  std::vector<double> log_alpha_train(data.train.size());
+  for (size_t i = 0; i < data.train.size(); ++i) {
+    log_alpha_train[i] =
+        std::log(Clamp(data.train.alpha_targets[i], 1e-9, 1.0));
+  }
+  gbdt::GbdtRegressor g(eval::BenchGbdtParams());
+  g.Fit(data.train.x, log_alpha_train);
+
+  // Test-set targets.
+  std::vector<double> log_alpha_test(data.test.size());
+  for (size_t i = 0; i < data.test.size(); ++i) {
+    log_alpha_test[i] = std::log(Clamp(data.test.alpha_targets[i], 1e-9, 1.0));
+  }
+
+  const auto f_importance =
+      eval::PermutationImportance(f, data.test.x, data.test.log1p_increments[0]);
+  const auto g_importance =
+      eval::PermutationImportance(g, data.test.x, log_alpha_test);
+
+  const auto& schema = data.extractor->schema();
+  const auto f_by_cat = eval::AggregateByCategory(schema, f_importance);
+  const auto g_by_cat = eval::AggregateByCategory(schema, g_importance);
+
+  Table table({"Category", "Num features", "Importance f (size at 1d)",
+               "Importance g (alpha)"});
+  for (int c = 0; c < features::kNumFeatureCategories; ++c) {
+    const auto cat = static_cast<features::FeatureCategory>(c);
+    table.AddRow({features::FeatureCategoryName(cat),
+                  std::to_string(schema.CountOf(cat)), Table::Num(f_by_cat[c], 4),
+                  Table::Num(g_by_cat[c], 4)});
+  }
+  table.Print("Table 2: feature category importances (permutation, test set)");
+  table.WriteCsv("table2.csv");
+
+  // Top-10 individual features per model, for inspection.
+  auto print_top = [&](const char* name, const std::vector<double>& importance) {
+    std::vector<size_t> order(importance.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return importance[a] > importance[b]; });
+    Table top({"Rank", "Feature", "Importance"});
+    for (size_t r = 0; r < 10 && r < order.size(); ++r) {
+      top.AddRow({std::to_string(r + 1), schema.def(order[r]).name,
+                  Table::Num(importance[order[r]], 4)});
+    }
+    top.Print(std::string("Top features: ") + name);
+  };
+  print_top("f (cascade size at delta*)", f_importance);
+  print_top("g (effective growth exponent)", g_importance);
+
+  std::printf("Paper shape to check: engagement features dominate both models; "
+              "views-on-post\nlead for f; page features and page-level engagement "
+              "lead for g.\n");
+  return 0;
+}

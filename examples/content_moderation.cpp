@@ -1,0 +1,133 @@
+// Content moderation review-queue prioritization -- the paper's motivating
+// application (Sec. 1).  A stream of flagged posts waits for human review
+// with limited reviewer throughput.  Ordering the queue by predicted
+// views-over-the-next-day concentrates reviews on the items that would
+// otherwise accumulate the most exposure.
+//
+// The example measures "harmful views averted": for the subset of flagged
+// posts that are truly violating, the views that occur after their review
+// deadline are prevented.  We compare FIFO, predicted-virality ordering
+// (the HWK model), and an oracle that knows future view counts.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/hawkes_predictor.h"
+#include "core/trainer.h"
+#include "datagen/generator.h"
+#include "eval/split.h"
+#include "features/extractor.h"
+
+using namespace horizon;
+
+namespace {
+
+struct Flagged {
+  size_t cascade_index;
+  double flag_age;       // content age when flagged
+  bool violating;        // ground truth (known only after review)
+  double priority;       // model score
+  double future_views;   // oracle: views in (flag, flag + 1d)
+};
+
+// Views prevented if a violating item is reviewed (and removed) at
+// `review_age` instead of never.
+double ViewsAverted(const datagen::Cascade& cascade, double review_age) {
+  return static_cast<double>(cascade.TotalViews() -
+                             cascade.ViewsBefore(review_age));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== content moderation queue prioritization ==\n\n");
+
+  datagen::GeneratorConfig gen_config;
+  gen_config.num_pages = 120;
+  gen_config.num_posts = 1200;
+  gen_config.base_mean_size = 150.0;
+  gen_config.seed = 7;
+  const auto dataset = datagen::Generator(gen_config).Generate();
+
+  const features::FeatureExtractor extractor(stream::TrackerConfig{});
+  const eval::Split split = eval::SplitIndices(dataset.cascades.size(), 0.4, 3);
+
+  // Train the predictor on the non-flagged population.
+  core::ExampleSetOptions options;
+  options.reference_horizons = {6 * kHour, 1 * kDay};
+  const auto train = core::BuildExampleSet(dataset, split.train, extractor, options);
+  core::HawkesPredictorParams params;
+  params.reference_horizons = options.reference_horizons;
+  core::HawkesPredictor model(params);
+  model.Fit(train.x, train.log1p_increments, train.alpha_targets);
+
+  // The flagged stream: test cascades get flagged at a random early age;
+  // 30% are truly violating.
+  Rng rng(99);
+  std::vector<Flagged> queue;
+  for (size_t idx : split.test) {
+    const auto& cascade = dataset.cascades[idx];
+    Flagged f;
+    f.cascade_index = idx;
+    f.flag_age = rng.Uniform(1 * kHour, 12 * kHour);
+    f.violating = rng.Bernoulli(0.3);
+    const auto snapshot = extractor.ReplaySnapshot(cascade, f.flag_age);
+    const auto row = extractor.Extract(dataset.PageOf(cascade.post), cascade.post,
+                                       snapshot);
+    const double n_s = static_cast<double>(cascade.ViewsBefore(f.flag_age));
+    // Priority: predicted views over the next day (the "urgency" horizon).
+    f.priority = model.PredictCount(row.data(), n_s, 1 * kDay) - n_s;
+    f.future_views = core::TrueIncrement(cascade, f.flag_age, 1 * kDay);
+    queue.push_back(f);
+  }
+  std::printf("flagged queue: %zu items, %.0f%% violating\n", queue.size(),
+              100.0 * 0.3);
+
+  // Reviewer capacity: each review takes a fixed slot; the k-th reviewed
+  // item is handled at flag_age + k * slot.
+  const double slot = 10 * kMinute;
+
+  auto evaluate_order = [&](const char* name, std::vector<size_t> order) {
+    double averted = 0.0, total_harm = 0.0;
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+      const Flagged& f = queue[order[rank]];
+      const auto& cascade = dataset.cascades[f.cascade_index];
+      if (!f.violating) continue;
+      total_harm += ViewsAverted(cascade, f.flag_age);  // harm if never reviewed
+      const double review_age = f.flag_age + static_cast<double>(rank + 1) * slot;
+      averted += ViewsAverted(cascade, review_age);
+    }
+    std::printf("  %-22s averted %12.0f / %12.0f harmful views (%.1f%%)\n", name,
+                averted, total_harm, 100.0 * averted / total_harm);
+    return averted;
+  };
+
+  std::printf("\nreview throughput: one item per %s\n\n",
+              FormatDuration(slot).c_str());
+
+  std::vector<size_t> fifo(queue.size());
+  std::iota(fifo.begin(), fifo.end(), size_t{0});
+  std::sort(fifo.begin(), fifo.end(), [&](size_t a, size_t b) {
+    return queue[a].flag_age < queue[b].flag_age;
+  });
+
+  std::vector<size_t> by_priority = fifo;
+  std::sort(by_priority.begin(), by_priority.end(), [&](size_t a, size_t b) {
+    return queue[a].priority > queue[b].priority;
+  });
+
+  std::vector<size_t> oracle = fifo;
+  std::sort(oracle.begin(), oracle.end(), [&](size_t a, size_t b) {
+    return queue[a].future_views > queue[b].future_views;
+  });
+
+  const double fifo_averted = evaluate_order("FIFO", fifo);
+  const double model_averted = evaluate_order("HWK-predicted order", by_priority);
+  const double oracle_averted = evaluate_order("oracle order", oracle);
+
+  std::printf("\nmodel captures %.1f%% of the oracle's improvement over FIFO\n",
+              100.0 * (model_averted - fifo_averted) /
+                  std::max(oracle_averted - fifo_averted, 1.0));
+  return 0;
+}

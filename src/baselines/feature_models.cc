@@ -1,0 +1,87 @@
+#include "baselines/feature_models.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace horizon::baselines {
+
+namespace {
+constexpr double kHorizonTolerance = 1e-6;
+}  // namespace
+
+PointBasedModels::PointBasedModels(gbdt::GbdtParams gbdt_params)
+    : gbdt_params_(std::move(gbdt_params)) {}
+
+void PointBasedModels::Fit(const gbdt::DataMatrix& x,
+                           const std::vector<double>& horizons,
+                           const std::vector<std::vector<double>>& log1p_increments) {
+  HORIZON_CHECK_EQ(horizons.size(), log1p_increments.size());
+  HORIZON_CHECK(!horizons.empty());
+  horizons_ = horizons;
+  models_.clear();
+  for (size_t i = 0; i < horizons.size(); ++i) {
+    HORIZON_CHECK_EQ(log1p_increments[i].size(), x.num_rows());
+    models_.emplace_back(gbdt_params_);
+    models_.back().Fit(x, log1p_increments[i]);
+  }
+}
+
+size_t PointBasedModels::IndexOf(double delta) const {
+  for (size_t i = 0; i < horizons_.size(); ++i) {
+    if (std::fabs(horizons_[i] - delta) <= kHorizonTolerance * horizons_[i]) return i;
+  }
+  return horizons_.size();
+}
+
+bool PointBasedModels::SupportsHorizon(double delta) const {
+  return IndexOf(delta) < horizons_.size();
+}
+
+double PointBasedModels::PredictIncrement(const float* row, double delta) const {
+  const size_t i = IndexOf(delta);
+  HORIZON_CHECK_LT(i, horizons_.size());
+  return std::max(std::expm1(models_[i].Predict(row)), 0.0);
+}
+
+HorizonFeatureModel::HorizonFeatureModel(gbdt::GbdtParams gbdt_params)
+    : gbdt_params_(std::move(gbdt_params)), model_(gbdt_params_) {}
+
+void HorizonFeatureModel::Fit(const gbdt::DataMatrix& x,
+                              const std::vector<double>& horizons,
+                              const std::vector<std::vector<double>>& log1p_increments) {
+  HORIZON_CHECK_EQ(horizons.size(), log1p_increments.size());
+  HORIZON_CHECK(!horizons.empty());
+  horizons_ = horizons;
+  base_features_ = x.num_features();
+
+  gbdt::DataMatrix expanded(0, 0);
+  std::vector<double> targets;
+  targets.reserve(x.num_rows() * horizons.size());
+  std::vector<float> row(base_features_ + 2);
+  for (size_t h = 0; h < horizons.size(); ++h) {
+    HORIZON_CHECK_EQ(log1p_increments[h].size(), x.num_rows());
+    for (size_t r = 0; r < x.num_rows(); ++r) {
+      const float* base = x.Row(r);
+      std::copy(base, base + base_features_, row.begin());
+      row[base_features_] = static_cast<float>(horizons[h] / kHour);
+      row[base_features_ + 1] = static_cast<float>(std::log(horizons[h] / kHour));
+      expanded.AppendRow(row);
+      targets.push_back(log1p_increments[h][r]);
+    }
+  }
+  model_ = gbdt::GbdtRegressor(gbdt_params_);
+  model_.Fit(expanded, targets);
+}
+
+double HorizonFeatureModel::PredictIncrement(const float* row, double delta) const {
+  HORIZON_CHECK_GT(delta, 0.0);
+  std::vector<float> full(base_features_ + 2);
+  std::copy(row, row + base_features_, full.begin());
+  full[base_features_] = static_cast<float>(delta / kHour);
+  full[base_features_ + 1] = static_cast<float>(std::log(delta / kHour));
+  return std::max(std::expm1(model_.Predict(full.data())), 0.0);
+}
+
+}  // namespace horizon::baselines

@@ -1,0 +1,69 @@
+// Feature-based baselines of Sec. 5.3:
+//   PB -- point-based models, one GBDT per prediction horizon (strong
+//         upper-bound baseline; cannot answer unseen horizons), and
+//   HF -- a single GBDT with the prediction horizon as an input feature
+//         (trained on examples synthetically expanded across horizons).
+#ifndef HORIZON_BASELINES_FEATURE_MODELS_H_
+#define HORIZON_BASELINES_FEATURE_MODELS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "gbdt/gbdt.h"
+
+namespace horizon::baselines {
+
+/// PB: a family of independently trained per-horizon GBDT regressors on
+/// log1p increments.
+class PointBasedModels {
+ public:
+  explicit PointBasedModels(gbdt::GbdtParams gbdt_params = {});
+
+  /// Fits one model per horizon.  log1p_increments[i] are the targets for
+  /// horizons[i], aligned with rows of x.
+  void Fit(const gbdt::DataMatrix& x, const std::vector<double>& horizons,
+           const std::vector<std::vector<double>>& log1p_increments);
+
+  /// True if a dedicated model exists for `delta` (within tolerance).
+  bool SupportsHorizon(double delta) const;
+
+  /// Predicted increment N(s+delta) - N(s).  `delta` must be supported.
+  double PredictIncrement(const float* row, double delta) const;
+
+  const std::vector<double>& horizons() const { return horizons_; }
+
+ private:
+  size_t IndexOf(double delta) const;
+
+  gbdt::GbdtParams gbdt_params_;
+  std::vector<double> horizons_;
+  std::vector<gbdt::GbdtRegressor> models_;
+};
+
+/// HF: one GBDT over (features, horizon), trained on the cross product of
+/// examples and training horizons.
+class HorizonFeatureModel {
+ public:
+  explicit HorizonFeatureModel(gbdt::GbdtParams gbdt_params = {});
+
+  /// Fits on the expansion: every example row is replicated once per
+  /// training horizon with two appended features (delta in hours, log).
+  void Fit(const gbdt::DataMatrix& x, const std::vector<double>& horizons,
+           const std::vector<std::vector<double>>& log1p_increments);
+
+  /// Predicted increment for ANY horizon (the model extrapolates from its
+  /// training horizons, well or badly -- that is what Fig. 1 probes).
+  double PredictIncrement(const float* row, double delta) const;
+
+  const std::vector<double>& training_horizons() const { return horizons_; }
+
+ private:
+  gbdt::GbdtParams gbdt_params_;
+  std::vector<double> horizons_;
+  gbdt::GbdtRegressor model_;
+  size_t base_features_ = 0;
+};
+
+}  // namespace horizon::baselines
+
+#endif  // HORIZON_BASELINES_FEATURE_MODELS_H_

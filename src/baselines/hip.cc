@@ -1,0 +1,146 @@
+#include "baselines/hip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "pointprocess/kernels.h"
+
+namespace horizon::baselines {
+
+HipModel::HipModel() : HipModel(Options()) {}
+
+HipModel::HipModel(const Options& options) : options_(options) {
+  HORIZON_CHECK_GT(options.bin_width, 0.0);
+  HORIZON_CHECK(!options.theta_grid.empty());
+}
+
+double HipModel::KernelBinMass(int lag, double theta) const {
+  HORIZON_DCHECK(lag >= 0);
+  // Normalized power-law kernel (density) as used by SEISMIC-CF.
+  const double phi0 = 1.0 / (options_.kernel_tau * (1.0 + 1.0 / theta));
+  const pp::PowerLawKernel kernel(phi0, options_.kernel_tau, theta);
+  const double w = options_.bin_width;
+  return kernel.Integral((lag + 1) * w) - kernel.Integral(lag * w);
+}
+
+HipModel::FitResult HipModel::Fit(const std::vector<double>& event_times,
+                                  double s) const {
+  FitResult best;
+  const double w = options_.bin_width;
+  const int num_bins = static_cast<int>(s / w);
+  if (num_bins < 4) return best;
+
+  // Observed counts per bin.
+  std::vector<double> counts(num_bins, 0.0);
+  for (double t : event_times) {
+    if (t >= s) break;
+    const int b = static_cast<int>(t / w);
+    if (b < num_bins) counts[static_cast<size_t>(b)] += 1.0;
+  }
+  double total = 0.0;
+  for (double c : counts) total += c;
+  if (total < 4.0) return best;
+
+  best.loss = std::numeric_limits<double>::infinity();
+  int iterations = 0;
+  for (double theta : options_.theta_grid) {
+    // Design: counts[b] ~ gamma * K0[b] + p * conv[b], where
+    //   K0[b]  = kernel mass of the exogenous pulse in bin b,
+    //   conv[b] = sum_{j < b} counts[j] * K[b - j].
+    std::vector<double> exo(counts.size()), conv(counts.size(), 0.0);
+    std::vector<double> lag_mass(counts.size());
+    for (size_t d = 0; d < counts.size(); ++d) {
+      lag_mass[d] = KernelBinMass(static_cast<int>(d), theta);
+    }
+    for (size_t b = 0; b < counts.size(); ++b) {
+      exo[b] = lag_mass[b];
+      for (size_t j = 0; j < b; ++j) {
+        conv[b] += counts[j] * lag_mass[b - j - 1];  // source at its bin boundary
+      }
+    }
+    // Two-parameter non-negative least squares via normal equations with
+    // projection (one "iteration" of the optimizer per theta).
+    double see = 0.0, scc = 0.0, sec = 0.0, sey = 0.0, scy = 0.0;
+    for (size_t b = 0; b < counts.size(); ++b) {
+      see += exo[b] * exo[b];
+      scc += conv[b] * conv[b];
+      sec += exo[b] * conv[b];
+      sey += exo[b] * counts[b];
+      scy += conv[b] * counts[b];
+    }
+    ++iterations;
+    const double det = see * scc - sec * sec;
+    double gamma = 0.0, p = 0.0;
+    if (det > 1e-12) {
+      gamma = (sey * scc - scy * sec) / det;
+      p = (scy * see - sey * sec) / det;
+    }
+    if (gamma < 0.0) {
+      gamma = 0.0;
+      p = scc > 0.0 ? scy / scc : 0.0;
+    }
+    if (p < 0.0) {
+      p = 0.0;
+      gamma = see > 0.0 ? sey / see : 0.0;
+    }
+    double loss = 0.0;
+    for (size_t b = 0; b < counts.size(); ++b) {
+      const double r = counts[b] - gamma * exo[b] - p * conv[b];
+      loss += r * r;
+    }
+    if (loss < best.loss) {
+      best.gamma = gamma;
+      best.p = p;
+      best.theta = theta;
+      best.loss = loss;
+      best.ok = gamma > 0.0 || p > 0.0;
+    }
+  }
+  best.iterations = iterations;
+  return best;
+}
+
+double HipModel::PredictIncrement(const FitResult& fit,
+                                  const std::vector<double>& event_times, double s,
+                                  double delta) const {
+  if (!fit.ok) return 0.0;
+  HORIZON_CHECK_GE(delta, 0.0);
+  const double w = options_.bin_width;
+  const int observed_bins = static_cast<int>(s / w);
+  const int future_bins =
+      std::isinf(delta)
+          ? 2000
+          : static_cast<int>(std::ceil(delta / w));
+  if (future_bins <= 0 || observed_bins <= 0) return 0.0;
+
+  std::vector<double> counts(static_cast<size_t>(observed_bins + future_bins), 0.0);
+  for (double t : event_times) {
+    if (t >= s) break;
+    const int b = static_cast<int>(t / w);
+    if (b < observed_bins) counts[static_cast<size_t>(b)] += 1.0;
+  }
+  std::vector<double> lag_mass(counts.size());
+  for (size_t d = 0; d < counts.size(); ++d) {
+    lag_mass[d] = KernelBinMass(static_cast<int>(d), fit.theta);
+  }
+  const double p = std::min(fit.p, options_.max_branching);
+
+  double increment = 0.0;
+  for (size_t b = static_cast<size_t>(observed_bins); b < counts.size(); ++b) {
+    double expected = fit.gamma * lag_mass[b];
+    for (size_t j = 0; j < b; ++j) {
+      expected += p * counts[j] * lag_mass[b - j - 1];
+    }
+    counts[b] = expected;
+    increment += expected;
+    if (std::isinf(delta) && expected < 1e-6 && b > static_cast<size_t>(observed_bins) + 10) {
+      break;  // contribution has died out
+    }
+  }
+  return increment;
+}
+
+}  // namespace horizon::baselines

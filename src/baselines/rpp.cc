@@ -1,0 +1,125 @@
+#include "baselines/rpp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace horizon::baselines {
+
+RppModel::RppModel() : RppModel(FitOptions()) {}
+
+RppModel::RppModel(const FitOptions& options) : options_(options) {
+  HORIZON_CHECK_GT(options.n0, 0.0);
+  HORIZON_CHECK_GE(options.coarse_mu_steps, 2);
+  HORIZON_CHECK_GE(options.coarse_sigma_steps, 2);
+}
+
+double RppModel::ProfileLogLikelihood(const std::vector<double>& times, double s,
+                                      double mu_log, double sigma_log,
+                                      double* p_hat) const {
+  const double n0 = options_.n0;
+  const size_t n = times.size();
+  // I = sum_{i=0..n} (i + n0) (F(t_{i+1}) - F(t_i)), t_0 = 0, t_{n+1} = s.
+  double integral = 0.0;
+  double f_prev = 0.0;  // F(0) = 0
+  double log_density_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double f_i = pp::LogNormalCdf(times[i], mu_log, sigma_log);
+    integral += (static_cast<double>(i) + n0) * (f_i - f_prev);
+    f_prev = f_i;
+    const double pdf = pp::LogNormalPdf(times[i], mu_log, sigma_log);
+    log_density_sum += std::log(std::max(pdf, 1e-300)) +
+                       std::log(static_cast<double>(i) + n0);
+  }
+  integral +=
+      (static_cast<double>(n) + n0) * (pp::LogNormalCdf(s, mu_log, sigma_log) - f_prev);
+  if (integral <= 0.0) {
+    *p_hat = 0.0;
+    return -std::numeric_limits<double>::infinity();
+  }
+  const double p = static_cast<double>(n) / integral;
+  *p_hat = p;
+  // LL = sum log(p f (i-1+n0)) - p I  with p = n / I:
+  return static_cast<double>(n) * std::log(p) + log_density_sum -
+         static_cast<double>(n);
+}
+
+RppModel::FitResult RppModel::Fit(const std::vector<double>& event_times,
+                                  double s) const {
+  FitResult result;
+  std::vector<double> times;
+  for (double t : event_times) {
+    if (t >= s) break;
+    if (t > 0.0) times.push_back(t);
+  }
+  if (times.size() < 3) return result;
+
+  double best_ll = -std::numeric_limits<double>::infinity();
+  double best_mu = 0.0, best_sigma = 1.0, best_p = 0.0;
+  int evals = 0;
+
+  auto evaluate_grid = [&](double mu_lo, double mu_hi, double sig_lo, double sig_hi,
+                           int mu_steps, int sig_steps) {
+    for (int i = 0; i < mu_steps; ++i) {
+      const double mu =
+          mu_lo + (mu_hi - mu_lo) * static_cast<double>(i) / (mu_steps - 1);
+      for (int j = 0; j < sig_steps; ++j) {
+        const double sigma =
+            sig_lo + (sig_hi - sig_lo) * static_cast<double>(j) / (sig_steps - 1);
+        double p = 0.0;
+        const double ll = ProfileLogLikelihood(times, s, mu, sigma, &p);
+        ++evals;
+        if (ll > best_ll) {
+          best_ll = ll;
+          best_mu = mu;
+          best_sigma = sigma;
+          best_p = p;
+        }
+      }
+    }
+  };
+
+  double mu_lo = std::log(options_.mu_time_min);
+  double mu_hi = std::log(options_.mu_time_max);
+  double sig_lo = options_.sigma_min;
+  double sig_hi = options_.sigma_max;
+  evaluate_grid(mu_lo, mu_hi, sig_lo, sig_hi, options_.coarse_mu_steps,
+                options_.coarse_sigma_steps);
+
+  // Shrinking local refinement around the incumbent.
+  double mu_span = (mu_hi - mu_lo) / options_.coarse_mu_steps;
+  double sig_span = (sig_hi - sig_lo) / options_.coarse_sigma_steps;
+  for (int round = 0; round < options_.refine_rounds; ++round) {
+    evaluate_grid(best_mu - mu_span, best_mu + mu_span,
+                  std::max(0.05, best_sigma - sig_span), best_sigma + sig_span, 5, 5);
+    mu_span *= 0.4;
+    sig_span *= 0.4;
+  }
+
+  result.params.p = best_p;
+  result.params.mu_log = best_mu;
+  result.params.sigma_log = best_sigma;
+  result.params.n0 = options_.n0;
+  result.log_likelihood = best_ll;
+  result.likelihood_evaluations = evals;
+  result.ok = best_p > 0.0 && std::isfinite(best_ll);
+  return result;
+}
+
+double RppModel::PredictIncrement(const FitResult& fit, double n_s, double s,
+                                  double delta) const {
+  if (!fit.ok) return 0.0;
+  HORIZON_CHECK_GE(delta, 0.0);
+  const auto& q = fit.params;
+  const double f_s = pp::LogNormalCdf(s, q.mu_log, q.sigma_log);
+  const double f_t =
+      std::isinf(delta) ? 1.0 : pp::LogNormalCdf(s + delta, q.mu_log, q.sigma_log);
+  // Cap the exponent: supercritical fits (p (1 - F(s)) large) explode.
+  const double exponent = Clamp(q.p * (f_t - f_s), 0.0, 30.0);
+  return (n_s + q.n0) * std::expm1(exponent);
+}
+
+}  // namespace horizon::baselines

@@ -1,0 +1,64 @@
+// Reinforced Poisson Process baseline [40]: per-content-item maximum
+// likelihood fit of (p, mu, sigma) of the lognormal relaxation function,
+// via an iterative profile-likelihood search.  Cost per item is
+// O(iterations * N(s)) -- the expensive per-item fitting the paper
+// contrasts with feature-based prediction (Sec. 4, Sec. 5.2).
+#ifndef HORIZON_BASELINES_RPP_H_
+#define HORIZON_BASELINES_RPP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pointprocess/rpp_process.h"
+
+namespace horizon::baselines {
+
+/// MLE fitter + predictor for the RPP model.
+class RppModel {
+ public:
+  struct FitOptions {
+    double n0 = 1.0;          ///< reinforcement offset
+    int coarse_mu_steps = 12; ///< coarse grid resolution (log-time)
+    int coarse_sigma_steps = 8;
+    int refine_rounds = 4;    ///< local grid-shrink refinement rounds
+    double mu_time_min = 60.0;        ///< seconds
+    double mu_time_max = 30 * 86400.0;
+    double sigma_min = 0.3;
+    double sigma_max = 3.0;
+  };
+
+  struct FitResult {
+    pp::RppParams params;
+    double log_likelihood = 0.0;
+    int likelihood_evaluations = 0;  ///< "M": iterations of the optimizer
+    bool ok = false;                 ///< false when too few events
+  };
+
+  RppModel();
+  explicit RppModel(const FitOptions& options);
+
+  /// Fits the model to the events observed before time s (ascending
+  /// times).  Needs at least 3 observed events.
+  FitResult Fit(const std::vector<double>& event_times, double s) const;
+
+  /// Predicted increment N(s+delta) - N(s) under fitted parameters
+  /// (delta may be +inf).  The exponent p (F(t) - F(s)) is capped to keep
+  /// supercritical fits finite (the model has a finite-time explosion when
+  /// p > 1; the cap mirrors the clipping used in practice).
+  double PredictIncrement(const FitResult& fit, double n_s, double s,
+                          double delta) const;
+
+  const FitOptions& options() const { return options_; }
+
+ private:
+  /// Profile log-likelihood at (mu, sigma) with p profiled out; also
+  /// returns the profiled p.
+  double ProfileLogLikelihood(const std::vector<double>& times, double s,
+                              double mu_log, double sigma_log, double* p_hat) const;
+
+  FitOptions options_;
+};
+
+}  // namespace horizon::baselines
+
+#endif  // HORIZON_BASELINES_RPP_H_

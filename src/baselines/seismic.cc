@@ -1,0 +1,125 @@
+#include "baselines/seismic.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace horizon::baselines {
+
+namespace {
+
+// phi0 such that the power-law kernel integrates to 1:
+// Phi(inf) = phi0 tau (1 + 1/theta) = 1.
+double NormalizingPhi0(double tau, double theta) {
+  return 1.0 / (tau * (1.0 + 1.0 / theta));
+}
+
+}  // namespace
+
+SeismicCf::SeismicCf() : SeismicCf(Params()) {}
+
+SeismicCf::SeismicCf(const Params& params)
+    : params_(params),
+      kernel_(NormalizingPhi0(params.tau, params.theta), params.tau, params.theta) {
+  HORIZON_CHECK_GT(params.degree, 0.0);
+  HORIZON_CHECK(params.max_branching > 0.0 && params.max_branching < 1.0);
+}
+
+double SeismicCf::EstimateInfectiousness(const std::vector<double>& event_times,
+                                         double s) const {
+  double denom = 0.0;
+  size_t n = 0;
+  for (double t : event_times) {
+    if (t >= s) break;
+    denom += params_.degree * kernel_.Integral(s - t);
+    ++n;
+  }
+  if (n == 0 || denom <= 0.0) return 0.0;
+  return static_cast<double>(n) / denom;
+}
+
+double SeismicCf::PredictIncrement(const std::vector<double>& event_times, double s,
+                                   double delta) const {
+  HORIZON_CHECK_GE(delta, 0.0);
+  const double p = EstimateInfectiousness(event_times, s);
+  if (p <= 0.0 || delta == 0.0) return 0.0;
+  // First-generation expected views triggered by observed events in
+  // (s, s+delta]: Lambda(s, s+delta).
+  double first_gen = 0.0;
+  for (double t : event_times) {
+    if (t >= s) break;
+    const double upper = std::isinf(delta) ? 1.0 : kernel_.Integral(s + delta - t);
+    first_gen += params_.degree * (upper - kernel_.Integral(s - t));
+  }
+  first_gen *= p;
+  // Geometric closure over subsequent generations with branching factor
+  // mu = p d (capped): remaining = Lambda / (1 - mu), cf. Prop. 3.1.
+  const double mu = Clamp(p * params_.degree, 0.0, params_.max_branching);
+  return first_gen / (1.0 - mu);
+}
+
+double SeismicCf::PredictFinal(const std::vector<double>& event_times, double s) const {
+  double n_s = 0.0;
+  for (double t : event_times) {
+    if (t >= s) break;
+    n_s += 1.0;
+  }
+  return n_s + PredictIncrement(event_times, s,
+                                std::numeric_limits<double>::infinity());
+}
+
+double SeismicCf::EstimateInfectiousnessWithDegrees(
+    const std::vector<double>& event_times, const std::vector<double>& degrees,
+    double s) const {
+  HORIZON_CHECK_EQ(event_times.size(), degrees.size());
+  double denom = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < event_times.size(); ++i) {
+    if (event_times[i] >= s) break;
+    HORIZON_DCHECK(degrees[i] >= 0.0);
+    denom += degrees[i] * kernel_.Integral(s - event_times[i]);
+    ++n;
+  }
+  if (n == 0 || denom <= 0.0) return 0.0;
+  return static_cast<double>(n) / denom;
+}
+
+double SeismicCf::PredictIncrementWithDegrees(const std::vector<double>& event_times,
+                                              const std::vector<double>& degrees,
+                                              double s, double delta) const {
+  HORIZON_CHECK_GE(delta, 0.0);
+  const double p = EstimateInfectiousnessWithDegrees(event_times, degrees, s);
+  if (p <= 0.0 || delta == 0.0) return 0.0;
+  double first_gen = 0.0;
+  double degree_sum = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < event_times.size(); ++i) {
+    if (event_times[i] >= s) break;
+    const double upper =
+        std::isinf(delta) ? 1.0 : kernel_.Integral(s + delta - event_times[i]);
+    first_gen += degrees[i] * (upper - kernel_.Integral(s - event_times[i]));
+    degree_sum += degrees[i];
+    ++n;
+  }
+  first_gen *= p;
+  // Subsequent generations branch with the mean observed degree.
+  const double mean_degree = n > 0 ? degree_sum / static_cast<double>(n) : 0.0;
+  const double mu = Clamp(p * mean_degree, 0.0, params_.max_branching);
+  return first_gen / (1.0 - mu);
+}
+
+double SeismicCf::PredictFinalWithDegrees(const std::vector<double>& event_times,
+                                          const std::vector<double>& degrees,
+                                          double s) const {
+  double n_s = 0.0;
+  for (double t : event_times) {
+    if (t >= s) break;
+    n_s += 1.0;
+  }
+  return n_s + PredictIncrementWithDegrees(event_times, degrees, s,
+                                           std::numeric_limits<double>::infinity());
+}
+
+}  // namespace horizon::baselines

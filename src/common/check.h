@@ -1,0 +1,44 @@
+// Lightweight CHECK macros in the spirit of glog, used for contract
+// enforcement throughout the library.  The project does not use C++
+// exceptions; violated preconditions abort with a diagnostic.
+#ifndef HORIZON_COMMON_CHECK_H_
+#define HORIZON_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace horizon::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace horizon::internal_check
+
+/// Aborts the process with a diagnostic when `cond` is false.
+#define HORIZON_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::horizon::internal_check::CheckFailed(__FILE__, __LINE__, #cond);  \
+    }                                                                     \
+  } while (false)
+
+#define HORIZON_CHECK_EQ(a, b) HORIZON_CHECK((a) == (b))
+#define HORIZON_CHECK_NE(a, b) HORIZON_CHECK((a) != (b))
+#define HORIZON_CHECK_LT(a, b) HORIZON_CHECK((a) < (b))
+#define HORIZON_CHECK_LE(a, b) HORIZON_CHECK((a) <= (b))
+#define HORIZON_CHECK_GT(a, b) HORIZON_CHECK((a) > (b))
+#define HORIZON_CHECK_GE(a, b) HORIZON_CHECK((a) >= (b))
+
+/// Debug-only variant; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define HORIZON_DCHECK(cond) \
+  do {                       \
+  } while (false)
+#else
+#define HORIZON_DCHECK(cond) HORIZON_CHECK(cond)
+#endif
+
+#endif  // HORIZON_COMMON_CHECK_H_

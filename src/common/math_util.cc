@@ -1,0 +1,106 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace horizon {
+
+double Log1mExp(double x) {
+  HORIZON_DCHECK(x >= 0.0);
+  if (x <= 0.0) return -std::numeric_limits<double>::infinity();
+  // Maechler: for x <= log 2 use log(-expm1(-x)), else log1p(-exp(-x)).
+  constexpr double kLog2 = 0.6931471805599453;
+  if (x <= kLog2) return std::log(-std::expm1(-x));
+  return std::log1p(-std::exp(-x));
+}
+
+double LogAddExp(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double m = std::max(a, b);
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+void RunningStats::Add(double v) {
+  if (n_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (v - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  HORIZON_DCHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Median(std::vector<double> values) { return Quantile(std::move(values), 0.5); }
+
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y) {
+  HORIZON_CHECK_EQ(x.size(), y.size());
+  LinearFit fit;
+  const size_t n = x.size();
+  if (n < 2) return fit;
+  KahanSum sx, sy;
+  for (size_t i = 0; i < n; ++i) {
+    sx.Add(x[i]);
+    sy.Add(y[i]);
+  }
+  const double mx = sx.value() / static_cast<double>(n);
+  const double my = sy.value() / static_cast<double>(n);
+  KahanSum sxx, sxy, syy;
+  for (size_t i = 0; i < n; ++i) {
+    sxx.Add((x[i] - mx) * (x[i] - mx));
+    sxy.Add((x[i] - mx) * (y[i] - my));
+    syy.Add((y[i] - my) * (y[i] - my));
+  }
+  if (sxx.value() <= 0.0) return fit;
+  fit.slope = sxy.value() / sxx.value();
+  fit.intercept = my - fit.slope * mx;
+  if (syy.value() > 0.0) {
+    fit.r2 = (sxy.value() * sxy.value()) / (sxx.value() * syy.value());
+  }
+  return fit;
+}
+
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y) {
+  HORIZON_CHECK_EQ(x.size(), y.size());
+  const size_t n = x.size();
+  if (n < 2) return std::numeric_limits<double>::quiet_NaN();
+  RunningStats sx, sy;
+  for (size_t i = 0; i < n; ++i) {
+    sx.Add(x[i]);
+    sy.Add(y[i]);
+  }
+  KahanSum cov;
+  for (size_t i = 0; i < n; ++i) {
+    cov.Add((x[i] - sx.mean()) * (y[i] - sy.mean()));
+  }
+  const double denom = sx.stddev() * sy.stddev() * static_cast<double>(n - 1);
+  if (denom <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return cov.value() / denom;
+}
+
+}  // namespace horizon

@@ -1,0 +1,80 @@
+// Small numeric helpers shared across the library.
+#ifndef HORIZON_COMMON_MATH_UTIL_H_
+#define HORIZON_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace horizon {
+
+/// Numerically stable log(1 - exp(-x)) for x > 0.
+/// Uses the Maechler (2012) switch point.
+double Log1mExp(double x);
+
+/// Numerically stable log(exp(a) + exp(b)).
+double LogAddExp(double a, double b);
+
+/// Clamps v into [lo, hi].
+inline double Clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Kahan compensated summation accumulator.
+class KahanSum {
+ public:
+  void Add(double v) {
+    const double y = v - c_;
+    const double t = sum_ + y;
+    c_ = (t - sum_) - y;
+    sum_ = t;
+  }
+  double value() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double c_ = 0.0;
+};
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void Add(double v);
+  size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than 2 samples).
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` by linear interpolation
+/// between order statistics (type-7, the numpy default).  `values` is copied;
+/// an empty input returns NaN.
+double Quantile(std::vector<double> values, double q);
+
+/// Median shortcut for Quantile(values, 0.5).
+double Median(std::vector<double> values);
+
+/// Ordinary least squares fit y = a + b x.  Returns {intercept, slope, r2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Pearson correlation of two equally-sized vectors (NaN if degenerate).
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace horizon
+
+#endif  // HORIZON_COMMON_MATH_UTIL_H_

@@ -1,0 +1,165 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace horizon {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+  // Avoid the all-zero state (probability ~0 but cheap to rule out).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  HORIZON_DCHECK(lo <= hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  HORIZON_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = max() - max() % n;
+  uint64_t v = Next();
+  while (v >= limit) v = Next();
+  return v % n;
+}
+
+double Rng::Normal() {
+  // Marsaglia polar method.
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+double Rng::Normal(double mean, double sigma) {
+  HORIZON_DCHECK(sigma >= 0.0);
+  return mean + sigma * Normal();
+}
+
+double Rng::Exponential(double rate) {
+  HORIZON_DCHECK(rate > 0.0);
+  // -log(1 - U) with U in [0,1) avoids log(0).
+  return -std::log1p(-Uniform()) / rate;
+}
+
+double Rng::LogNormal(double mu_log, double sigma_log) {
+  return std::exp(Normal(mu_log, sigma_log));
+}
+
+uint64_t Rng::Poisson(double mean) {
+  HORIZON_DCHECK(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplication method.
+    const double l = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= Uniform();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for the large
+  // means used in workload generation (error < 1e-2 relative).
+  const double x = Normal(mean, std::sqrt(mean));
+  return x <= 0.0 ? 0 : static_cast<uint64_t>(x + 0.5);
+}
+
+double Rng::Gamma(double shape, double scale) {
+  HORIZON_DCHECK(shape > 0.0);
+  HORIZON_DCHECK(scale > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape >= 1 (Marsaglia-Tsang trick).
+    const double u = Uniform();
+    return Gamma(shape + 1.0, scale) * std::pow(u <= 0.0 ? 1e-300 : u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = Normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = Uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+double Rng::Beta(double a, double b) {
+  const double x = Gamma(a, 1.0);
+  const double y = Gamma(b, 1.0);
+  return x / (x + y);
+}
+
+double Rng::Pareto(double xm, double alpha) {
+  HORIZON_DCHECK(xm > 0.0);
+  HORIZON_DCHECK(alpha > 0.0);
+  double u = Uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return xm * std::pow(u, -1.0 / alpha);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    HORIZON_DCHECK(w >= 0.0);
+    total += w;
+  }
+  HORIZON_CHECK_GT(total, 0.0);
+  double r = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace horizon

@@ -1,0 +1,86 @@
+// Deterministic, fast random number generation for simulation and training.
+//
+// The library does not use std::mt19937 directly because experiment
+// reproducibility across standard-library versions matters: distribution
+// implementations (std::normal_distribution etc.) are not portable.  We ship
+// xoshiro256++ plus hand-rolled samplers so every experiment is bit-stable.
+#ifndef HORIZON_COMMON_RNG_H_
+#define HORIZON_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace horizon {
+
+/// xoshiro256++ pseudo-random generator (Blackman & Vigna).
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can also be plugged
+/// into <random> utilities when convenient.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator with SplitMix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).  Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via the polar (Marsaglia) method.
+  double Normal();
+
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  double Normal(double mean, double sigma);
+
+  /// Exponential with the given rate (rate > 0).
+  double Exponential(double rate);
+
+  /// Lognormal: exp(Normal(mu_log, sigma_log)).
+  double LogNormal(double mu_log, double sigma_log);
+
+  /// Poisson with the given mean (>= 0); Knuth for small means,
+  /// PTRS rejection for large ones.
+  uint64_t Poisson(double mean);
+
+  /// Gamma(shape, scale) via Marsaglia-Tsang squeeze.  shape > 0, scale > 0.
+  double Gamma(double shape, double scale);
+
+  /// Beta(a, b) via two Gamma draws.  a > 0, b > 0.
+  double Beta(double a, double b);
+
+  /// Pareto (Lomax-style, minimum xm > 0, tail index alpha > 0):
+  /// xm * U^{-1/alpha}.
+  double Pareto(double xm, double alpha);
+
+  /// Bernoulli(p): true with probability p.
+  bool Bernoulli(double p);
+
+  /// Samples an index from unnormalized non-negative weights.
+  /// Requires a strictly positive total weight.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Forks an independently-seeded generator; useful for giving each
+  /// simulated entity its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace horizon
+
+#endif  // HORIZON_COMMON_RNG_H_

@@ -1,0 +1,89 @@
+#include "common/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace horizon {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  HORIZON_CHECK(!header_.empty());
+}
+
+std::string Table::Num(double v, int digits) {
+  if (std::isnan(v)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  return buf;
+}
+
+std::string Table::Sci(double v, int digits) {
+  if (std::isnan(v)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", digits - 1, v);
+  return buf;
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  HORIZON_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::Print(const std::string& title) const {
+  if (!title.empty()) std::printf("== %s ==\n", title.c_str());
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(widths[c]), row[c].c_str(),
+                  c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  print_row(header_);
+  size_t total = header_.size() - 1;
+  for (size_t w : widths) total += w + 1;
+  for (size_t i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+bool Table::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << CsvEscape(row[c]);
+      if (c + 1 != row.size()) out << ",";
+    }
+    out << "\n";
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  return static_cast<bool>(out);
+}
+
+}  // namespace horizon

@@ -1,0 +1,48 @@
+// Tabular result reporting: aligned console output plus optional CSV dump.
+// Every bench binary prints its table/series through this helper so the
+// output format matches across experiments.
+#ifndef HORIZON_COMMON_TABLE_H_
+#define HORIZON_COMMON_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace horizon {
+
+/// A simple table of string cells with a header row.
+///
+/// Usage:
+///   Table t({"Horizon", "MAPE", "Tau"});
+///   t.AddRow({"6h", Table::Num(0.42), Table::Num(0.81)});
+///   t.Print();             // aligned console output
+///   t.WriteCsv("fig1.csv") // optional machine-readable dump
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Formats a double with `digits` significant digits.
+  static std::string Num(double v, int digits = 4);
+  /// Formats a double in scientific notation with `digits` digits, as used
+  /// for the RMSE column of Table 1 in the paper (e.g. "2.0e6").
+  static std::string Sci(double v, int digits = 2);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Prints the table with aligned columns to stdout, with an optional title.
+  void Print(const std::string& title = "") const;
+
+  /// Writes the table as CSV.  Returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace horizon
+
+#endif  // HORIZON_COMMON_TABLE_H_

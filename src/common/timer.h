@@ -1,0 +1,32 @@
+// Monotonic wall-clock timer used by the computation-cost experiments.
+#ifndef HORIZON_COMMON_TIMER_H_
+#define HORIZON_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace horizon {
+
+/// Wall-clock stopwatch with nanosecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace horizon
+
+#endif  // HORIZON_COMMON_TIMER_H_

@@ -1,0 +1,31 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace horizon {
+
+namespace {
+
+bool IsMultiple(double seconds, double unit) {
+  const double k = seconds / unit;
+  return k >= 1.0 && std::fabs(k - std::round(k)) < 1e-9;
+}
+
+}  // namespace
+
+std::string FormatDuration(double seconds) {
+  char buf[32];
+  if (IsMultiple(seconds, kDay)) {
+    std::snprintf(buf, sizeof(buf), "%gd", seconds / kDay);
+  } else if (IsMultiple(seconds, kHour)) {
+    std::snprintf(buf, sizeof(buf), "%gh", seconds / kHour);
+  } else if (IsMultiple(seconds, kMinute)) {
+    std::snprintf(buf, sizeof(buf), "%gm", seconds / kMinute);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%gs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace horizon

@@ -1,0 +1,22 @@
+// Time unit constants.  The library measures time in seconds.
+#ifndef HORIZON_COMMON_UNITS_H_
+#define HORIZON_COMMON_UNITS_H_
+
+#include <string>
+
+namespace horizon {
+
+inline constexpr double kSecond = 1.0;
+inline constexpr double kMinute = 60.0;
+inline constexpr double kHour = 3600.0;
+inline constexpr double kDay = 24.0 * kHour;
+inline constexpr double kWeek = 7.0 * kDay;
+
+/// Formats a duration as a compact label ("6h", "1d", "30m").
+/// Exact multiples of days/hours/minutes get the matching suffix; other
+/// values fall back to seconds.
+std::string FormatDuration(double seconds);
+
+}  // namespace horizon
+
+#endif  // HORIZON_COMMON_UNITS_H_

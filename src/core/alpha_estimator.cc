@@ -1,0 +1,68 @@
+#include "core/alpha_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace horizon::core {
+
+const char* AlphaEstimatorKindName(AlphaEstimatorKind kind) {
+  switch (kind) {
+    case AlphaEstimatorKind::kMeanValue: return "mean";
+    case AlphaEstimatorKind::kQuantileValue: return "quantile";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// First index with time > start (times sorted ascending).
+size_t FirstAfter(const std::vector<double>& times, double start) {
+  return static_cast<size_t>(
+      std::upper_bound(times.begin(), times.end(), start) - times.begin());
+}
+
+}  // namespace
+
+double MeanAlphaEstimate(const std::vector<double>& event_times,
+                         const AlphaEstimatorOptions& options) {
+  const size_t begin = FirstAfter(event_times, options.start_time);
+  const size_t n = event_times.size() - begin;
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t i = begin; i < event_times.size(); ++i) {
+    sum += event_times[i] - options.start_time;
+  }
+  if (sum <= 0.0) return 0.0;
+  return static_cast<double>(n) / sum;
+}
+
+double QuantileAlphaEstimate(const std::vector<double>& event_times,
+                             const AlphaEstimatorOptions& options) {
+  HORIZON_CHECK(options.gamma > 0.0 && options.gamma < 1.0);
+  const size_t begin = FirstAfter(event_times, options.start_time);
+  const size_t n = event_times.size() - begin;
+  if (n == 0) return 0.0;
+  // T_gamma = inf{t : N(t) >= gamma N(inf)}: the ceil(gamma n)-th event.
+  const size_t k = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(options.gamma * static_cast<double>(n))));
+  const double t_gamma = event_times[begin + k - 1] - options.start_time;
+  if (t_gamma <= 0.0) return 0.0;
+  const double c_gamma =
+      options.include_log_factor ? std::log(1.0 / (1.0 - options.gamma)) : 1.0;
+  return c_gamma / t_gamma;
+}
+
+double EstimateAlpha(AlphaEstimatorKind kind, const std::vector<double>& event_times,
+                     const AlphaEstimatorOptions& options) {
+  switch (kind) {
+    case AlphaEstimatorKind::kMeanValue:
+      return MeanAlphaEstimate(event_times, options);
+    case AlphaEstimatorKind::kQuantileValue:
+      return QuantileAlphaEstimate(event_times, options);
+  }
+  return 0.0;
+}
+
+}  // namespace horizon::core

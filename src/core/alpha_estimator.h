@@ -1,0 +1,51 @@
+// Estimators of the effective growth exponent alpha = beta (1 - rho1)
+// (Sec. 3.2.4): the mean-value estimator (reciprocal of the mean point
+// time) and the quantile-value estimator (reciprocal of the gamma-quantile
+// point time).
+#ifndef HORIZON_CORE_ALPHA_ESTIMATOR_H_
+#define HORIZON_CORE_ALPHA_ESTIMATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace horizon::core {
+
+/// Which estimator of alpha is used to build training targets for g.
+enum class AlphaEstimatorKind {
+  kMeanValue,
+  kQuantileValue,
+};
+const char* AlphaEstimatorKindName(AlphaEstimatorKind kind);
+
+/// Options shared by the estimators.
+struct AlphaEstimatorOptions {
+  /// Only events with time > start_time are used, measured relative to
+  /// start_time (the paper's "start time = 1h" variant in Fig. 6).
+  double start_time = 0.0;
+  /// Quantile estimator: the gamma of T_gamma (1/2 = median estimator).
+  double gamma = 0.5;
+  /// Quantile estimator: when true, multiply by c_gamma = log(1/(1-gamma))
+  /// per Eq. (6); the paper's definition (alpha_hat = 1/T_gamma) omits it.
+  bool include_log_factor = false;
+};
+
+/// Mean-value estimator: alpha_hat = n / sum_i (T_i - start_time) over the
+/// n events after start_time, i.e. the reciprocal of the mean point time.
+/// Returns 0 when no usable events exist.
+double MeanAlphaEstimate(const std::vector<double>& event_times,
+                         const AlphaEstimatorOptions& options = {});
+
+/// Quantile-value estimator: alpha_hat = (c_gamma) / T_gamma, with T_gamma
+/// the time (relative to start_time) at which a gamma fraction of the
+/// remaining events is reached.  Returns 0 when no usable events exist or
+/// T_gamma == 0.
+double QuantileAlphaEstimate(const std::vector<double>& event_times,
+                             const AlphaEstimatorOptions& options = {});
+
+/// Dispatches on `kind`.
+double EstimateAlpha(AlphaEstimatorKind kind, const std::vector<double>& event_times,
+                     const AlphaEstimatorOptions& options = {});
+
+}  // namespace horizon::core
+
+#endif  // HORIZON_CORE_ALPHA_ESTIMATOR_H_

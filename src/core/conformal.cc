@@ -1,0 +1,86 @@
+#include "core/conformal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace horizon::core {
+
+ConformalCalibrator::ConformalCalibrator() : ConformalCalibrator(Options()) {}
+
+ConformalCalibrator::ConformalCalibrator(const Options& options)
+    : options_(options) {
+  HORIZON_CHECK(!options_.horizon_bucket_edges.empty());
+  for (size_t i = 1; i < options_.horizon_bucket_edges.size(); ++i) {
+    HORIZON_CHECK_GT(options_.horizon_bucket_edges[i],
+                     options_.horizon_bucket_edges[i - 1]);
+  }
+  bucket_residuals_.resize(options_.horizon_bucket_edges.size());
+}
+
+void ConformalCalibrator::Calibrate(const std::vector<double>& predicted_increments,
+                                    const std::vector<double>& true_increments,
+                                    const std::vector<double>& horizons) {
+  HORIZON_CHECK_EQ(predicted_increments.size(), true_increments.size());
+  HORIZON_CHECK_EQ(predicted_increments.size(), horizons.size());
+  HORIZON_CHECK_GT(predicted_increments.size(), 0u);
+
+  for (auto& bucket : bucket_residuals_) bucket.clear();
+  pooled_.clear();
+
+  const auto& edges = options_.horizon_bucket_edges;
+  for (size_t i = 0; i < predicted_increments.size(); ++i) {
+    const double r = std::log1p(std::max(true_increments[i], 0.0)) -
+                     std::log1p(std::max(predicted_increments[i], 0.0));
+    const size_t bucket = static_cast<size_t>(
+        std::upper_bound(edges.begin(), edges.end(), horizons[i]) - edges.begin());
+    bucket_residuals_[std::min(bucket, edges.size() - 1)].push_back(r);
+    pooled_.push_back(r);
+  }
+  for (auto& bucket : bucket_residuals_) std::sort(bucket.begin(), bucket.end());
+  std::sort(pooled_.begin(), pooled_.end());
+}
+
+const std::vector<double>& ConformalCalibrator::ResidualsFor(double horizon) const {
+  const auto& edges = options_.horizon_bucket_edges;
+  const size_t bucket = std::min(
+      static_cast<size_t>(std::upper_bound(edges.begin(), edges.end(), horizon) -
+                          edges.begin()),
+      edges.size() - 1);
+  const auto& residuals = bucket_residuals_[bucket];
+  return residuals.size() >= options_.min_bucket_size ? residuals : pooled_;
+}
+
+size_t ConformalCalibrator::BucketSize(double horizon) const {
+  return ResidualsFor(horizon).size();
+}
+
+PredictionInterval ConformalCalibrator::IntervalFor(double predicted_increment,
+                                                    double horizon,
+                                                    double miscoverage) const {
+  HORIZON_CHECK(calibrated());
+  HORIZON_CHECK(miscoverage > 0.0 && miscoverage < 1.0);
+  const std::vector<double>& residuals = ResidualsFor(horizon);
+  const auto n = static_cast<double>(residuals.size());
+
+  // Conformal rank adjustment: the (1 - a)-quantile uses rank
+  // ceil((n + 1)(1 - a)), clamped to the sample.
+  auto adjusted_quantile = [&](double level) {
+    const double rank = std::ceil((n + 1.0) * level);
+    const size_t idx = static_cast<size_t>(
+        Clamp(rank - 1.0, 0.0, n - 1.0));
+    return residuals[idx];
+  };
+  const double r_lo = adjusted_quantile(miscoverage / 2.0);
+  const double r_hi = adjusted_quantile(1.0 - miscoverage / 2.0);
+
+  const double center = std::log1p(std::max(predicted_increment, 0.0));
+  PredictionInterval interval;
+  interval.lo = std::max(std::expm1(center + r_lo), 0.0);
+  interval.hi = std::max(std::expm1(center + r_hi), 0.0);
+  return interval;
+}
+
+}  // namespace horizon::core

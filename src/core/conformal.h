@@ -1,0 +1,74 @@
+// Split-conformal prediction intervals for popularity predictions.
+//
+// The paper motivates assessing prediction error (Appendix A.6 derives the
+// process variance), but the end-to-end error also includes model error of
+// the learned point predictors.  Split conformal calibration covers both
+// without distributional assumptions: calibrate the empirical distribution
+// of log-scale residuals
+//     r = log1p(true increment) - log1p(predicted increment)
+// on a held-out calibration set, bucketed by prediction horizon, and
+// translate its adjusted quantiles back around any new prediction.  The
+// resulting two-sided intervals have finite-sample marginal coverage
+// >= 1 - miscoverage under exchangeability.
+#ifndef HORIZON_CORE_CONFORMAL_H_
+#define HORIZON_CORE_CONFORMAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+
+namespace horizon::core {
+
+/// Two-sided interval for a count increment.
+struct PredictionInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Calibrates and serves conformal intervals.
+class ConformalCalibrator {
+ public:
+  struct Options {
+    /// Residuals are bucketed by horizon; bucket i covers
+    /// (edges[i-1], edges[i]] with edges[-1] = 0.  Horizons beyond the
+    /// last edge share the last bucket.
+    std::vector<double> horizon_bucket_edges{3 * kHour, 12 * kHour, 2 * kDay,
+                                             8 * kDay};
+    /// Buckets with fewer residuals than this fall back to the pooled
+    /// residual set.
+    size_t min_bucket_size = 50;
+  };
+
+  ConformalCalibrator();
+  explicit ConformalCalibrator(const Options& options);
+
+  /// Calibrates from aligned triples (predicted increment, true increment,
+  /// horizon).  May be called again to re-calibrate.
+  void Calibrate(const std::vector<double>& predicted_increments,
+                 const std::vector<double>& true_increments,
+                 const std::vector<double>& horizons);
+
+  bool calibrated() const { return !pooled_.empty(); }
+
+  /// Interval around a new predicted increment for the given horizon with
+  /// target miscoverage in (0, 1) (e.g. 0.1 for a 90% interval).  The
+  /// lower end is clamped at 0 (counts cannot decrease).
+  PredictionInterval IntervalFor(double predicted_increment, double horizon,
+                                 double miscoverage) const;
+
+  /// Number of calibration residuals in the bucket serving `horizon`
+  /// (diagnostic; 0 before calibration).
+  size_t BucketSize(double horizon) const;
+
+ private:
+  const std::vector<double>& ResidualsFor(double horizon) const;
+
+  Options options_;
+  std::vector<std::vector<double>> bucket_residuals_;  // sorted per bucket
+  std::vector<double> pooled_;                         // sorted
+};
+
+}  // namespace horizon::core
+
+#endif  // HORIZON_CORE_CONFORMAL_H_

@@ -1,0 +1,168 @@
+#include "core/hawkes_predictor.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace horizon::core {
+
+const char* AggregationName(Aggregation aggregation) {
+  switch (aggregation) {
+    case Aggregation::kArithmeticMean: return "arithmetic";
+    case Aggregation::kGeometricMean: return "geometric";
+  }
+  return "unknown";
+}
+
+HawkesPredictor::HawkesPredictor(HawkesPredictorParams params)
+    : params_(std::move(params)), g_model_(params_.gbdt_alpha) {
+  HORIZON_CHECK(!params_.reference_horizons.empty());
+  for (size_t i = 0; i < params_.reference_horizons.size(); ++i) {
+    HORIZON_CHECK_GT(params_.reference_horizons[i], 0.0);
+    if (i > 0) {
+      HORIZON_CHECK_GT(params_.reference_horizons[i], params_.reference_horizons[i - 1]);
+    }
+    f_models_.emplace_back(params_.gbdt_count);
+  }
+  HORIZON_CHECK_GT(params_.alpha_min, 0.0);
+  HORIZON_CHECK_GT(params_.alpha_max, params_.alpha_min);
+}
+
+void HawkesPredictor::Fit(const gbdt::DataMatrix& x,
+                          const std::vector<std::vector<double>>& log1p_increments,
+                          const std::vector<double>& alpha_targets) {
+  HORIZON_CHECK_EQ(log1p_increments.size(), f_models_.size());
+  HORIZON_CHECK_EQ(alpha_targets.size(), x.num_rows());
+  for (size_t i = 0; i < f_models_.size(); ++i) {
+    HORIZON_CHECK_EQ(log1p_increments[i].size(), x.num_rows());
+    f_models_[i].Fit(x, log1p_increments[i]);
+  }
+  // g is trained on log(alpha): alpha is positive and roughly lognormal
+  // across items.  Zero-alpha targets (degenerate cascades) are clamped to
+  // alpha_min before the log.
+  std::vector<double> log_alpha(alpha_targets.size());
+  for (size_t i = 0; i < alpha_targets.size(); ++i) {
+    log_alpha[i] =
+        std::log(Clamp(alpha_targets[i], params_.alpha_min, params_.alpha_max));
+  }
+  g_model_.Fit(x, log_alpha);
+  trained_ = true;
+}
+
+double HawkesPredictor::PredictAlpha(const float* row) const {
+  HORIZON_DCHECK(trained_);
+  return Clamp(std::exp(g_model_.Predict(row)), params_.alpha_min, params_.alpha_max);
+}
+
+double HawkesPredictor::CombineIncrement(const std::vector<double>& increments_at_refs,
+                                         double alpha_hat, double delta) const {
+  const size_t m = increments_at_refs.size();
+  // Single reference horizon: Eq. (7) directly.
+  // Multiple: arithmetic or geometric aggregation (Sec. 3.2.3).  Both are
+  // computed in linear space on the lambda(s)/alpha "final increment" scale
+  //   base_i = inc_i / (1 - e^{-alpha delta*_i}),
+  // then scaled by (1 - e^{-alpha delta}).
+  const double target_factor =
+      std::isinf(delta) ? 1.0 : -std::expm1(-alpha_hat * delta);
+  if (params_.aggregation == Aggregation::kArithmeticMean || m == 1) {
+    double sum = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      const double ref_factor = -std::expm1(-alpha_hat * params_.reference_horizons[i]);
+      sum += increments_at_refs[i] / ref_factor;
+    }
+    return sum / static_cast<double>(m) * target_factor;
+  }
+  // Geometric mean (Eq. 10), in log space for numerical stability.
+  double log_sum = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    const double inc = std::max(increments_at_refs[i], 1e-9);
+    log_sum += std::log(inc) - Log1mExp(alpha_hat * params_.reference_horizons[i]);
+  }
+  const double log_target =
+      std::isinf(delta) ? 0.0 : Log1mExp(alpha_hat * delta);
+  return std::exp(log_sum / static_cast<double>(m) + log_target);
+}
+
+double HawkesPredictor::PredictIncrement(const float* row, double delta) const {
+  HORIZON_DCHECK(trained_);
+  HORIZON_CHECK_GE(delta, 0.0);
+  if (delta == 0.0) return 0.0;
+  const double alpha_hat = PredictAlpha(row);
+  std::vector<double> increments(f_models_.size());
+  for (size_t i = 0; i < f_models_.size(); ++i) {
+    // Invert the log1p transform; predictions below zero increment clamp
+    // to zero.
+    increments[i] = std::max(std::expm1(f_models_[i].Predict(row)), 0.0);
+  }
+  return CombineIncrement(increments, alpha_hat, delta);
+}
+
+double HawkesPredictor::PredictCount(const float* row, double n_s, double delta) const {
+  return n_s + PredictIncrement(row, delta);
+}
+
+double HawkesPredictor::PredictFinalIncrement(const float* row) const {
+  return PredictIncrement(row, std::numeric_limits<double>::infinity());
+}
+
+std::string HawkesPredictor::Serialize() const {
+  HORIZON_CHECK(trained_);
+  std::ostringstream os;
+  os.precision(17);
+  os << "hwk v1\n";
+  os << params_.reference_horizons.size() << " "
+     << (params_.aggregation == Aggregation::kGeometricMean ? "geo" : "arith") << " "
+     << params_.alpha_min << " " << params_.alpha_max << "\n";
+  for (double ref : params_.reference_horizons) os << ref << " ";
+  os << "\n";
+  auto append_model = [&os](const gbdt::GbdtRegressor& model) {
+    const std::string blob = model.Serialize();
+    os << blob.size() << "\n" << blob;
+  };
+  for (const auto& f : f_models_) append_model(f);
+  append_model(g_model_);
+  return os.str();
+}
+
+bool HawkesPredictor::Deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic, version, agg;
+  size_t m = 0;
+  double alpha_min = 0.0, alpha_max = 0.0;
+  if (!(is >> magic >> version) || magic != "hwk" || version != "v1") return false;
+  if (!(is >> m >> agg >> alpha_min >> alpha_max) || m == 0) return false;
+  if (agg != "geo" && agg != "arith") return false;
+  std::vector<double> refs(m);
+  for (double& ref : refs) {
+    if (!(is >> ref) || ref <= 0.0) return false;
+  }
+  auto read_model = [&is](gbdt::GbdtRegressor* model) {
+    size_t size = 0;
+    if (!(is >> size) || size == 0) return false;
+    is.ignore(1);  // the newline after the size
+    std::string blob(size, '\0');
+    if (!is.read(blob.data(), static_cast<std::streamsize>(size))) return false;
+    return model->Deserialize(blob);
+  };
+  std::vector<gbdt::GbdtRegressor> f_models(m);
+  for (auto& f : f_models) {
+    if (!read_model(&f)) return false;
+  }
+  gbdt::GbdtRegressor g_model;
+  if (!read_model(&g_model)) return false;
+
+  params_.reference_horizons = std::move(refs);
+  params_.aggregation =
+      agg == "geo" ? Aggregation::kGeometricMean : Aggregation::kArithmeticMean;
+  params_.alpha_min = alpha_min;
+  params_.alpha_max = alpha_max;
+  f_models_ = std::move(f_models);
+  g_model_ = std::move(g_model);
+  trained_ = true;
+  return true;
+}
+
+}  // namespace horizon::core

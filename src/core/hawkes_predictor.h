@@ -1,0 +1,100 @@
+// The paper's prediction model (Sec. 3.2): gradient-boosted point
+// predictors of the view-count increment at one or more fixed reference
+// horizons delta*_1 < ... < delta*_m, plus a point predictor of the
+// effective growth exponent alpha, combined through the exponential-kernel
+// Hawkes transfer formula (Eq. 7) to produce predictions for ANY horizon
+// delta at ANY prediction time s -- in O(1) time per query with respect to
+// the observed cascade size.
+#ifndef HORIZON_CORE_HAWKES_PREDICTOR_H_
+#define HORIZON_CORE_HAWKES_PREDICTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "gbdt/gbdt.h"
+
+namespace horizon::core {
+
+/// How outputs of multiple reference-horizon predictors are combined
+/// (Sec. 3.2.3).
+enum class Aggregation {
+  kArithmeticMean,
+  kGeometricMean,
+};
+const char* AggregationName(Aggregation aggregation);
+
+/// Model hyper-parameters.
+struct HawkesPredictorParams {
+  /// Reference horizons delta*_i in seconds, strictly increasing.
+  std::vector<double> reference_horizons{1 * kDay};
+  Aggregation aggregation = Aggregation::kGeometricMean;
+  /// GBDT settings for the count predictors f_i and the alpha predictor g.
+  gbdt::GbdtParams gbdt_count;
+  gbdt::GbdtParams gbdt_alpha;
+  /// Clamp range for predicted alpha (1/s); keeps the transfer formula
+  /// well-conditioned.  Defaults span ~3 minutes .. ~1 year characteristic
+  /// times.
+  double alpha_min = 1.0 / (365 * kDay);
+  double alpha_max = 1.0 / (3 * kMinute);
+};
+
+/// Trained arbitrary-horizon popularity predictor.
+///
+/// Training inputs (assembled by core/trainer.h):
+///   x                feature matrix (static + O(1) temporal features)
+///   log1p_increments log1p(N(s + delta*_i) - N(s)) per example, per i
+///   alpha_targets    estimated effective growth exponents per example
+class HawkesPredictor {
+ public:
+  explicit HawkesPredictor(HawkesPredictorParams params = {});
+
+  /// Fits the m count predictors and the alpha predictor.
+  void Fit(const gbdt::DataMatrix& x,
+           const std::vector<std::vector<double>>& log1p_increments,
+           const std::vector<double>& alpha_targets);
+
+  /// Predicted expected increment N(s+delta) - N(s) for one feature row.
+  /// O(num_trees * depth) -- constant in cascade size.
+  double PredictIncrement(const float* row, double delta) const;
+
+  /// Predicted total count N(s+delta) given the observed count N(s).
+  double PredictCount(const float* row, double n_s, double delta) const;
+
+  /// Predicted effective growth exponent alpha_hat (clamped).
+  double PredictAlpha(const float* row) const;
+
+  /// Predicted increment over an infinite horizon: lim_{delta->inf}.
+  double PredictFinalIncrement(const float* row) const;
+
+  /// Serializes the whole trained model (all count predictors, the alpha
+  /// predictor, and the transfer-formula parameters) to a portable ASCII
+  /// string; restorable with Deserialize.
+  std::string Serialize() const;
+  /// Restores a model serialized by Serialize.  Returns false on parse
+  /// failure (model state is then unspecified but safe to destroy or
+  /// re-Deserialize).
+  bool Deserialize(const std::string& text);
+
+  bool trained() const { return trained_; }
+  size_t num_reference_horizons() const { return params_.reference_horizons.size(); }
+  const HawkesPredictorParams& params() const { return params_; }
+  const gbdt::GbdtRegressor& count_model(size_t i) const { return f_models_[i]; }
+  const gbdt::GbdtRegressor& alpha_model() const { return g_model_; }
+
+ private:
+  /// Combines the m reference predictions into the increment for `delta`
+  /// using the transfer formula and the configured aggregation.
+  double CombineIncrement(const std::vector<double>& increments_at_refs,
+                          double alpha_hat, double delta) const;
+
+  HawkesPredictorParams params_;
+  bool trained_ = false;
+  std::vector<gbdt::GbdtRegressor> f_models_;
+  gbdt::GbdtRegressor g_model_;
+};
+
+}  // namespace horizon::core
+
+#endif  // HORIZON_CORE_HAWKES_PREDICTOR_H_

@@ -1,0 +1,32 @@
+#include "core/relative_growth.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace horizon::core {
+
+bool PredictRelativeGrowth(double lambda_s, double alpha, double n_s, double c) {
+  HORIZON_CHECK_GT(c, 1.0);
+  HORIZON_CHECK_GT(alpha, 0.0);
+  HORIZON_CHECK_GE(n_s, 0.0);
+  return lambda_s >= (c - 1.0) * alpha * n_s;
+}
+
+double ChiCorrection(double n_s, double c, double sigma_sq, double delta) {
+  HORIZON_CHECK_GT(n_s, 0.0);
+  HORIZON_CHECK_GT(c, 1.0);
+  HORIZON_CHECK_GE(sigma_sq, 0.0);
+  HORIZON_CHECK(delta > 0.0 && delta <= 1.0);
+  const double a = sigma_sq / (2.0 * delta * n_s);
+  return a + std::sqrt(2.0 * (c - 1.0) * a + a * a);
+}
+
+bool PredictRelativeGrowthWithConfidence(double lambda_s, double alpha, double n_s,
+                                         double c, double sigma_sq, double delta) {
+  HORIZON_CHECK_GT(alpha, 0.0);
+  const double chi = ChiCorrection(n_s, c, sigma_sq, delta);
+  return lambda_s >= (c - 1.0 + chi) * alpha * n_s;
+}
+
+}  // namespace horizon::core

@@ -1,0 +1,28 @@
+// Relative-growth prediction (Appendix A.11): will the cascade eventually
+// exceed c times its current size?  Threshold rule on the stochastic
+// intensity (Eq. 25) plus the Chebyshev-corrected rule of Proposition A.5.
+#ifndef HORIZON_CORE_RELATIVE_GROWTH_H_
+#define HORIZON_CORE_RELATIVE_GROWTH_H_
+
+namespace horizon::core {
+
+/// Simple threshold rule (Eq. 25): predicts N(+inf) >= c N(s) iff
+/// lambda(s) >= (c - 1) alpha N(s).  Requires c > 1, n_s >= 0.
+bool PredictRelativeGrowth(double lambda_s, double alpha, double n_s, double c);
+
+/// The correction term chi(N(s)) of Proposition A.5.
+/// @param n_s       current count N(s) > 0
+/// @param c         growth factor > 1
+/// @param sigma_sq  Sigma^2 of Eq. (21)
+/// @param delta     failure probability in (0, 1]
+double ChiCorrection(double n_s, double c, double sigma_sq, double delta);
+
+/// Chebyshev-corrected rule (Eq. 26): predicts N(+inf) > c N(s) with
+/// probability >= 1 - delta iff
+///   lambda(s) >= (c - 1 + chi(N(s))) alpha N(s).
+bool PredictRelativeGrowthWithConfidence(double lambda_s, double alpha, double n_s,
+                                         double c, double sigma_sq, double delta);
+
+}  // namespace horizon::core
+
+#endif  // HORIZON_CORE_RELATIVE_GROWTH_H_

@@ -1,0 +1,78 @@
+#include "core/trainer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace horizon::core {
+
+double TrueIncrement(const datagen::Cascade& cascade, double s, double delta) {
+  const size_t n_s = cascade.ViewsBefore(s);
+  const size_t n_t = std::isinf(delta) ? cascade.TotalViews()
+                                       : cascade.ViewsBefore(s + delta);
+  return static_cast<double>(n_t - n_s);
+}
+
+ExampleSet BuildExampleSet(const datagen::SyntheticDataset& dataset,
+                           const std::vector<size_t>& cascade_indices,
+                           const features::FeatureExtractor& extractor,
+                           const ExampleSetOptions& options) {
+  HORIZON_CHECK(!options.reference_horizons.empty());
+  HORIZON_CHECK_GT(options.samples_per_cascade, 0);
+  HORIZON_CHECK_GT(options.min_prediction_age, 0.0);
+  HORIZON_CHECK_GT(options.max_prediction_age, options.min_prediction_age);
+
+  Rng rng(options.seed);
+  ExampleSet out;
+  out.x = gbdt::DataMatrix(0, 0);
+  out.log1p_increments.resize(options.reference_horizons.size());
+
+  const double log_min = std::log(options.min_prediction_age);
+  const double log_max = std::log(options.max_prediction_age);
+
+  AlphaEstimatorOptions alpha_options;
+  alpha_options.gamma = options.alpha_quantile_gamma;
+
+  for (size_t ci : cascade_indices) {
+    HORIZON_CHECK_LT(ci, dataset.cascades.size());
+    const datagen::Cascade& cascade = dataset.cascades[ci];
+    const datagen::PageProfile& page = dataset.PageOf(cascade.post);
+
+    for (int k = 0; k < options.samples_per_cascade; ++k) {
+      const double s = std::exp(rng.Uniform(log_min, log_max));
+
+      const auto snapshot = extractor.ReplaySnapshot(cascade, s);
+      out.x.AppendRow(extractor.Extract(page, cascade.post, snapshot));
+
+      for (size_t i = 0; i < options.reference_horizons.size(); ++i) {
+        const double inc = TrueIncrement(cascade, s, options.reference_horizons[i]);
+        out.log1p_increments[i].push_back(std::log1p(inc));
+      }
+
+      // Alpha target from the view times after s.  When nothing is
+      // observed after s, fall back to the full cascade; 0 means
+      // inestimable (the predictor clamps).
+      std::vector<double> view_times;
+      view_times.reserve(cascade.views.size());
+      for (const auto& e : cascade.views) view_times.push_back(e.time);
+      alpha_options.start_time = s;
+      double alpha = EstimateAlpha(options.alpha_kind, view_times, alpha_options);
+      if (alpha <= 0.0) {
+        alpha_options.start_time = 0.0;
+        alpha = EstimateAlpha(options.alpha_kind, view_times, alpha_options);
+        alpha_options.start_time = s;
+      }
+      out.alpha_targets.push_back(alpha);
+
+      ExampleRef ref;
+      ref.cascade_index = ci;
+      ref.prediction_age = s;
+      ref.n_s = static_cast<double>(cascade.ViewsBefore(s));
+      out.refs.push_back(ref);
+    }
+  }
+  return out;
+}
+
+}  // namespace horizon::core

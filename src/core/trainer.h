@@ -1,0 +1,67 @@
+// Assembles supervised training/evaluation examples from a synthetic
+// dataset: feature vectors at sampled prediction times, log1p view-count
+// increments at the reference horizons, and effective-growth-exponent
+// targets (Sec. 3.2.2).
+#ifndef HORIZON_CORE_TRAINER_H_
+#define HORIZON_CORE_TRAINER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "core/alpha_estimator.h"
+#include "datagen/generator.h"
+#include "features/extractor.h"
+#include "gbdt/dataset.h"
+
+namespace horizon::core {
+
+/// Controls example sampling and target construction.
+struct ExampleSetOptions {
+  /// Reference horizons delta*_i for which increments are computed.
+  std::vector<double> reference_horizons{1 * kDay};
+  /// Prediction times per cascade, sampled log-uniformly in
+  /// [min_prediction_age, max_prediction_age].
+  int samples_per_cascade = 2;
+  double min_prediction_age = 30 * kMinute;
+  double max_prediction_age = 4 * kDay;
+  /// Alpha target construction: estimator kind applied to the view times
+  /// observed AFTER the prediction time (remaining-growth timescale).
+  AlphaEstimatorKind alpha_kind = AlphaEstimatorKind::kMeanValue;
+  double alpha_quantile_gamma = 0.5;
+  uint64_t seed = 7;
+};
+
+/// Back-reference from an example to its cascade, for evaluation.
+struct ExampleRef {
+  size_t cascade_index = 0;
+  double prediction_age = 0.0;  ///< s, seconds since creation
+  double n_s = 0.0;             ///< observed views N(s)
+};
+
+/// A materialized example set.
+struct ExampleSet {
+  gbdt::DataMatrix x;
+  /// log1p(N(s + delta*_i) - N(s)) per reference horizon i, per example.
+  std::vector<std::vector<double>> log1p_increments;
+  /// Estimated effective growth exponent per example (0 if inestimable).
+  std::vector<double> alpha_targets;
+  std::vector<ExampleRef> refs;
+
+  size_t size() const { return refs.size(); }
+};
+
+/// True increment N(s+delta) - N(s) of a cascade, truncated at the
+/// tracking window (delta may be +inf).
+double TrueIncrement(const datagen::Cascade& cascade, double s, double delta);
+
+/// Builds examples for the given cascade indices of a dataset.
+ExampleSet BuildExampleSet(const datagen::SyntheticDataset& dataset,
+                           const std::vector<size_t>& cascade_indices,
+                           const features::FeatureExtractor& extractor,
+                           const ExampleSetOptions& options);
+
+}  // namespace horizon::core
+
+#endif  // HORIZON_CORE_TRAINER_H_

@@ -1,0 +1,57 @@
+// Training-free Hawkes predictor -- the alternative Sec. 4 sketches for
+// the exponential-kernel model: approximate the stochastic intensity
+// lambda(s) by a velocity statistic over the recent event stream, estimate
+// the effective growth exponent alpha directly from the observed event
+// times (Sec. 3.2.4), and plug both into Proposition 3.2:
+//
+//   inc(delta) = lambda_hat(s) / alpha_hat * (1 - e^{-alpha_hat delta}).
+//
+// No model fitting, no features: everything comes from the O(1)-state
+// tracker snapshot.  Accuracy is below the learned HWK model (it ignores
+// static features entirely and the velocity is a noisy lambda proxy), but
+// it works from the very first event of a brand-new item and needs no
+// training data -- a useful cold-start / fallback predictor.
+#ifndef HORIZON_CORE_VELOCITY_PREDICTOR_H_
+#define HORIZON_CORE_VELOCITY_PREDICTOR_H_
+
+#include "stream/cascade_tracker.h"
+
+namespace horizon::core {
+
+/// Stateless predictor over tracker snapshots.
+class VelocityHawkesPredictor {
+ public:
+  struct Options {
+    /// Use the EWMA rate as the velocity (default); otherwise the rate
+    /// over sliding window `window_index`.
+    bool use_ewma = true;
+    size_t window_index = 0;
+    /// Clamp range for the alpha estimate (1/s).
+    double alpha_min = 1.0 / (365 * 86400.0);
+    double alpha_max = 1.0 / 180.0;
+  };
+
+  VelocityHawkesPredictor();
+  explicit VelocityHawkesPredictor(const Options& options);
+
+  /// lambda(s) proxy from the snapshot's view stream.
+  double EstimateIntensity(const stream::TrackerSnapshot& snapshot) const;
+
+  /// Mean-value estimator of alpha from the snapshot's running mean event
+  /// age (alpha_hat = 1 / mean event age), clamped.  Returns alpha_max for
+  /// empty streams (instant decay: predict nothing).
+  double EstimateAlpha(const stream::TrackerSnapshot& snapshot) const;
+
+  /// Predicted view increment over `delta` (may be +inf).
+  double PredictIncrement(const stream::TrackerSnapshot& snapshot,
+                          double delta) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace horizon::core
+
+#endif  // HORIZON_CORE_VELOCITY_PREDICTOR_H_

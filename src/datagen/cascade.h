@@ -1,0 +1,51 @@
+// A generated cascade: the view realization (with genealogy) plus the
+// derived reshare / comment / reaction event streams for one post.
+#ifndef HORIZON_DATAGEN_CASCADE_H_
+#define HORIZON_DATAGEN_CASCADE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pointprocess/event.h"
+#include "datagen/profiles.h"
+
+namespace horizon::datagen {
+
+/// One generated cascade.  All event times are ages: seconds since the
+/// post's creation.
+struct Cascade {
+  PostProfile post;
+
+  /// View events sorted by time, with parent/generation genealogy from the
+  /// branching simulator.
+  pp::Realization views;
+
+  /// reshare_depth[i]: number of reshare hops between view i and the
+  /// original post (0 = view of the original post).
+  std::vector<int32_t> reshare_depth;
+
+  /// is_share[i]: whether view event i also produced a reshare post.
+  std::vector<bool> is_share;
+
+  /// Derived engagement streams (ages, sorted).
+  std::vector<double> share_times;
+  std::vector<double> comment_times;
+  std::vector<double> reaction_times;
+
+  /// Total views within the tracking window (the paper's "N(+inf)").
+  size_t TotalViews() const { return views.size(); }
+
+  /// Number of views with age < age_limit.
+  size_t ViewsBefore(double age_limit) const {
+    return pp::CountBefore(views, age_limit);
+  }
+
+  /// Age at which `fraction` of the final views is reached (cascade
+  /// duration definition of Appendix A.12).  Returns 0 for empty cascades.
+  double DurationAtFraction(double fraction) const;
+};
+
+}  // namespace horizon::datagen
+
+#endif  // HORIZON_DATAGEN_CASCADE_H_

@@ -1,0 +1,48 @@
+#include "datagen/event_stream.h"
+
+#include <algorithm>
+
+namespace horizon::datagen {
+
+std::vector<PlatformEvent> BuildEventStream(const SyntheticDataset& dataset,
+                                            const EventStreamOptions& options) {
+  std::vector<PlatformEvent> stream_events;
+  size_t reserve = 0;
+  for (const Cascade& c : dataset.cascades) reserve += c.views.size();
+  stream_events.reserve(reserve);
+
+  for (const Cascade& cascade : dataset.cascades) {
+    const double t0 = cascade.post.creation_time;
+    const int32_t id = cascade.post.id;
+    auto add = [&](double age, stream::EngagementType type) {
+      if (age < options.max_age) {
+        stream_events.push_back({t0 + age, id, type});
+      }
+    };
+    if (options.include_views) {
+      for (const pp::Event& e : cascade.views) {
+        add(e.time, stream::EngagementType::kView);
+      }
+    }
+    if (options.include_shares) {
+      for (double t : cascade.share_times) add(t, stream::EngagementType::kShare);
+    }
+    if (options.include_comments) {
+      for (double t : cascade.comment_times) {
+        add(t, stream::EngagementType::kComment);
+      }
+    }
+    if (options.include_reactions) {
+      for (double t : cascade.reaction_times) {
+        add(t, stream::EngagementType::kReaction);
+      }
+    }
+  }
+  std::stable_sort(stream_events.begin(), stream_events.end(),
+                   [](const PlatformEvent& a, const PlatformEvent& b) {
+                     return a.time < b.time;
+                   });
+  return stream_events;
+}
+
+}  // namespace horizon::datagen

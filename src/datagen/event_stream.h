@@ -1,0 +1,41 @@
+// Builds the platform-level event stream from a generated dataset: every
+// engagement event of every cascade, stamped with absolute time and sorted
+// -- the input shape of a real ingestion pipeline (and of
+// serving::PredictionService).
+#ifndef HORIZON_DATAGEN_EVENT_STREAM_H_
+#define HORIZON_DATAGEN_EVENT_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "stream/cascade_tracker.h"
+
+namespace horizon::datagen {
+
+/// One platform event.
+struct PlatformEvent {
+  double time = 0.0;  ///< absolute time (creation time + event age)
+  int32_t post_id = 0;
+  stream::EngagementType type = stream::EngagementType::kView;
+};
+
+/// Options for stream construction.
+struct EventStreamOptions {
+  /// Only events with age < max_age are included (default: everything
+  /// inside the tracking window).
+  double max_age = 1e300;
+  /// Which engagement types to include.
+  bool include_views = true;
+  bool include_shares = true;
+  bool include_comments = true;
+  bool include_reactions = true;
+};
+
+/// Flattens the dataset into one globally time-sorted event stream.
+std::vector<PlatformEvent> BuildEventStream(const SyntheticDataset& dataset,
+                                            const EventStreamOptions& options = {});
+
+}  // namespace horizon::datagen
+
+#endif  // HORIZON_DATAGEN_EVENT_STREAM_H_

@@ -1,0 +1,269 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "pointprocess/exp_hawkes.h"
+#include "pointprocess/marks.h"
+
+namespace horizon::datagen {
+
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+// Per-media-type effects on the ground-truth cascade parameters.
+// Index order matches MediaType.
+constexpr double kLambdaBoost[kNumMediaTypes] = {0.5, 1.2, 2.0, 0.8, 2.6};
+constexpr double kShareBoost[kNumMediaTypes] = {-0.3, 0.0, 0.5, 0.1, 0.7};
+constexpr double kBetaMult[kNumMediaTypes] = {1.2, 1.0, 0.8, 1.1, 2.0};
+
+// Per-category shareability baselines (logit scale).
+constexpr double kCategoryShare[kNumPageCategories] = {-0.6, 0.2, 0.4,  0.3,
+                                                       0.1,  0.5, -0.2};
+
+// Audience activity peaks at 20:00; posting close to the peak boosts the
+// initial intensity.
+double TimeOfDayBoost(double tod_hours) {
+  constexpr double kPi = 3.14159265358979323846;
+  return 1.0 + 0.4 * std::cos(2.0 * kPi * (tod_hours - 20.0) / 24.0);
+}
+
+}  // namespace
+
+const char* MediaTypeName(MediaType type) {
+  switch (type) {
+    case MediaType::kStatus: return "status";
+    case MediaType::kPhoto: return "photo";
+    case MediaType::kVideo: return "video";
+    case MediaType::kLink: return "link";
+    case MediaType::kLive: return "live";
+  }
+  return "unknown";
+}
+
+const char* PageCategoryName(PageCategory category) {
+  switch (category) {
+    case PageCategory::kBrand: return "brand";
+    case PageCategory::kCelebrity: return "celebrity";
+    case PageCategory::kNews: return "news";
+    case PageCategory::kEntertainment: return "entertainment";
+    case PageCategory::kSports: return "sports";
+    case PageCategory::kPolitics: return "politics";
+    case PageCategory::kCommunity: return "community";
+  }
+  return "unknown";
+}
+
+double Cascade::DurationAtFraction(double fraction) const {
+  HORIZON_CHECK(fraction > 0.0 && fraction <= 1.0);
+  if (views.empty()) return 0.0;
+  const size_t k = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(fraction * static_cast<double>(views.size()))));
+  return views[k - 1].time;
+}
+
+Generator::Generator(const GeneratorConfig& config) : config_(config) {
+  HORIZON_CHECK_GT(config.num_pages, 0);
+  HORIZON_CHECK_GT(config.num_posts, 0);
+  HORIZON_CHECK_GT(config.tracking_window, 0.0);
+  HORIZON_CHECK_GT(config.base_beta, 0.0);
+}
+
+PageProfile Generator::SamplePage(int32_t id, Rng& rng) const {
+  PageProfile page;
+  page.id = id;
+  page.followers = rng.LogNormal(std::log(3000.0), 1.6);
+  page.fans = page.followers * rng.Uniform(0.4, 1.0);
+  page.posts_last_month = rng.LogNormal(std::log(20.0), 0.8);
+  page.page_age_days = rng.Uniform(30.0, 3000.0);
+  {
+    static const std::vector<double> kCategoryWeights = {0.22, 0.08, 0.18, 0.2,
+                                                         0.12, 0.08, 0.12};
+    page.category = static_cast<PageCategory>(rng.Categorical(kCategoryWeights));
+  }
+  page.verified = rng.Bernoulli(Sigmoid(std::log10(page.followers) - 4.0)) ? 1.0 : 0.0;
+
+  // Latents.
+  page.quality = rng.Beta(2.0, 5.0);
+  page.audience_tau = rng.LogNormal(0.0, 0.5);
+  page.shareability = kCategoryShare[static_cast<int>(page.category)] +
+                      1.5 * (page.quality - 0.3) + rng.Normal(0.0, 0.5);
+  const double rho1_page = Clamp(Sigmoid(page.shareability) * 0.92, 0.02, 0.90);
+  const double beta_page = config_.base_beta / page.audience_tau;
+  page.alpha_page = beta_page * (1.0 - rho1_page);
+
+  // Observable noisy summaries of past cascades on this page.
+  const double typical_lambda0 = std::pow(page.followers, 0.75) * page.quality;
+  page.hist_mean_views =
+      typical_lambda0 / page.alpha_page * 0.02 * rng.LogNormal(0.0, 0.4);
+  page.hist_mean_halflife =
+      std::log(2.0) / page.alpha_page * rng.LogNormal(0.0, 0.35);
+  page.hist_share_rate = config_.base_share_prob *
+                         std::exp(0.5 * page.shareability) * rng.LogNormal(0.0, 0.3);
+  page.hist_comment_rate =
+      config_.base_comment_prob * (0.5 + page.quality) * rng.LogNormal(0.0, 0.3);
+  return page;
+}
+
+PostProfile Generator::SamplePost(int32_t post_id, const PageProfile& page,
+                                  Rng& rng) const {
+  PostProfile post;
+  post.id = post_id;
+  post.page_id = page.id;
+  {
+    static const std::vector<double> kMediaWeights = {0.25, 0.30, 0.25, 0.15, 0.05};
+    post.media = static_cast<MediaType>(rng.Categorical(kMediaWeights));
+  }
+  {
+    static const std::vector<double> kLanguageWeights = {0.4,  0.15, 0.12, 0.08, 0.07,
+                                                         0.06, 0.05, 0.04, 0.02, 0.01};
+    post.language = static_cast<int>(rng.Categorical(kLanguageWeights));
+  }
+  post.num_mentions = static_cast<int>(rng.Poisson(0.5));
+  post.num_hashtags = static_cast<int>(rng.Poisson(1.2));
+  post.text_length = rng.LogNormal(std::log(140.0), 0.8);
+  post.creation_time = rng.Uniform(0.0, config_.posting_period);
+  post.creation_tod = std::fmod(post.creation_time / kHour, 24.0);
+  post.day_of_week = static_cast<int>(post.creation_time / kDay) % 7;
+  post.in_group = rng.Bernoulli(0.1) ? 1.0 : 0.0;
+  post.group_members =
+      post.in_group > 0.0 ? rng.LogNormal(std::log(2000.0), 1.2) : 0.0;
+  post.has_question = rng.Bernoulli(0.15) ? 1.0 : 0.0;
+
+  // --- Ground-truth Hawkes parameters ---
+  const int media = static_cast<int>(post.media);
+  post.rho1 = Clamp(Sigmoid(page.shareability + kShareBoost[media] +
+                            0.3 * post.has_question + rng.Normal(0.0, 0.35)) *
+                        0.92,
+                    0.02, 0.90);
+  post.beta = config_.base_beta * kBetaMult[media] / page.audience_tau *
+              rng.LogNormal(0.0, 0.35);
+  post.mark_sigma_log = 1.0;
+
+  const double alpha = post.TrueAlpha();
+  // Calibrate the lambda0 scale so that a median page (followers ~3000,
+  // quality ~0.29) posting a photo at a neutral hour gets an expected final
+  // size of base_mean_size.
+  const double alpha_ref = config_.base_beta * 0.55;
+  const double c0 =
+      config_.base_mean_size * alpha_ref / (std::pow(3000.0, 0.75) * 0.29 * 1.2);
+  double lambda0 = c0 * std::pow(page.followers, 0.75) * page.quality *
+                   kLambdaBoost[media] * TimeOfDayBoost(post.creation_tod) *
+                   rng.LogNormal(0.0, 0.7);
+  if (post.in_group > 0.0) lambda0 *= 1.0 + 0.1 * std::log1p(post.group_members);
+  // Keep the expected size well below the per-cascade simulation cap.
+  const double max_expected =
+      static_cast<double>(config_.max_views_per_cascade) / 4.0;
+  if (lambda0 / alpha > max_expected) lambda0 = max_expected * alpha;
+  post.lambda0 = std::max(lambda0, 1e-3 * alpha);
+  return post;
+}
+
+Cascade Generator::SimulateCascade(const PostProfile& post, Rng& rng) const {
+  Cascade cascade;
+  cascade.post = post;
+
+  pp::ExpHawkesParams params;
+  params.lambda0 = post.lambda0;
+  params.beta = post.beta;
+  params.marks =
+      std::make_shared<pp::LogNormalMark>(post.rho1, post.mark_sigma_log);
+
+  pp::SimulateOptions options;
+  options.horizon = config_.tracking_window;
+  options.max_events = config_.max_views_per_cascade;
+  cascade.views = pp::SimulateExpHawkes(params, options, rng);
+
+  // Optional daily-seasonality thinning.  Dropped events' children are
+  // re-attached to the nearest surviving ancestor so genealogy stays valid.
+  if (config_.seasonality_amplitude > 0.0) {
+    const double amp = config_.seasonality_amplitude;
+    constexpr double kPi = 3.14159265358979323846;
+    std::vector<int32_t> remap(cascade.views.size(), -1);
+    pp::Realization kept;
+    kept.reserve(cascade.views.size());
+    for (size_t i = 0; i < cascade.views.size(); ++i) {
+      const pp::Event& e = cascade.views[i];
+      const double tod =
+          std::fmod((post.creation_time + e.time) / kHour, 24.0);
+      const double accept =
+          (1.0 + amp * std::cos(2.0 * kPi * (tod - 20.0) / 24.0)) / (1.0 + amp);
+      // Surviving ancestor of the parent (parents precede children in time
+      // order, so remap[parent] is already final).
+      const int32_t mapped_parent = e.parent >= 0 ? remap[e.parent] : -1;
+      if (rng.Uniform() < accept) {
+        pp::Event kept_event = e;
+        kept_event.parent = mapped_parent;
+        kept_event.generation =
+            mapped_parent >= 0 ? kept[mapped_parent].generation + 1 : 0;
+        remap[i] = static_cast<int32_t>(kept.size());
+        kept.push_back(kept_event);
+      } else {
+        remap[i] = mapped_parent;  // children re-attach upward
+      }
+    }
+    cascade.views = std::move(kept);
+  }
+
+  // Derived engagement streams; more shareable posts convert more views
+  // into reshares and comments.
+  const double share_prob =
+      Clamp(config_.base_share_prob * std::exp(1.6 * (post.rho1 - 0.4)), 0.0, 0.5);
+  const double comment_prob = Clamp(config_.base_comment_prob *
+                                        (0.5 + 2.0 * post.rho1) *
+                                        rng.LogNormal(0.0, 0.2),
+                                    0.0, 0.5);
+  const double reaction_prob =
+      Clamp(config_.base_reaction_prob * rng.LogNormal(0.0, 0.2), 0.0, 0.8);
+
+  const size_t n = cascade.views.size();
+  cascade.is_share.assign(n, false);
+  cascade.reshare_depth.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const pp::Event& e = cascade.views[i];
+    if (e.parent >= 0) {
+      cascade.reshare_depth[i] =
+          cascade.reshare_depth[static_cast<size_t>(e.parent)] +
+          (cascade.is_share[static_cast<size_t>(e.parent)] ? 1 : 0);
+    }
+    if (rng.Bernoulli(share_prob)) {
+      cascade.is_share[i] = true;
+      cascade.share_times.push_back(e.time);
+    }
+    if (rng.Bernoulli(comment_prob)) {
+      cascade.comment_times.push_back(e.time + rng.Exponential(1.0 / (10 * kMinute)));
+    }
+    if (rng.Bernoulli(reaction_prob)) {
+      cascade.reaction_times.push_back(e.time + rng.Exponential(1.0 / (2 * kMinute)));
+    }
+  }
+  std::sort(cascade.comment_times.begin(), cascade.comment_times.end());
+  std::sort(cascade.reaction_times.begin(), cascade.reaction_times.end());
+  return cascade;
+}
+
+SyntheticDataset Generator::Generate() {
+  SyntheticDataset dataset;
+  dataset.config = config_;
+  Rng rng(config_.seed);
+
+  dataset.pages.reserve(static_cast<size_t>(config_.num_pages));
+  for (int32_t i = 0; i < config_.num_pages; ++i) {
+    dataset.pages.push_back(SamplePage(i, rng));
+  }
+
+  dataset.cascades.reserve(static_cast<size_t>(config_.num_posts));
+  for (int32_t i = 0; i < config_.num_posts; ++i) {
+    // Pages with more activity author more posts.
+    const auto page_idx = rng.UniformInt(static_cast<uint64_t>(config_.num_pages));
+    const PageProfile& page = dataset.pages[page_idx];
+    PostProfile post = SamplePost(i, page, rng);
+    dataset.cascades.push_back(SimulateCascade(post, rng));
+  }
+  return dataset;
+}
+
+}  // namespace horizon::datagen

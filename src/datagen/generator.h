@@ -1,0 +1,89 @@
+// Synthetic social-media workload generator.
+//
+// Substitutes for the paper's proprietary Facebook datasets (Sec. 5.1): a
+// population of pages, posts authored by those pages, and per-post view
+// cascades sampled from ground-truth exponential-kernel Hawkes processes
+// whose parameters are stochastic functions of page/content features.  See
+// DESIGN.md for the substitution rationale.
+#ifndef HORIZON_DATAGEN_GENERATOR_H_
+#define HORIZON_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "datagen/cascade.h"
+#include "datagen/profiles.h"
+
+namespace horizon::datagen {
+
+/// Knobs of the synthetic workload.
+struct GeneratorConfig {
+  int num_pages = 400;
+  int num_posts = 4000;
+  /// Tracking window after creation; views beyond it are not observed
+  /// ("up to 2 months after creation" in the paper).
+  double tracking_window = 60 * kDay;
+  /// Spread of post creation times (affects creation time-of-day mix only).
+  double posting_period = 14 * kDay;
+
+  /// Typical expected cascade size for a median page (scales lambda0).
+  double base_mean_size = 250.0;
+  /// Hard cap on simulated views per cascade (safety; heavy tails).
+  uint64_t max_views_per_cascade = 400'000;
+
+  /// Typical kernel decay rate (events' influence half-life ~ log(2)/beta).
+  double base_beta = 2.0 / kDay;
+
+  /// Probability scales of derived engagement events per view.
+  double base_share_prob = 0.02;
+  double base_comment_prob = 0.008;
+  double base_reaction_prob = 0.05;
+
+  /// Optional daily seasonality: views are thinned by a time-of-day factor
+  /// (1 + amplitude cos(...)) / (1 + amplitude).  Off for quantitative
+  /// experiments (keeps the exp-Hawkes ground truth exact); used by the
+  /// Fig. 10 bench for qualitative shape.
+  double seasonality_amplitude = 0.0;
+
+  uint64_t seed = 20211215;
+};
+
+/// The generated dataset.
+struct SyntheticDataset {
+  GeneratorConfig config;
+  std::vector<PageProfile> pages;
+  std::vector<Cascade> cascades;
+
+  const PageProfile& PageOf(const PostProfile& post) const {
+    return pages[static_cast<size_t>(post.page_id)];
+  }
+};
+
+/// Generates pages, posts and cascades.
+class Generator {
+ public:
+  explicit Generator(const GeneratorConfig& config);
+
+  /// Builds the full dataset.  Deterministic given config.seed.
+  SyntheticDataset Generate();
+
+  /// Samples a single page (exposed for tests / examples).
+  PageProfile SamplePage(int32_t id, Rng& rng) const;
+
+  /// Samples a post for the given page, including its ground-truth Hawkes
+  /// parameters.
+  PostProfile SamplePost(int32_t post_id, const PageProfile& page, Rng& rng) const;
+
+  /// Simulates the cascade of a post (views with genealogy + derived
+  /// engagement streams).
+  Cascade SimulateCascade(const PostProfile& post, Rng& rng) const;
+
+ private:
+  GeneratorConfig config_;
+};
+
+}  // namespace horizon::datagen
+
+#endif  // HORIZON_DATAGEN_GENERATOR_H_

@@ -1,0 +1,312 @@
+#include "datagen/io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace horizon::datagen {
+
+namespace {
+
+// All numeric output uses max precision so loading round-trips exactly.
+void WriteDouble(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+struct CsvReader {
+  explicit CsvReader(const std::string& path) : in(path) {}
+
+  bool ok() const { return static_cast<bool>(in); }
+
+  /// Reads the next line split by commas; returns false at EOF.
+  bool NextRow(std::vector<std::string>* fields) {
+    std::string line;
+    if (!std::getline(in, line)) return false;
+    fields->clear();
+    std::string field;
+    std::stringstream ss(line);
+    while (std::getline(ss, field, ',')) fields->push_back(field);
+    if (!line.empty() && line.back() == ',') fields->push_back("");
+    return true;
+  }
+
+  std::ifstream in;
+};
+
+bool ParseDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && !s.empty();
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && !s.empty();
+}
+
+}  // namespace
+
+bool SaveDatasetCsv(const SyntheticDataset& dataset, const std::string& directory) {
+  // meta.csv
+  {
+    std::ofstream out(directory + "/meta.csv");
+    if (!out) return false;
+    const GeneratorConfig& c = dataset.config;
+    out << "key,value\n";
+    auto kv = [&out](const char* key, double value) {
+      out << key << ",";
+      WriteDouble(out, value);
+      out << "\n";
+    };
+    kv("num_pages", c.num_pages);
+    kv("num_posts", c.num_posts);
+    kv("tracking_window", c.tracking_window);
+    kv("posting_period", c.posting_period);
+    kv("base_mean_size", c.base_mean_size);
+    kv("max_views_per_cascade", static_cast<double>(c.max_views_per_cascade));
+    kv("base_beta", c.base_beta);
+    kv("base_share_prob", c.base_share_prob);
+    kv("base_comment_prob", c.base_comment_prob);
+    kv("base_reaction_prob", c.base_reaction_prob);
+    kv("seasonality_amplitude", c.seasonality_amplitude);
+    kv("seed", static_cast<double>(c.seed));
+    if (!out) return false;
+  }
+  // pages.csv
+  {
+    std::ofstream out(directory + "/pages.csv");
+    if (!out) return false;
+    out << "id,followers,fans,posts_last_month,page_age_days,category,verified,"
+           "hist_mean_views,hist_mean_halflife,hist_share_rate,hist_comment_rate,"
+           "quality,audience_tau,shareability,alpha_page\n";
+    for (const PageProfile& p : dataset.pages) {
+      out << p.id << ",";
+      for (double v : {p.followers, p.fans, p.posts_last_month, p.page_age_days}) {
+        WriteDouble(out, v);
+        out << ",";
+      }
+      out << static_cast<int>(p.category) << ",";
+      for (double v : {p.verified, p.hist_mean_views, p.hist_mean_halflife,
+                       p.hist_share_rate, p.hist_comment_rate, p.quality,
+                       p.audience_tau, p.shareability}) {
+        WriteDouble(out, v);
+        out << ",";
+      }
+      WriteDouble(out, p.alpha_page);
+      out << "\n";
+    }
+    if (!out) return false;
+  }
+  // posts.csv
+  {
+    std::ofstream out(directory + "/posts.csv");
+    if (!out) return false;
+    out << "id,page_id,media,language,num_mentions,num_hashtags,text_length,"
+           "creation_tod,day_of_week,in_group,group_members,has_question,"
+           "creation_time,lambda0,beta,rho1,mark_sigma_log\n";
+    for (const Cascade& c : dataset.cascades) {
+      const PostProfile& p = c.post;
+      out << p.id << "," << p.page_id << "," << static_cast<int>(p.media) << ","
+          << p.language << "," << p.num_mentions << "," << p.num_hashtags << ",";
+      for (double v : {p.text_length, p.creation_tod}) {
+        WriteDouble(out, v);
+        out << ",";
+      }
+      out << p.day_of_week << ",";
+      for (double v : {p.in_group, p.group_members, p.has_question, p.creation_time,
+                       p.lambda0, p.beta, p.rho1}) {
+        WriteDouble(out, v);
+        out << ",";
+      }
+      WriteDouble(out, p.mark_sigma_log);
+      out << "\n";
+    }
+    if (!out) return false;
+  }
+  // views.csv
+  {
+    std::ofstream out(directory + "/views.csv");
+    if (!out) return false;
+    out << "post_id,time,mark,parent,generation,is_share,reshare_depth\n";
+    for (const Cascade& c : dataset.cascades) {
+      for (size_t i = 0; i < c.views.size(); ++i) {
+        const pp::Event& e = c.views[i];
+        out << c.post.id << ",";
+        WriteDouble(out, e.time);
+        out << ",";
+        WriteDouble(out, e.mark);
+        out << "," << e.parent << "," << e.generation << ","
+            << (c.is_share[i] ? 1 : 0) << "," << c.reshare_depth[i] << "\n";
+      }
+    }
+    if (!out) return false;
+  }
+  // comments.csv / reactions.csv
+  for (const auto& [name, member] :
+       {std::pair{"/comments.csv", &Cascade::comment_times},
+        std::pair{"/reactions.csv", &Cascade::reaction_times}}) {
+    std::ofstream out(directory + name);
+    if (!out) return false;
+    out << "post_id,time\n";
+    for (const Cascade& c : dataset.cascades) {
+      for (double t : c.*member) {
+        out << c.post.id << ",";
+        WriteDouble(out, t);
+        out << "\n";
+      }
+    }
+    if (!out) return false;
+  }
+  return true;
+}
+
+std::optional<SyntheticDataset> LoadDatasetCsv(const std::string& directory) {
+  SyntheticDataset dataset;
+  std::vector<std::string> f;
+
+  // meta.csv
+  {
+    CsvReader reader(directory + "/meta.csv");
+    if (!reader.ok() || !reader.NextRow(&f)) return std::nullopt;  // header
+    GeneratorConfig& c = dataset.config;
+    while (reader.NextRow(&f)) {
+      if (f.size() != 2) return std::nullopt;
+      double v = 0.0;
+      if (!ParseDouble(f[1], &v)) return std::nullopt;
+      const std::string& key = f[0];
+      if (key == "num_pages") c.num_pages = static_cast<int>(v);
+      else if (key == "num_posts") c.num_posts = static_cast<int>(v);
+      else if (key == "tracking_window") c.tracking_window = v;
+      else if (key == "posting_period") c.posting_period = v;
+      else if (key == "base_mean_size") c.base_mean_size = v;
+      else if (key == "max_views_per_cascade") c.max_views_per_cascade = static_cast<uint64_t>(v);
+      else if (key == "base_beta") c.base_beta = v;
+      else if (key == "base_share_prob") c.base_share_prob = v;
+      else if (key == "base_comment_prob") c.base_comment_prob = v;
+      else if (key == "base_reaction_prob") c.base_reaction_prob = v;
+      else if (key == "seasonality_amplitude") c.seasonality_amplitude = v;
+      else if (key == "seed") c.seed = static_cast<uint64_t>(v);
+    }
+  }
+  // pages.csv
+  {
+    CsvReader reader(directory + "/pages.csv");
+    if (!reader.ok() || !reader.NextRow(&f)) return std::nullopt;
+    while (reader.NextRow(&f)) {
+      if (f.size() != 15) return std::nullopt;
+      PageProfile p;
+      int64_t id = 0, category = 0;
+      double vals[13];
+      if (!ParseInt(f[0], &id) || !ParseInt(f[5], &category)) return std::nullopt;
+      const int value_cols[13] = {1, 2, 3, 4, 6, 7, 8, 9, 10, 11, 12, 13, 14};
+      for (int i = 0; i < 13; ++i) {
+        if (!ParseDouble(f[static_cast<size_t>(value_cols[i])], &vals[i])) {
+          return std::nullopt;
+        }
+      }
+      p.id = static_cast<int32_t>(id);
+      p.followers = vals[0];
+      p.fans = vals[1];
+      p.posts_last_month = vals[2];
+      p.page_age_days = vals[3];
+      p.category = static_cast<PageCategory>(category);
+      p.verified = vals[4];
+      p.hist_mean_views = vals[5];
+      p.hist_mean_halflife = vals[6];
+      p.hist_share_rate = vals[7];
+      p.hist_comment_rate = vals[8];
+      p.quality = vals[9];
+      p.audience_tau = vals[10];
+      p.shareability = vals[11];
+      p.alpha_page = vals[12];
+      dataset.pages.push_back(p);
+    }
+  }
+  // posts.csv
+  {
+    CsvReader reader(directory + "/posts.csv");
+    if (!reader.ok() || !reader.NextRow(&f)) return std::nullopt;
+    while (reader.NextRow(&f)) {
+      if (f.size() != 17) return std::nullopt;
+      Cascade cascade;
+      PostProfile& p = cascade.post;
+      int64_t iv = 0;
+      auto geti = [&](size_t col, auto* out) {
+        if (!ParseInt(f[col], &iv)) return false;
+        *out = static_cast<std::remove_pointer_t<decltype(out)>>(iv);
+        return true;
+      };
+      auto getd = [&](size_t col, double* out) { return ParseDouble(f[col], out); };
+      int media = 0;
+      if (!geti(0, &p.id) || !geti(1, &p.page_id) || !geti(2, &media) ||
+          !geti(3, &p.language) || !geti(4, &p.num_mentions) ||
+          !geti(5, &p.num_hashtags) || !getd(6, &p.text_length) ||
+          !getd(7, &p.creation_tod) || !geti(8, &p.day_of_week) ||
+          !getd(9, &p.in_group) || !getd(10, &p.group_members) ||
+          !getd(11, &p.has_question) || !getd(12, &p.creation_time) ||
+          !getd(13, &p.lambda0) || !getd(14, &p.beta) || !getd(15, &p.rho1) ||
+          !getd(16, &p.mark_sigma_log)) {
+        return std::nullopt;
+      }
+      p.media = static_cast<MediaType>(media);
+      dataset.cascades.push_back(std::move(cascade));
+    }
+  }
+  // Index post id -> cascade slot (ids are generated densely but be safe).
+  std::unordered_map<int32_t, size_t> post_index;
+  for (size_t i = 0; i < dataset.cascades.size(); ++i) {
+    post_index[dataset.cascades[i].post.id] = i;
+  }
+  // views.csv
+  {
+    CsvReader reader(directory + "/views.csv");
+    if (!reader.ok() || !reader.NextRow(&f)) return std::nullopt;
+    while (reader.NextRow(&f)) {
+      if (f.size() != 7) return std::nullopt;
+      int64_t post_id = 0, parent = 0, generation = 0, is_share = 0, depth = 0;
+      pp::Event e;
+      if (!ParseInt(f[0], &post_id) || !ParseDouble(f[1], &e.time) ||
+          !ParseDouble(f[2], &e.mark) || !ParseInt(f[3], &parent) ||
+          !ParseInt(f[4], &generation) || !ParseInt(f[5], &is_share) ||
+          !ParseInt(f[6], &depth)) {
+        return std::nullopt;
+      }
+      const auto it = post_index.find(static_cast<int32_t>(post_id));
+      if (it == post_index.end()) return std::nullopt;
+      Cascade& cascade = dataset.cascades[it->second];
+      e.parent = static_cast<int32_t>(parent);
+      e.generation = static_cast<int32_t>(generation);
+      cascade.views.push_back(e);
+      cascade.is_share.push_back(is_share != 0);
+      cascade.reshare_depth.push_back(static_cast<int32_t>(depth));
+    }
+  }
+  // comments.csv / reactions.csv
+  for (const auto& [name, member] :
+       {std::pair{"/comments.csv", &Cascade::comment_times},
+        std::pair{"/reactions.csv", &Cascade::reaction_times}}) {
+    CsvReader reader(directory + name);
+    if (!reader.ok() || !reader.NextRow(&f)) return std::nullopt;
+    while (reader.NextRow(&f)) {
+      if (f.size() != 2) return std::nullopt;
+      int64_t post_id = 0;
+      double t = 0.0;
+      if (!ParseInt(f[0], &post_id) || !ParseDouble(f[1], &t)) return std::nullopt;
+      const auto it = post_index.find(static_cast<int32_t>(post_id));
+      if (it == post_index.end()) return std::nullopt;
+      (dataset.cascades[it->second].*member).push_back(t);
+    }
+  }
+  return dataset;
+}
+
+}  // namespace horizon::datagen

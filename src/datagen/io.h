@@ -1,0 +1,32 @@
+// CSV persistence for synthetic datasets: lets expensive workloads be
+// generated once and shared across experiment binaries or external tools
+// (every file is plain CSV with a header row).
+#ifndef HORIZON_DATAGEN_IO_H_
+#define HORIZON_DATAGEN_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "datagen/generator.h"
+
+namespace horizon::datagen {
+
+/// Writes the dataset into `directory` (which must exist) as
+///   meta.csv      -- generator configuration (key,value)
+///   pages.csv     -- one row per page (observable + latent fields)
+///   posts.csv     -- one row per post
+///   views.csv     -- one row per view event (post_id, time, mark, parent,
+///                    generation, is_share, reshare_depth)
+///   comments.csv  -- (post_id, time)
+///   reactions.csv -- (post_id, time)
+/// Returns false on any I/O failure.
+bool SaveDatasetCsv(const SyntheticDataset& dataset, const std::string& directory);
+
+/// Reads a dataset previously written by SaveDatasetCsv.  Returns nullopt
+/// on missing files or parse errors.  Round-trips exactly (doubles are
+/// written with 17 significant digits).
+std::optional<SyntheticDataset> LoadDatasetCsv(const std::string& directory);
+
+}  // namespace horizon::datagen
+
+#endif  // HORIZON_DATAGEN_IO_H_

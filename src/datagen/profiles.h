@@ -1,0 +1,97 @@
+// Static entity profiles of the synthetic social-media workload: pages
+// (public accounts that author content) and posts (content items).
+//
+// Observable fields mirror the feature taxonomy of the paper's Appendix
+// A.16 (content features, page features); latent fields are the ground
+// truth that links static features to cascade dynamics, giving the learned
+// point predictors genuine signal.
+#ifndef HORIZON_DATAGEN_PROFILES_H_
+#define HORIZON_DATAGEN_PROFILES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace horizon::datagen {
+
+/// Media type of a post (content feature).
+enum class MediaType : int {
+  kStatus = 0,
+  kPhoto = 1,
+  kVideo = 2,
+  kLink = 3,
+  kLive = 4,
+};
+inline constexpr int kNumMediaTypes = 5;
+const char* MediaTypeName(MediaType type);
+
+/// Page vertical (content/page feature).
+enum class PageCategory : int {
+  kBrand = 0,
+  kCelebrity = 1,
+  kNews = 2,
+  kEntertainment = 3,
+  kSports = 4,
+  kPolitics = 5,
+  kCommunity = 6,
+};
+inline constexpr int kNumPageCategories = 7;
+const char* PageCategoryName(PageCategory category);
+
+/// A page: the account that authors posts.
+struct PageProfile {
+  int32_t id = 0;
+
+  // --- Observable page features ---
+  double followers = 0.0;        ///< follower count (long tailed)
+  double fans = 0.0;             ///< fan count, correlated with followers
+  double posts_last_month = 0.0; ///< posting activity
+  double page_age_days = 0.0;    ///< account age
+  PageCategory category = PageCategory::kBrand;
+  double verified = 0.0;         ///< 1 if verified account
+  // Observable summaries of the page's historical cascades (page-level
+  // engagement features in the paper's taxonomy).
+  double hist_mean_views = 0.0;      ///< mean final views of past posts
+  double hist_mean_halflife = 0.0;   ///< mean time to half of final views (s)
+  double hist_share_rate = 0.0;      ///< shares per view historically
+  double hist_comment_rate = 0.0;    ///< comments per view historically
+
+  // --- Latent ground truth (never exposed to models) ---
+  double quality = 0.0;          ///< engagement propensity in (0, 1)
+  double audience_tau = 0.0;     ///< consumption-timescale multiplier
+  double shareability = 0.0;     ///< propensity of content to be reshared
+  double alpha_page = 0.0;       ///< page-typical effective growth exponent
+};
+
+/// A post: one content item whose popularity we predict.
+struct PostProfile {
+  int32_t id = 0;
+  int32_t page_id = 0;
+
+  // --- Observable content features ---
+  MediaType media = MediaType::kStatus;
+  int language = 0;          ///< language id, 0..9
+  int num_mentions = 0;      ///< users mentioned in the post
+  int num_hashtags = 0;
+  double text_length = 0.0;  ///< characters
+  double creation_tod = 0.0; ///< time of day of creation, hours in [0, 24)
+  int day_of_week = 0;       ///< 0..6
+  double in_group = 0.0;     ///< 1 if posted into a group
+  double group_members = 0.0;///< members of that group (0 otherwise)
+  double has_question = 0.0; ///< 1 if the text asks a question
+  double creation_time = 0.0;///< absolute creation time (s from epoch)
+
+  // --- Latent ground-truth Hawkes parameters of the view cascade ---
+  double lambda0 = 0.0;   ///< initial intensity
+  double beta = 0.0;      ///< kernel decay rate
+  double rho1 = 0.0;      ///< branching ratio E[Z]
+  double mark_sigma_log = 0.0;  ///< lognormal sigma of the marks
+
+  /// Ground-truth effective growth exponent alpha = beta (1 - rho1).
+  double TrueAlpha() const { return beta * (1.0 - rho1); }
+  /// Ground-truth expected final size lambda0 / alpha.
+  double TrueExpectedFinalSize() const { return lambda0 / TrueAlpha(); }
+};
+
+}  // namespace horizon::datagen
+
+#endif  // HORIZON_DATAGEN_PROFILES_H_

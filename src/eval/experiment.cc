@@ -1,0 +1,77 @@
+#include "eval/experiment.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace horizon::eval {
+
+ExperimentConfig::ExperimentConfig() {
+  // Bench-scale defaults: large enough for stable metrics, small enough to
+  // run on one core in tens of seconds.
+  generator.num_pages = 300;
+  generator.num_posts = 2600;
+  generator.base_mean_size = 150.0;
+  generator.max_views_per_cascade = 120000;
+  generator.seed = 20211215;
+
+  examples.reference_horizons = {6 * kHour, 1 * kDay, 4 * kDay};
+  examples.samples_per_cascade = 2;
+  examples.min_prediction_age = 30 * kMinute;
+  examples.max_prediction_age = 4 * kDay;
+  examples.seed = 7;
+}
+
+gbdt::GbdtParams BenchGbdtParams() {
+  gbdt::GbdtParams params;
+  params.num_trees = 80;
+  params.learning_rate = 0.1;
+  params.subsample = 0.8;
+  params.tree.max_depth = 5;
+  params.tree.min_samples_leaf = 10;
+  return params;
+}
+
+ExperimentData PrepareExperiment(const ExperimentConfig& config) {
+  ExperimentData data;
+  data.dataset = datagen::Generator(config.generator).Generate();
+  data.extractor = std::make_unique<features::FeatureExtractor>(config.tracker);
+  data.split = SplitIndices(data.dataset.cascades.size(), config.test_fraction,
+                            config.split_seed);
+  data.train = core::BuildExampleSet(data.dataset, data.split.train,
+                                     *data.extractor, config.examples);
+  core::ExampleSetOptions test_options = config.examples;
+  test_options.seed = config.examples.seed + 1;
+  data.test = core::BuildExampleSet(data.dataset, data.split.test, *data.extractor,
+                                    test_options);
+  return data;
+}
+
+std::vector<double> TrueCounts(const datagen::SyntheticDataset& dataset,
+                               const core::ExampleSet& set, double delta) {
+  std::vector<double> out;
+  out.reserve(set.size());
+  for (const auto& ref : set.refs) {
+    out.push_back(ref.n_s + core::TrueIncrement(dataset.cascades[ref.cascade_index],
+                                                ref.prediction_age, delta));
+  }
+  return out;
+}
+
+std::vector<double> Log1pIncrementTargets(const datagen::SyntheticDataset& dataset,
+                                          const core::ExampleSet& set, double delta) {
+  std::vector<double> out;
+  out.reserve(set.size());
+  for (const auto& ref : set.refs) {
+    out.push_back(std::log1p(core::TrueIncrement(dataset.cascades[ref.cascade_index],
+                                                 ref.prediction_age, delta)));
+  }
+  return out;
+}
+
+std::vector<double> PaperHorizonGrid() {
+  return {1 * kHour, 3 * kHour,  6 * kHour, 12 * kHour,
+          1 * kDay,  2 * kDay,   4 * kDay,  7 * kDay};
+}
+
+}  // namespace horizon::eval

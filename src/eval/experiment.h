@@ -1,0 +1,62 @@
+// Shared experiment driver for the bench binaries: generates the synthetic
+// workload, splits it at the cascade level, and materializes train/test
+// example sets.  Each bench binary then trains the models it needs and
+// prints its table/series.
+#ifndef HORIZON_EVAL_EXPERIMENT_H_
+#define HORIZON_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "datagen/generator.h"
+#include "eval/split.h"
+#include "features/extractor.h"
+#include "gbdt/gbdt.h"
+
+namespace horizon::eval {
+
+/// Configuration of a full experiment run.
+struct ExperimentConfig {
+  datagen::GeneratorConfig generator;
+  stream::TrackerConfig tracker;
+  core::ExampleSetOptions examples;
+  double test_fraction = 0.3;
+  uint64_t split_seed = 9;
+
+  ExperimentConfig();  ///< fills in bench-scale defaults
+};
+
+/// Materialized experiment data.
+struct ExperimentData {
+  datagen::SyntheticDataset dataset;
+  std::unique_ptr<features::FeatureExtractor> extractor;
+  Split split;
+  core::ExampleSet train;
+  core::ExampleSet test;
+};
+
+/// Generates the workload and builds train/test example sets.
+ExperimentData PrepareExperiment(const ExperimentConfig& config);
+
+/// GBDT hyper-parameters used by all learned models in the benches.
+gbdt::GbdtParams BenchGbdtParams();
+
+/// True counts N(s + delta) for every example of a set (delta may be +inf,
+/// meaning end of the tracking window).
+std::vector<double> TrueCounts(const datagen::SyntheticDataset& dataset,
+                               const core::ExampleSet& set, double delta);
+
+/// Builds log1p-increment targets at an arbitrary horizon for an example
+/// set (used to train PB/HF baselines at horizons beyond the set's
+/// reference horizons).
+std::vector<double> Log1pIncrementTargets(const datagen::SyntheticDataset& dataset,
+                                          const core::ExampleSet& set, double delta);
+
+/// The horizon grid of Fig. 1 / Fig. 11 / Fig. 12: 1h .. 7d.
+std::vector<double> PaperHorizonGrid();
+
+}  // namespace horizon::eval
+
+#endif  // HORIZON_EVAL_EXPERIMENT_H_

@@ -1,0 +1,74 @@
+#include "eval/importance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace horizon::eval {
+
+namespace {
+
+double MeanSquaredError(const gbdt::GbdtRegressor& model, const gbdt::DataMatrix& x,
+                        const std::vector<double>& y) {
+  double sum = 0.0;
+  for (size_t i = 0; i < x.num_rows(); ++i) {
+    const double d = model.Predict(x.Row(i)) - y[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(x.num_rows());
+}
+
+}  // namespace
+
+std::vector<double> PermutationImportance(const gbdt::GbdtRegressor& model,
+                                          const gbdt::DataMatrix& x,
+                                          const std::vector<double>& y, int repeats,
+                                          uint64_t seed) {
+  HORIZON_CHECK_EQ(x.num_rows(), y.size());
+  HORIZON_CHECK_GT(x.num_rows(), 1u);
+  HORIZON_CHECK_GE(repeats, 1);
+  const double base_mse = MeanSquaredError(model, x, y);
+  const size_t n = x.num_rows();
+  Rng rng(seed);
+
+  std::vector<double> importances(x.num_features(), 0.0);
+  gbdt::DataMatrix shuffled = x;  // mutated column-by-column, then restored
+  std::vector<float> original(n);
+  std::vector<size_t> perm(n);
+
+  for (size_t f = 0; f < x.num_features(); ++f) {
+    for (size_t i = 0; i < n; ++i) original[i] = x.Get(i, f);
+    double delta_sum = 0.0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      for (size_t i = 0; i < n; ++i) perm[i] = i;
+      for (size_t i = n; i > 1; --i) {
+        std::swap(perm[i - 1], perm[rng.UniformInt(i)]);
+      }
+      for (size_t i = 0; i < n; ++i) shuffled.Set(i, f, original[perm[i]]);
+      delta_sum += MeanSquaredError(model, shuffled, y) - base_mse;
+    }
+    importances[f] = std::max(delta_sum / repeats, 0.0);
+    for (size_t i = 0; i < n; ++i) shuffled.Set(i, f, original[i]);
+  }
+
+  double total = 0.0;
+  for (double v : importances) total += v;
+  if (total > 0.0) {
+    for (double& v : importances) v /= total;
+  }
+  return importances;
+}
+
+std::vector<double> AggregateByCategory(const features::FeatureSchema& schema,
+                                        const std::vector<double>& importances) {
+  HORIZON_CHECK_EQ(schema.size(), importances.size());
+  std::vector<double> by_category(features::kNumFeatureCategories, 0.0);
+  for (size_t i = 0; i < schema.size(); ++i) {
+    by_category[static_cast<int>(schema.def(i).category)] += importances[i];
+  }
+  return by_category;
+}
+
+}  // namespace horizon::eval

@@ -1,0 +1,30 @@
+// Permutation feature importance over a held-out set (the measure behind
+// Table 2): the increase in squared error when one feature column is
+// shuffled, normalized across features.
+#ifndef HORIZON_EVAL_IMPORTANCE_H_
+#define HORIZON_EVAL_IMPORTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "features/schema.h"
+#include "gbdt/gbdt.h"
+
+namespace horizon::eval {
+
+/// Per-feature permutation importance of a trained regressor on (x, y).
+/// Negative raw deltas (features whose shuffling helps by chance) are
+/// clipped to 0 before normalizing to sum 1.
+std::vector<double> PermutationImportance(const gbdt::GbdtRegressor& model,
+                                          const gbdt::DataMatrix& x,
+                                          const std::vector<double>& y,
+                                          int repeats = 1, uint64_t seed = 99);
+
+/// Aggregates per-feature importances by schema category; returns a vector
+/// indexed by FeatureCategory.
+std::vector<double> AggregateByCategory(const features::FeatureSchema& schema,
+                                        const std::vector<double>& importances);
+
+}  // namespace horizon::eval
+
+#endif  // HORIZON_EVAL_IMPORTANCE_H_

@@ -1,0 +1,147 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace horizon::eval {
+
+double MedianApe(const std::vector<double>& predictions,
+                 const std::vector<double>& truths) {
+  HORIZON_CHECK_EQ(predictions.size(), truths.size());
+  std::vector<double> apes;
+  apes.reserve(truths.size());
+  for (size_t i = 0; i < truths.size(); ++i) {
+    if (truths[i] > 0.0) {
+      apes.push_back(std::fabs(predictions[i] - truths[i]) / truths[i]);
+    }
+  }
+  return Median(std::move(apes));
+}
+
+namespace {
+
+// Counts strict inversions in y (pairs i < j with y[i] > y[j]) by merge
+// sort; y is reordered.
+uint64_t CountInversions(std::vector<double>& y, std::vector<double>& buffer,
+                         size_t lo, size_t hi) {
+  if (hi - lo < 2) return 0;
+  const size_t mid = lo + (hi - lo) / 2;
+  uint64_t count = CountInversions(y, buffer, lo, mid) +
+                   CountInversions(y, buffer, mid, hi);
+  size_t i = lo, j = mid, k = lo;
+  while (i < mid && j < hi) {
+    if (y[i] <= y[j]) {
+      buffer[k++] = y[i++];
+    } else {
+      count += mid - i;
+      buffer[k++] = y[j++];
+    }
+  }
+  while (i < mid) buffer[k++] = y[i++];
+  while (j < hi) buffer[k++] = y[j++];
+  std::copy(buffer.begin() + static_cast<ptrdiff_t>(lo),
+            buffer.begin() + static_cast<ptrdiff_t>(hi),
+            y.begin() + static_cast<ptrdiff_t>(lo));
+  return count;
+}
+
+uint64_t TiePairs(const std::vector<double>& sorted_values) {
+  uint64_t pairs = 0;
+  size_t run = 1;
+  for (size_t i = 1; i <= sorted_values.size(); ++i) {
+    if (i < sorted_values.size() && sorted_values[i] == sorted_values[i - 1]) {
+      ++run;
+    } else {
+      pairs += static_cast<uint64_t>(run) * (run - 1) / 2;
+      run = 1;
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+double KendallTau(const std::vector<double>& x, const std::vector<double>& y) {
+  HORIZON_CHECK_EQ(x.size(), y.size());
+  const size_t n = x.size();
+  if (n < 2) return std::numeric_limits<double>::quiet_NaN();
+
+  // Sort indices by (x, y).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (x[a] != x[b]) return x[a] < x[b];
+    return y[a] < y[b];
+  });
+
+  // n1: pairs tied in x; n3: pairs tied in both.
+  uint64_t n1 = 0, n3 = 0;
+  {
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i;
+      while (j < n && x[order[j]] == x[order[i]]) ++j;
+      const uint64_t run = j - i;
+      n1 += run * (run - 1) / 2;
+      // (x, y) ties within the x-run (y ascending within the run).
+      size_t a = i;
+      while (a < j) {
+        size_t b = a;
+        while (b < j && y[order[b]] == y[order[a]]) ++b;
+        const uint64_t r2 = b - a;
+        n3 += r2 * (r2 - 1) / 2;
+        a = b;
+      }
+      i = j;
+    }
+  }
+
+  // Discordant pairs = inversions of y in x-order.
+  std::vector<double> y_in_x_order(n);
+  for (size_t i = 0; i < n; ++i) y_in_x_order[i] = y[order[i]];
+  std::vector<double> buffer(n);
+  const uint64_t swaps = CountInversions(y_in_x_order, buffer, 0, n);
+
+  // n2: pairs tied in y.
+  std::vector<double> y_sorted = y;
+  std::sort(y_sorted.begin(), y_sorted.end());
+  const uint64_t n2 = TiePairs(y_sorted);
+
+  const uint64_t n0 = static_cast<uint64_t>(n) * (n - 1) / 2;
+  const double numerator = static_cast<double>(n0) - static_cast<double>(n1) -
+                           static_cast<double>(n2) + static_cast<double>(n3) -
+                           2.0 * static_cast<double>(swaps);
+  const double denom = std::sqrt(static_cast<double>(n0 - n1)) *
+                       std::sqrt(static_cast<double>(n0 - n2));
+  if (denom <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return numerator / denom;
+}
+
+double Rmse(const std::vector<double>& predictions, const std::vector<double>& truths) {
+  HORIZON_CHECK_EQ(predictions.size(), truths.size());
+  if (predictions.empty()) return std::numeric_limits<double>::quiet_NaN();
+  KahanSum sum;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const double d = predictions[i] - truths[i];
+    sum.Add(d * d);
+  }
+  return std::sqrt(sum.value() / static_cast<double>(predictions.size()));
+}
+
+MetricSummary ComputeMetrics(const std::vector<double>& predictions,
+                             const std::vector<double>& truths) {
+  MetricSummary m;
+  m.median_ape = MedianApe(predictions, truths);
+  m.kendall_tau = KendallTau(predictions, truths);
+  m.rmse = Rmse(predictions, truths);
+  m.n = predictions.size();
+  return m;
+}
+
+}  // namespace horizon::eval

@@ -1,0 +1,39 @@
+// Evaluation metrics used in Sec. 5.1: Median Absolute Percentage Error
+// (following SEISMIC [51]), Kendall tau rank correlation (tau-b, exact, in
+// O(n log n)), and RMSE.
+#ifndef HORIZON_EVAL_METRICS_H_
+#define HORIZON_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace horizon::eval {
+
+/// Median of |pred - truth| / truth over items with truth > 0 (items with
+/// zero true value carry an undefined percentage error and are dropped,
+/// matching SEISMIC's protocol).  NaN when no usable items.
+double MedianApe(const std::vector<double>& predictions,
+                 const std::vector<double>& truths);
+
+/// Kendall rank correlation tau-b (tie-adjusted), computed exactly in
+/// O(n log n) via Knight's algorithm.  NaN for degenerate inputs.
+double KendallTau(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Root mean squared error.
+double Rmse(const std::vector<double>& predictions,
+            const std::vector<double>& truths);
+
+/// The triple reported throughout Sec. 5.
+struct MetricSummary {
+  double median_ape = 0.0;
+  double kendall_tau = 0.0;
+  double rmse = 0.0;
+  size_t n = 0;
+};
+
+MetricSummary ComputeMetrics(const std::vector<double>& predictions,
+                             const std::vector<double>& truths);
+
+}  // namespace horizon::eval
+
+#endif  // HORIZON_EVAL_METRICS_H_

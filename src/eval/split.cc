@@ -1,0 +1,30 @@
+#include "eval/split.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace horizon::eval {
+
+Split SplitIndices(size_t n, double test_fraction, uint64_t seed) {
+  HORIZON_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  std::vector<size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), size_t{0});
+  Rng rng(seed);
+  // Fisher-Yates shuffle.
+  for (size_t i = n; i > 1; --i) {
+    const size_t j = rng.UniformInt(i);
+    std::swap(indices[i - 1], indices[j]);
+  }
+  const size_t n_test = std::max<size_t>(1, static_cast<size_t>(test_fraction * n));
+  Split split;
+  split.test.assign(indices.begin(), indices.begin() + static_cast<ptrdiff_t>(n_test));
+  split.train.assign(indices.begin() + static_cast<ptrdiff_t>(n_test), indices.end());
+  std::sort(split.test.begin(), split.test.end());
+  std::sort(split.train.begin(), split.train.end());
+  return split;
+}
+
+}  // namespace horizon::eval

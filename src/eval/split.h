@@ -1,0 +1,24 @@
+// Train/test splitting at the cascade level (content items must not leak
+// between splits: multiple prediction-time examples of one cascade always
+// land on the same side).
+#ifndef HORIZON_EVAL_SPLIT_H_
+#define HORIZON_EVAL_SPLIT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace horizon::eval {
+
+/// Index split.
+struct Split {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// Randomly splits [0, n) into train/test with the given test fraction.
+Split SplitIndices(size_t n, double test_fraction, uint64_t seed);
+
+}  // namespace horizon::eval
+
+#endif  // HORIZON_EVAL_SPLIT_H_

@@ -1,0 +1,44 @@
+// Feature extraction: builds the dense feature vector for (page, post,
+// tracker snapshot at prediction time).  Every temporal feature is derived
+// from the O(1)-state CascadeTracker snapshot, honoring the paper's
+// scalability requirement.
+#ifndef HORIZON_FEATURES_EXTRACTOR_H_
+#define HORIZON_FEATURES_EXTRACTOR_H_
+
+#include <vector>
+
+#include "datagen/cascade.h"
+#include "datagen/profiles.h"
+#include "features/schema.h"
+#include "stream/cascade_tracker.h"
+
+namespace horizon::features {
+
+/// Stateless feature extractor; the schema is fixed at construction from
+/// the tracker configuration (window/landmark layouts).
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(const stream::TrackerConfig& tracker_config);
+
+  const FeatureSchema& schema() const { return schema_; }
+  const stream::TrackerConfig& tracker_config() const { return tracker_config_; }
+
+  /// Extracts the feature vector (size schema().size()).
+  std::vector<float> Extract(const datagen::PageProfile& page,
+                             const datagen::PostProfile& post,
+                             const stream::TrackerSnapshot& snapshot) const;
+
+  /// Convenience: replays a generated cascade's engagement events with age
+  /// < observe_age into a fresh tracker and returns its snapshot.  (Real
+  /// deployments keep trackers incrementally; experiments replay.)
+  stream::TrackerSnapshot ReplaySnapshot(const datagen::Cascade& cascade,
+                                         double observe_age) const;
+
+ private:
+  stream::TrackerConfig tracker_config_;
+  FeatureSchema schema_;
+};
+
+}  // namespace horizon::features
+
+#endif  // HORIZON_FEATURES_EXTRACTOR_H_

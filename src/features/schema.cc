@@ -1,0 +1,39 @@
+#include "features/schema.h"
+
+#include "common/check.h"
+
+namespace horizon::features {
+
+const char* FeatureCategoryName(FeatureCategory category) {
+  switch (category) {
+    case FeatureCategory::kContent: return "content";
+    case FeatureCategory::kPage: return "page";
+    case FeatureCategory::kEngagementViews: return "engagement/views_on_post";
+    case FeatureCategory::kEngagementPageViews: return "engagement/page_other_posts";
+    case FeatureCategory::kEngagementShares: return "engagement/shares";
+    case FeatureCategory::kEngagementComments: return "engagement/comments";
+    case FeatureCategory::kEngagementReactions: return "engagement/reactions";
+    case FeatureCategory::kEngagementCombos: return "engagement/combinations";
+    case FeatureCategory::kOther: return "other";
+  }
+  return "unknown";
+}
+
+size_t FeatureSchema::Add(std::string name, FeatureCategory category) {
+  defs_.push_back({std::move(name), category});
+  return defs_.size() - 1;
+}
+
+std::vector<size_t> FeatureSchema::IndicesOf(FeatureCategory category) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].category == category) out.push_back(i);
+  }
+  return out;
+}
+
+size_t FeatureSchema::CountOf(FeatureCategory category) const {
+  return IndicesOf(category).size();
+}
+
+}  // namespace horizon::features

@@ -1,0 +1,56 @@
+// Feature schema: named, categorized features mirroring the taxonomy of the
+// paper's Appendix A.16 (content features, page features, engagement
+// features split by type, combination features, other features).
+#ifndef HORIZON_FEATURES_SCHEMA_H_
+#define HORIZON_FEATURES_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace horizon::features {
+
+/// Feature categories used for the Table 2 importance breakdown.
+enum class FeatureCategory : int {
+  kContent = 0,            ///< static properties of the post
+  kPage = 1,               ///< properties of the authoring page
+  kEngagementViews = 2,    ///< views on the original post
+  kEngagementPageViews = 3,///< cumulative views on the page's other posts
+  kEngagementShares = 4,
+  kEngagementComments = 5,
+  kEngagementReactions = 6,
+  kEngagementCombos = 7,   ///< ratios between engagement counters
+  kOther = 8,              ///< prediction time, content age, group size, ...
+};
+inline constexpr int kNumFeatureCategories = 9;
+const char* FeatureCategoryName(FeatureCategory category);
+
+/// One feature definition.
+struct FeatureDef {
+  std::string name;
+  FeatureCategory category;
+};
+
+/// Ordered collection of feature definitions; the order defines the layout
+/// of the feature vectors fed to the GBDT models.
+class FeatureSchema {
+ public:
+  /// Appends a feature; returns its index.
+  size_t Add(std::string name, FeatureCategory category);
+
+  size_t size() const { return defs_.size(); }
+  const FeatureDef& def(size_t i) const { return defs_[i]; }
+
+  /// Indices of all features in a category.
+  std::vector<size_t> IndicesOf(FeatureCategory category) const;
+
+  /// Number of features in a category.
+  size_t CountOf(FeatureCategory category) const;
+
+ private:
+  std::vector<FeatureDef> defs_;
+};
+
+}  // namespace horizon::features
+
+#endif  // HORIZON_FEATURES_SCHEMA_H_

@@ -1,0 +1,78 @@
+// Feature matrices and quantile binning for histogram-based tree learning.
+#ifndef HORIZON_GBDT_DATASET_H_
+#define HORIZON_GBDT_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace horizon::gbdt {
+
+/// Dense row-major matrix of float features.
+///
+/// Rows are examples, columns are features.  Values must be finite (the
+/// learner has no missing-value handling; callers encode "absent" with a
+/// sentinel such as -1, which the trees treat as an ordinary value).
+class DataMatrix {
+ public:
+  DataMatrix() = default;
+  DataMatrix(size_t num_rows, size_t num_features);
+
+  void Set(size_t row, size_t col, float v);
+  float Get(size_t row, size_t col) const;
+
+  /// Pointer to the contiguous feature vector of a row.
+  const float* Row(size_t row) const;
+  float* MutableRow(size_t row);
+
+  /// Appends a row (must have num_features() entries).
+  void AppendRow(const std::vector<float>& row);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_features() const { return num_features_; }
+
+ private:
+  size_t num_rows_ = 0;
+  size_t num_features_ = 0;
+  std::vector<float> values_;  // row-major
+};
+
+/// Per-feature quantile binning of a DataMatrix.
+///
+/// Each feature is discretized into at most `max_bins` bins delimited by
+/// upper-edge thresholds; bin b holds values v with
+/// upper_edge[b-1] < v <= upper_edge[b].  Codes are uint8_t, so max_bins
+/// must be <= 256.
+class BinnedDataset {
+ public:
+  /// Builds bins from the data and encodes every row.
+  static BinnedDataset Create(const DataMatrix& data, int max_bins = 255);
+
+  /// Bin code of (row, feature).
+  uint8_t Code(size_t row, size_t feature) const {
+    return codes_[feature * num_rows_ + row];
+  }
+
+  /// Number of bins actually used for a feature (>= 1).
+  int NumBins(size_t feature) const;
+
+  /// Real-valued threshold such that "x <= threshold" sends x to bins
+  /// [0, bin] -- the split threshold recorded into trees.
+  float BinUpperEdge(size_t feature, int bin) const;
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_features() const { return num_features_; }
+
+ private:
+  size_t num_rows_ = 0;
+  size_t num_features_ = 0;
+  // codes_ is feature-major (column-contiguous) for cache-friendly
+  // histogram construction.
+  std::vector<uint8_t> codes_;
+  std::vector<std::vector<float>> upper_edges_;  // per feature, ascending
+};
+
+}  // namespace horizon::gbdt
+
+#endif  // HORIZON_GBDT_DATASET_H_

@@ -1,0 +1,180 @@
+#include "gbdt/gbdt.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace horizon::gbdt {
+
+GbdtRegressor::GbdtRegressor(GbdtParams params) : params_(std::move(params)) {
+  HORIZON_CHECK_GE(params_.num_trees, 1);
+  HORIZON_CHECK_GT(params_.learning_rate, 0.0);
+  HORIZON_CHECK(params_.subsample > 0.0 && params_.subsample <= 1.0);
+}
+
+void GbdtRegressor::Fit(const DataMatrix& x, const std::vector<double>& y) {
+  FitInternal(x, y, nullptr, nullptr, 0);
+}
+
+int GbdtRegressor::FitWithValidation(const DataMatrix& x, const std::vector<double>& y,
+                                     const DataMatrix& x_valid,
+                                     const std::vector<double>& y_valid,
+                                     int early_stopping_rounds) {
+  HORIZON_CHECK_EQ(x_valid.num_rows(), y_valid.size());
+  HORIZON_CHECK_GT(x_valid.num_rows(), 0u);
+  HORIZON_CHECK_EQ(x_valid.num_features(), x.num_features());
+  HORIZON_CHECK_GE(early_stopping_rounds, 1);
+  FitInternal(x, y, &x_valid, &y_valid, early_stopping_rounds);
+  return static_cast<int>(trees_.size());
+}
+
+void GbdtRegressor::FitInternal(const DataMatrix& x, const std::vector<double>& y,
+                                const DataMatrix* x_valid,
+                                const std::vector<double>* y_valid,
+                                int early_stopping_rounds) {
+  HORIZON_CHECK_EQ(x.num_rows(), y.size());
+  HORIZON_CHECK_GT(x.num_rows(), 0u);
+  num_features_ = x.num_features();
+  trees_.clear();
+  gains_.assign(num_features_, 0.0);
+
+  const BinnedDataset binned = BinnedDataset::Create(x, params_.max_bins);
+  TreeLearner learner(binned, params_.tree);
+  Rng rng(params_.seed);
+
+  // Base score: mean target (optimal constant under squared loss).
+  base_score_ = std::accumulate(y.begin(), y.end(), 0.0) /
+                static_cast<double>(y.size());
+
+  std::vector<double> pred(y.size(), base_score_);
+  std::vector<double> residual(y.size());
+  std::vector<uint32_t> all_rows(y.size());
+  std::iota(all_rows.begin(), all_rows.end(), 0u);
+
+  // Early-stopping state.
+  std::vector<double> valid_pred;
+  double best_valid_mse = std::numeric_limits<double>::infinity();
+  size_t best_num_trees = 0;
+  int rounds_since_best = 0;
+  if (x_valid != nullptr) valid_pred.assign(y_valid->size(), base_score_);
+
+  for (int m = 0; m < params_.num_trees; ++m) {
+    for (size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - pred[i];
+
+    std::vector<uint32_t> rows;
+    if (params_.subsample < 1.0) {
+      rows.reserve(static_cast<size_t>(params_.subsample * y.size()) + 1);
+      for (uint32_t r : all_rows) {
+        if (rng.Bernoulli(params_.subsample)) rows.push_back(r);
+      }
+      if (rows.empty()) rows = all_rows;
+    } else {
+      rows = all_rows;
+    }
+
+    RegressionTree tree = learner.Fit(rows, residual, &gains_);
+    // Update predictions on ALL rows with the shrunken tree output.
+    for (size_t i = 0; i < y.size(); ++i) {
+      pred[i] += params_.learning_rate * tree.Predict(x.Row(i));
+    }
+    trees_.push_back(std::move(tree));
+
+    if (x_valid != nullptr) {
+      double mse = 0.0;
+      for (size_t i = 0; i < y_valid->size(); ++i) {
+        valid_pred[i] +=
+            params_.learning_rate * trees_.back().Predict(x_valid->Row(i));
+        const double d = valid_pred[i] - (*y_valid)[i];
+        mse += d * d;
+      }
+      mse /= static_cast<double>(y_valid->size());
+      if (mse < best_valid_mse) {
+        best_valid_mse = mse;
+        best_num_trees = trees_.size();
+        rounds_since_best = 0;
+      } else if (++rounds_since_best >= early_stopping_rounds) {
+        break;
+      }
+    }
+  }
+  if (x_valid != nullptr && best_num_trees > 0) {
+    trees_.resize(best_num_trees);
+  }
+  trained_ = true;
+}
+
+double GbdtRegressor::Predict(const float* row) const {
+  HORIZON_DCHECK(trained_);
+  double out = base_score_;
+  for (const RegressionTree& tree : trees_) {
+    out += params_.learning_rate * tree.Predict(row);
+  }
+  return out;
+}
+
+std::vector<double> GbdtRegressor::PredictBatch(const DataMatrix& x) const {
+  HORIZON_CHECK_EQ(x.num_features(), num_features_);
+  std::vector<double> out(x.num_rows());
+  for (size_t i = 0; i < x.num_rows(); ++i) out[i] = Predict(x.Row(i));
+  return out;
+}
+
+std::vector<double> GbdtRegressor::GainImportance() const {
+  std::vector<double> out = gains_;
+  const double total = std::accumulate(out.begin(), out.end(), 0.0);
+  if (total > 0.0) {
+    for (double& g : out) g /= total;
+  }
+  return out;
+}
+
+std::string GbdtRegressor::Serialize() const {
+  HORIZON_CHECK(trained_);
+  std::ostringstream os;
+  os.precision(17);
+  os << "gbdt v1\n";
+  os << num_features_ << " " << base_score_ << " " << params_.learning_rate << " "
+     << trees_.size() << "\n";
+  for (const RegressionTree& tree : trees_) {
+    os << tree.num_nodes() << "\n";
+    for (const TreeNode& n : tree.nodes()) {
+      os << n.feature << " " << n.threshold << " " << n.left << " " << n.right << " "
+         << n.value << "\n";
+    }
+  }
+  return os.str();
+}
+
+bool GbdtRegressor::Deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != "gbdt" || version != "v1") return false;
+  size_t num_features = 0, num_trees = 0;
+  double base = 0.0, lr = 0.0;
+  if (!(is >> num_features >> base >> lr >> num_trees)) return false;
+  std::vector<RegressionTree> trees;
+  trees.reserve(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    size_t num_nodes = 0;
+    if (!(is >> num_nodes) || num_nodes == 0) return false;
+    std::vector<TreeNode> nodes(num_nodes);
+    for (TreeNode& n : nodes) {
+      if (!(is >> n.feature >> n.threshold >> n.left >> n.right >> n.value)) {
+        return false;
+      }
+    }
+    trees.emplace_back(std::move(nodes));
+  }
+  num_features_ = num_features;
+  base_score_ = base;
+  params_.learning_rate = lr;
+  trees_ = std::move(trees);
+  gains_.assign(num_features_, 0.0);
+  trained_ = true;
+  return true;
+}
+
+}  // namespace horizon::gbdt

@@ -1,0 +1,86 @@
+// Gradient boosted decision trees for least-squares regression --
+// the point-predictor family used by the paper (stochastic gradient
+// boosting, Friedman [20]).
+#ifndef HORIZON_GBDT_GBDT_H_
+#define HORIZON_GBDT_GBDT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gbdt/dataset.h"
+#include "gbdt/tree.h"
+
+namespace horizon::gbdt {
+
+/// Hyper-parameters of the boosted ensemble.
+struct GbdtParams {
+  int num_trees = 120;
+  double learning_rate = 0.1;
+  double subsample = 0.8;    ///< row fraction per tree (stochastic boosting)
+  int max_bins = 255;
+  TreeParams tree;           ///< per-tree parameters
+  uint64_t seed = 17;        ///< subsampling seed
+};
+
+/// Trained gradient-boosted regression model.
+///
+/// Training:  GbdtRegressor model(params);  model.Fit(x, y);
+/// Inference: model.Predict(row_ptr)  -- O(num_trees * depth), constant in
+/// any notion of "history length", which is what the paper's Fig. 2
+/// computation-cost claim rests on.
+class GbdtRegressor {
+ public:
+  explicit GbdtRegressor(GbdtParams params = {});
+
+  /// Fits the ensemble to (x, y) with squared-error loss.
+  /// y.size() must equal x.num_rows() (> 0).
+  void Fit(const DataMatrix& x, const std::vector<double>& y);
+
+  /// Fits with early stopping: after each tree, the validation MSE is
+  /// evaluated; training stops once it has not improved for
+  /// `early_stopping_rounds` consecutive trees, and the ensemble is
+  /// truncated to the best iteration.  Returns the number of trees kept.
+  int FitWithValidation(const DataMatrix& x, const std::vector<double>& y,
+                        const DataMatrix& x_valid, const std::vector<double>& y_valid,
+                        int early_stopping_rounds = 10);
+
+  /// Predicts one dense feature row (size num_features).
+  double Predict(const float* row) const;
+
+  /// Predicts every row of a matrix.
+  std::vector<double> PredictBatch(const DataMatrix& x) const;
+
+  /// Total split gain attributed to each feature during training
+  /// (normalized to sum to 1; zeros if never split).
+  std::vector<double> GainImportance() const;
+
+  bool trained() const { return trained_; }
+  size_t num_features() const { return num_features_; }
+  const GbdtParams& params() const { return params_; }
+  const std::vector<RegressionTree>& trees() const { return trees_; }
+  double base_score() const { return base_score_; }
+
+  /// Serializes the trained model to a portable ASCII string.
+  std::string Serialize() const;
+  /// Restores a model from Serialize() output.  Returns false on parse
+  /// failure (model left untrained).
+  bool Deserialize(const std::string& text);
+
+ private:
+  void FitInternal(const DataMatrix& x, const std::vector<double>& y,
+                   const DataMatrix* x_valid, const std::vector<double>* y_valid,
+                   int early_stopping_rounds);
+
+  GbdtParams params_;
+  bool trained_ = false;
+  size_t num_features_ = 0;
+  double base_score_ = 0.0;
+  std::vector<RegressionTree> trees_;
+  std::vector<double> gains_;
+};
+
+}  // namespace horizon::gbdt
+
+#endif  // HORIZON_GBDT_GBDT_H_

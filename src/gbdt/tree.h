@@ -1,0 +1,82 @@
+// Regression tree representation and the histogram-based greedy learner.
+#ifndef HORIZON_GBDT_TREE_H_
+#define HORIZON_GBDT_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gbdt/dataset.h"
+
+namespace horizon::gbdt {
+
+/// One node of a binary regression tree.  Leaves have feature == -1.
+struct TreeNode {
+  int32_t feature = -1;     ///< split feature, -1 for leaf
+  float threshold = 0.0f;   ///< go left iff x[feature] <= threshold
+  int32_t left = -1;        ///< child indices (leaves: -1)
+  int32_t right = -1;
+  double value = 0.0;       ///< leaf output (weight)
+};
+
+/// Immutable trained regression tree.
+class RegressionTree {
+ public:
+  RegressionTree() = default;
+  explicit RegressionTree(std::vector<TreeNode> nodes);
+
+  /// Predicts for a dense feature row.
+  double Predict(const float* row) const;
+
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  int MaxDepth() const;
+
+ private:
+  std::vector<TreeNode> nodes_;
+};
+
+/// Hyper-parameters of the tree learner.
+struct TreeParams {
+  int max_depth = 5;
+  int min_samples_leaf = 20;
+  double l2_reg = 1.0;        ///< lambda in the leaf/gain formulas
+  double min_gain = 1e-9;     ///< minimum gain to accept a split
+};
+
+/// Histogram-based greedy learner for squared-error regression on
+/// gradient targets.
+///
+/// Fits a tree approximating the targets `grad_targets` (for gradient
+/// boosting these are the negative gradients / residuals); leaf values are
+/// the regularized means  sum(t) / (count + l2_reg).
+class TreeLearner {
+ public:
+  TreeLearner(const BinnedDataset& binned, TreeParams params);
+
+  /// Learns a tree on the given subset of rows.  `row_indices` may be a
+  /// subsample; `grad_targets` is indexed by absolute row id.
+  /// Per-feature split gains are accumulated into `gain_out` when non-null
+  /// (size num_features).
+  RegressionTree Fit(const std::vector<uint32_t>& row_indices,
+                     const std::vector<double>& grad_targets,
+                     std::vector<double>* gain_out = nullptr) const;
+
+ private:
+  struct SplitResult {
+    int feature = -1;
+    int bin = -1;
+    double gain = 0.0;
+  };
+
+  SplitResult FindBestSplit(const std::vector<uint32_t>& rows, double sum,
+                            const std::vector<double>& grad_targets) const;
+
+  const BinnedDataset& binned_;
+  TreeParams params_;
+};
+
+}  // namespace horizon::gbdt
+
+#endif  // HORIZON_GBDT_TREE_H_

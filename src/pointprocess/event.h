@@ -1,0 +1,28 @@
+// Event record shared by all point-process simulators.
+#ifndef HORIZON_POINTPROCESS_EVENT_H_
+#define HORIZON_POINTPROCESS_EVENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace horizon::pp {
+
+/// One point of a simulated realization.
+struct Event {
+  double time = 0.0;    ///< occurrence time (seconds from process origin)
+  double mark = 0.0;    ///< mark Z_i (population size interpretation)
+  int32_t parent = -1;  ///< index of the exciting event, -1 for immigrants
+  int32_t generation = 0;  ///< 0 for immigrants, parent's generation + 1 else
+};
+
+/// A realization: events sorted by non-decreasing time.
+using Realization = std::vector<Event>;
+
+/// Number of events with time strictly less than t (the counting process
+/// N(t) of the paper).  `events` must be sorted by time.
+size_t CountBefore(const Realization& events, double t);
+
+}  // namespace horizon::pp
+
+#endif  // HORIZON_POINTPROCESS_EVENT_H_

@@ -1,0 +1,146 @@
+#include "pointprocess/exp_hawkes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace horizon::pp {
+
+size_t CountBefore(const Realization& events, double t) {
+  return static_cast<size_t>(
+      std::lower_bound(events.begin(), events.end(), t,
+                       [](const Event& e, double v) { return e.time < v; }) -
+      events.begin());
+}
+
+namespace {
+
+// Samples a delay in [0, max_delay) with density proportional to
+// beta e^{-beta u} (truncated exponential).
+double TruncatedExpDelay(double beta, double max_delay, Rng& rng) {
+  const double mass = -std::expm1(-beta * max_delay);  // 1 - e^{-beta T}
+  const double u = rng.Uniform() * mass;
+  return -std::log1p(-u) / beta;
+}
+
+}  // namespace
+
+Realization SimulateExpHawkes(const ExpHawkesParams& params,
+                              const SimulateOptions& options, Rng& rng) {
+  HORIZON_CHECK_GT(params.lambda0, 0.0);
+  HORIZON_CHECK_GT(params.beta, 0.0);
+  HORIZON_CHECK(params.marks != nullptr);
+  HORIZON_CHECK(params.rho1() < 1.0);  // stability
+  const double horizon_t = options.horizon;
+
+  Realization events;
+  // Immigrants: inhomogeneous Poisson with intensity lambda(0) e^{-beta t};
+  // expected count on [0, T) is lambda(0)(1 - e^{-beta T}) / beta.
+  const double immigrant_mass =
+      params.lambda0 / params.beta * -std::expm1(-params.beta * horizon_t);
+  const uint64_t n_immigrants =
+      std::min<uint64_t>(rng.Poisson(immigrant_mass), options.max_events);
+  events.reserve(n_immigrants * 2);
+  for (uint64_t i = 0; i < n_immigrants; ++i) {
+    Event e;
+    e.time = TruncatedExpDelay(params.beta, horizon_t, rng);
+    e.mark = params.marks->Sample(rng);
+    e.parent = -1;
+    e.generation = 0;
+    events.push_back(e);
+  }
+
+  // Breadth-first offspring expansion: each event spawns children until the
+  // horizon.  The queue is the realization itself (children are appended).
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events.size() >= options.max_events) break;  // right-censor
+    const double t_i = events[i].time;
+    const double remain = horizon_t - t_i;
+    if (remain <= 0.0) continue;
+    // Expected children within the horizon: Z_i (1 - e^{-beta remain}).
+    const double mean_children = events[i].mark * -std::expm1(-params.beta * remain);
+    const uint64_t n_children = rng.Poisson(mean_children);
+    for (uint64_t c = 0; c < n_children; ++c) {
+      Event e;
+      e.time = t_i + TruncatedExpDelay(params.beta, remain, rng);
+      e.mark = params.marks->Sample(rng);
+      e.parent = static_cast<int32_t>(i);
+      e.generation = events[i].generation + 1;
+      events.push_back(e);
+    }
+  }
+
+  // Sort by time while remapping parent indices.
+  std::vector<size_t> order(events.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return events[a].time < events[b].time;
+  });
+  std::vector<int32_t> new_index(events.size());
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    new_index[order[pos]] = static_cast<int32_t>(pos);
+  }
+  Realization sorted;
+  sorted.reserve(events.size());
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    Event e = events[order[pos]];
+    if (e.parent >= 0) e.parent = new_index[static_cast<size_t>(e.parent)];
+    sorted.push_back(e);
+  }
+  return sorted;
+}
+
+double ExpHawkesIntensity(const Realization& events, const ExpHawkesParams& params,
+                          double t_end) {
+  // Markov recursion: lambda(t) decays exponentially between events and
+  // jumps by beta Z_i at each event.
+  double lambda = params.lambda0;
+  double t_prev = 0.0;
+  for (const Event& e : events) {
+    if (e.time >= t_end) break;
+    lambda *= std::exp(-params.beta * (e.time - t_prev));
+    lambda += params.beta * e.mark;
+    t_prev = e.time;
+  }
+  return lambda * std::exp(-params.beta * (t_end - t_prev));
+}
+
+double ConditionalMeanIncrement(double lambda_s, double alpha, double dt) {
+  HORIZON_CHECK_GT(alpha, 0.0);
+  HORIZON_CHECK_GE(dt, 0.0);
+  if (std::isinf(dt)) return lambda_s / alpha;
+  return lambda_s / alpha * -std::expm1(-alpha * dt);
+}
+
+double ConditionalVarianceIncrement(double lambda_s, double beta, double rho1,
+                                    double rho2, double dt) {
+  HORIZON_CHECK_GT(beta, 0.0);
+  HORIZON_CHECK(rho1 >= 0.0 && rho1 < 1.0);
+  HORIZON_CHECK_GE(dt, 0.0);
+  const double mu1 = beta * rho1;
+  const double mu2 = beta * beta * rho2;
+  const double alpha = beta * (1.0 - rho1);
+  if (std::isinf(dt)) {
+    return lambda_s / alpha * SigmaSquared(beta, rho1, rho2);
+  }
+  const double e1 = std::exp(-alpha * dt);
+  const double e2 = std::exp(-2.0 * alpha * dt);
+  const double poisson_term = lambda_s / alpha * (1.0 - e1);
+  const double excitation_term =
+      lambda_s / (alpha * alpha * alpha) *
+      (-mu2 * (1.0 - 2.0 * e1 + e2) +
+       2.0 * (mu2 + alpha * mu1) * (1.0 - e1 - alpha * dt * e1));
+  return poisson_term + excitation_term;
+}
+
+double SigmaSquared(double beta, double rho1, double rho2) {
+  const double mu1 = beta * rho1;
+  const double mu2 = beta * beta * rho2;
+  const double alpha = beta * (1.0 - rho1);
+  return 1.0 + 2.0 * mu1 / alpha + mu2 / (alpha * alpha);
+}
+
+}  // namespace horizon::pp

@@ -1,0 +1,101 @@
+// Marked Hawkes point process with exponentially decaying intensity:
+//
+//   lambda(t) = lambda(0) e^{-beta t} + sum_i beta Z_i e^{-beta (t - T_i)}
+//
+// the generative model at the heart of the paper.  Provides an exact
+// simulator based on the cluster (branching) representation -- which also
+// yields the event genealogy used for reshare-depth analyses -- plus
+// intensity evaluation and the closed-form conditional moments of
+// Propositions 3.2 and A.2.
+#ifndef HORIZON_POINTPROCESS_EXP_HAWKES_H_
+#define HORIZON_POINTPROCESS_EXP_HAWKES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "pointprocess/event.h"
+#include "pointprocess/marks.h"
+
+namespace horizon::pp {
+
+/// Parameters of the exponential-kernel marked Hawkes process.
+struct ExpHawkesParams {
+  double lambda0 = 1.0;  ///< initial intensity lambda(0) > 0
+  double beta = 1.0;     ///< kernel decay rate (consumption rate) > 0
+  std::shared_ptr<const MarkDistribution> marks;  ///< Z_i distribution, E[Z] < 1
+
+  /// rho1 = E[Z], the branching ratio mu.
+  double rho1() const { return marks->Mean(); }
+  /// rho2 = E[Z^2].
+  double rho2() const { return marks->SecondMoment(); }
+  /// Effective growth exponent alpha = beta (1 - rho1).
+  double alpha() const { return beta * (1.0 - rho1()); }
+  /// Expected final cascade size E[N(inf)] = lambda(0) / alpha (Eq. 4 at s=0).
+  double ExpectedFinalSize() const { return lambda0 / alpha(); }
+};
+
+/// Options controlling simulation.
+struct SimulateOptions {
+  double horizon = 1e12;        ///< simulate points in [0, horizon)
+  /// Safety cap for heavy-tailed realizations: once reached, no further
+  /// offspring are spawned and the realization is returned right-censored
+  /// at `max_events` points.
+  uint64_t max_events = 50'000'000;
+};
+
+/// Exact simulation via the cluster representation.
+///
+/// Immigrant events are an inhomogeneous Poisson process with intensity
+/// lambda(0) e^{-beta t}; an event with mark Z spawns Poisson(Z (1 -
+/// e^{-beta (T - t)})) children within the horizon, each at the parent time
+/// plus a truncated Exp(beta) delay.  The returned realization is sorted by
+/// time, with parent/generation links preserved.
+Realization SimulateExpHawkes(const ExpHawkesParams& params,
+                              const SimulateOptions& options, Rng& rng);
+
+/// Evaluates lambda(t) at each event time (left limit, i.e. excluding the
+/// event's own jump) plus at final time `t_end`, in O(n) total using the
+/// Markov recursion.  Returns the intensity at `t_end` given all events
+/// before `t_end`.  `events` must be sorted.
+double ExpHawkesIntensity(const Realization& events, const ExpHawkesParams& params,
+                          double t_end);
+
+/// Conditional expected increment (Proposition 3.2):
+///   E[N(t) - N(s) | F_s] = (1/alpha)(1 - e^{-alpha (t-s)}) lambda(s).
+/// `dt` = t - s >= 0.  Also valid for dt = +inf (Eq. 4).
+double ConditionalMeanIncrement(double lambda_s, double alpha, double dt);
+
+/// Conditional variance of the increment, the quantity Proposition A.2 of
+/// the paper targets.
+///
+/// NOTE: the formula printed in the paper (Prop. A.2 / Eq. 20-21) is
+/// dimensionally inconsistent -- its Appendix A.6 derivation drops the
+/// 1/(beta - mu1) factors of h(x) when integrating.  We implement the
+/// corrected closed form, derived from the moment ODEs of the Markov pair
+/// (lambda(t), N(t)) and verified against (a) Monte-Carlo simulation and
+/// (b) the Galton-Watson branching formula for the infinite-horizon limit:
+///
+///   Var[N(t) - N(s) | F_s] =
+///     (lambda(s)/alpha) (1 - E1)
+///     + (lambda(s)/alpha^3) [ -mu2 (1 - 2 E1 + E2)
+///                             + 2 (mu2 + alpha mu1)(1 - E1 - alpha dt E1) ]
+///
+/// with E1 = e^{-alpha dt}, E2 = e^{-2 alpha dt}, mu1 = beta rho1,
+/// mu2 = beta^2 rho2, alpha = beta (1 - rho1).  See EXPERIMENTS.md.
+double ConditionalVarianceIncrement(double lambda_s, double beta, double rho1,
+                                    double rho2, double dt);
+
+/// Limit variance scale: the infinite-horizon conditional variance is
+/// Sigma^2 lambda(s) / alpha (the role of Eq. 20-21 in the paper) with the
+/// corrected
+///   Sigma^2 = 1 + 2 mu1 / alpha + mu2 / alpha^2,
+/// which for constant marks reduces to the classic Galton-Watson total
+/// progeny variance (the paper's printed Eq. 21 evaluates to 0 for
+/// beta rho1 = 1, which is impossible).
+double SigmaSquared(double beta, double rho1, double rho2);
+
+}  // namespace horizon::pp
+
+#endif  // HORIZON_POINTPROCESS_EXP_HAWKES_H_

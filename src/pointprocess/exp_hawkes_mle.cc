@@ -1,0 +1,109 @@
+#include "pointprocess/exp_hawkes_mle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace horizon::pp {
+
+double ExpHawkesLogLikelihood(const std::vector<double>& event_times, double t_end,
+                              double lambda0, double beta, double rho1) {
+  HORIZON_DCHECK(lambda0 > 0.0 && beta > 0.0 && rho1 >= 0.0);
+  // A_i = sum_{j < i} e^{-beta (T_i - T_j)} via the Markov recursion.
+  double ll = 0.0;
+  double a = 0.0;
+  double prev = 0.0;
+  double excitation_integral = 0.0;
+  for (double t : event_times) {
+    HORIZON_DCHECK(t >= prev && t < t_end);
+    a *= std::exp(-beta * (t - prev));
+    const double intensity = lambda0 * std::exp(-beta * t) + beta * rho1 * a;
+    if (intensity <= 0.0) return -std::numeric_limits<double>::infinity();
+    ll += std::log(intensity);
+    // This event's own kernel contributes rho1 (1 - e^{-beta (T - t)}) to
+    // the compensator.
+    excitation_integral += rho1 * -std::expm1(-beta * (t_end - t));
+    a += 1.0;
+    prev = t;
+  }
+  const double baseline_integral = lambda0 / beta * -std::expm1(-beta * t_end);
+  return ll - baseline_integral - excitation_integral;
+}
+
+namespace {
+
+struct Candidate {
+  double lambda0, beta, rho1, ll;
+};
+
+}  // namespace
+
+ExpHawkesMleResult FitExpHawkesMle(const std::vector<double>& event_times,
+                                   double t_end, const ExpHawkesMleOptions& options) {
+  ExpHawkesMleResult result;
+  if (event_times.size() < 5) return result;
+  const double n = static_cast<double>(event_times.size());
+
+  int evals = 0;
+  Candidate best{0, 0, 0, -std::numeric_limits<double>::infinity()};
+
+  auto try_candidate = [&](double lambda0, double beta, double rho1) {
+    const double ll = ExpHawkesLogLikelihood(event_times, t_end, lambda0, beta, rho1);
+    ++evals;
+    if (ll > best.ll) best = {lambda0, beta, rho1, ll};
+  };
+
+  auto grid = [&](double beta_lo, double beta_hi, double rho_lo, double rho_hi,
+                  int steps, const std::vector<double>& lambda_factors) {
+    for (int i = 0; i < steps; ++i) {
+      const double beta = std::exp(std::log(beta_lo) +
+                                   (std::log(beta_hi) - std::log(beta_lo)) * i /
+                                       std::max(steps - 1, 1));
+      for (int j = 0; j < steps; ++j) {
+        const double rho = rho_lo + (rho_hi - rho_lo) * j / std::max(steps - 1, 1);
+        const double alpha = beta * (1.0 - rho);
+        for (double c : lambda_factors) {
+          // E[N(inf)] = lambda0 / alpha  =>  lambda0 ~ n alpha.
+          try_candidate(std::max(c * n * alpha, 1e-12), beta, rho);
+        }
+      }
+    }
+  };
+
+  grid(options.beta_min, options.beta_max, options.rho_min, options.rho_max,
+       options.coarse_steps, {0.3, 0.6, 1.0, 1.8, 3.2});
+
+  double beta_span = std::sqrt(10.0);  // multiplicative half-width
+  double rho_span = (options.rho_max - options.rho_min) / options.coarse_steps;
+  for (int round = 0; round < options.refine_rounds; ++round) {
+    const Candidate incumbent = best;
+    const double beta_lo = std::max(incumbent.beta / beta_span, options.beta_min);
+    const double beta_hi = std::min(incumbent.beta * beta_span, options.beta_max);
+    const double rho_lo = std::max(incumbent.rho1 - rho_span, options.rho_min);
+    const double rho_hi = std::min(incumbent.rho1 + rho_span, options.rho_max);
+    for (int i = 0; i < 5; ++i) {
+      const double beta =
+          std::exp(std::log(beta_lo) + (std::log(beta_hi) - std::log(beta_lo)) * i / 4.0);
+      for (int j = 0; j < 5; ++j) {
+        const double rho = rho_lo + (rho_hi - rho_lo) * j / 4.0;
+        for (double c : {0.5, 0.75, 1.0, 1.4, 2.0}) {
+          try_candidate(std::max(c * incumbent.lambda0, 1e-12), beta, rho);
+        }
+      }
+    }
+    beta_span = std::pow(beta_span, 0.6);
+    rho_span *= 0.5;
+  }
+
+  result.lambda0 = best.lambda0;
+  result.beta = best.beta;
+  result.rho1 = best.rho1;
+  result.log_likelihood = best.ll;
+  result.likelihood_evaluations = evals;
+  result.ok = std::isfinite(best.ll);
+  return result;
+}
+
+}  // namespace horizon::pp

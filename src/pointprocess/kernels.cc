@@ -1,0 +1,51 @@
+#include "pointprocess/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace horizon::pp {
+
+ExponentialKernel::ExponentialKernel(double beta) : beta_(beta) {
+  HORIZON_CHECK_GT(beta, 0.0);
+}
+
+double ExponentialKernel::Value(double x) const {
+  HORIZON_DCHECK(x >= 0.0);
+  return std::exp(-beta_ * x);
+}
+
+double ExponentialKernel::Integral(double x) const {
+  HORIZON_DCHECK(x >= 0.0);
+  return -std::expm1(-beta_ * x) / beta_;
+}
+
+double ExponentialKernel::TotalMass() const { return 1.0 / beta_; }
+
+PowerLawKernel::PowerLawKernel(double phi0, double tau, double theta)
+    : phi0_(phi0), tau_(tau), theta_(theta) {
+  HORIZON_CHECK_GT(phi0, 0.0);
+  HORIZON_CHECK_GT(tau, 0.0);
+  HORIZON_CHECK_GT(theta, 0.0);
+}
+
+double PowerLawKernel::Value(double x) const {
+  HORIZON_DCHECK(x >= 0.0);
+  if (x <= tau_) return phi0_;
+  return phi0_ * std::pow(tau_ / x, 1.0 + theta_);
+}
+
+double PowerLawKernel::Integral(double x) const {
+  HORIZON_DCHECK(x >= 0.0);
+  const double flat = phi0_ * std::min(x, tau_);
+  if (x <= tau_) return flat;
+  // int_tau^x phi0 (tau/u)^(1+theta) du = (phi0 tau / theta) (1 - (tau/x)^theta)
+  return flat + phi0_ * tau_ / theta_ * (1.0 - std::pow(tau_ / x, theta_));
+}
+
+double PowerLawKernel::TotalMass() const {
+  return phi0_ * tau_ * (1.0 + 1.0 / theta_);
+}
+
+}  // namespace horizon::pp

@@ -1,0 +1,50 @@
+// Hawkes excitation kernels: exponential (Eq. 1) and power-law (Eq. 2).
+#ifndef HORIZON_POINTPROCESS_KERNELS_H_
+#define HORIZON_POINTPROCESS_KERNELS_H_
+
+namespace horizon::pp {
+
+/// Exponentially decaying kernel phi(x) = exp(-beta x), Eq. (1) of the paper.
+class ExponentialKernel {
+ public:
+  explicit ExponentialKernel(double beta);
+
+  /// phi(x) for x >= 0.
+  double Value(double x) const;
+  /// Phi(x) = int_0^x phi(u) du.
+  double Integral(double x) const;
+  /// Phi(inf) = 1 / beta.
+  double TotalMass() const;
+
+  double beta() const { return beta_; }
+
+ private:
+  double beta_;
+};
+
+/// Power-law kernel of Eq. (2):
+///   phi(x) = phi0                   for 0 <= x <= tau,
+///   phi(x) = phi0 (tau/x)^(1+theta) for x > tau,
+/// used by SEISMIC [51] and HIP [39].
+class PowerLawKernel {
+ public:
+  PowerLawKernel(double phi0, double tau, double theta);
+
+  double Value(double x) const;
+  double Integral(double x) const;
+  /// Phi(inf) = phi0 tau (1 + 1/theta).
+  double TotalMass() const;
+
+  double phi0() const { return phi0_; }
+  double tau() const { return tau_; }
+  double theta() const { return theta_; }
+
+ private:
+  double phi0_;
+  double tau_;
+  double theta_;
+};
+
+}  // namespace horizon::pp
+
+#endif  // HORIZON_POINTPROCESS_KERNELS_H_

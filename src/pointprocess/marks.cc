@@ -1,0 +1,115 @@
+#include "pointprocess/marks.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace horizon::pp {
+
+namespace {
+
+// Composite Simpson integration of f on [a, b].
+template <typename F>
+double Simpson(F&& f, double a, double b, int intervals) {
+  HORIZON_DCHECK(intervals % 2 == 0);
+  const double h = (b - a) / intervals;
+  double sum = f(a) + f(b);
+  for (int i = 1; i < intervals; ++i) {
+    sum += f(a + i * h) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+
+}  // namespace
+
+ConstantMark::ConstantMark(double value) : value_(value) {
+  HORIZON_CHECK_GE(value, 0.0);
+}
+
+double ConstantMark::Sample(Rng& rng) const {
+  (void)rng;
+  return value_;
+}
+
+double ConstantMark::LaplaceTransform(double s) const {
+  HORIZON_DCHECK(s >= 0.0);
+  return std::exp(-s * value_);
+}
+
+ExponentialMark::ExponentialMark(double mean) : mean_(mean) {
+  HORIZON_CHECK_GT(mean, 0.0);
+}
+
+double ExponentialMark::Sample(Rng& rng) const { return rng.Exponential(1.0 / mean_); }
+
+double ExponentialMark::LaplaceTransform(double s) const {
+  HORIZON_DCHECK(s >= 0.0);
+  return 1.0 / (1.0 + s * mean_);
+}
+
+LogNormalMark::LogNormalMark(double mean, double sigma_log) : sigma_log_(sigma_log) {
+  HORIZON_CHECK_GT(mean, 0.0);
+  HORIZON_CHECK_GE(sigma_log, 0.0);
+  // E[Z] = exp(mu + sigma^2/2)  =>  mu = log(mean) - sigma^2/2.
+  mu_log_ = std::log(mean) - 0.5 * sigma_log * sigma_log;
+}
+
+double LogNormalMark::Sample(Rng& rng) const {
+  return rng.LogNormal(mu_log_, sigma_log_);
+}
+
+double LogNormalMark::Mean() const {
+  return std::exp(mu_log_ + 0.5 * sigma_log_ * sigma_log_);
+}
+
+double LogNormalMark::SecondMoment() const {
+  return std::exp(2.0 * mu_log_ + 2.0 * sigma_log_ * sigma_log_);
+}
+
+double LogNormalMark::LaplaceTransform(double s) const {
+  HORIZON_DCHECK(s >= 0.0);
+  if (s == 0.0) return 1.0;
+  if (sigma_log_ == 0.0) return std::exp(-s * std::exp(mu_log_));
+  // E[e^{-s Z}] = int phi(x) exp(-s e^{mu + sigma x}) dx over x in [-10, 10].
+  const double mu = mu_log_, sigma = sigma_log_;
+  return Simpson(
+      [&](double x) {
+        return kInvSqrt2Pi * std::exp(-0.5 * x * x) *
+               std::exp(-s * std::exp(mu + sigma * x));
+      },
+      -10.0, 10.0, 800);
+}
+
+ParetoMark::ParetoMark(double mean, double tail_index) : alpha_(tail_index) {
+  HORIZON_CHECK_GT(mean, 0.0);
+  // Require a finite second moment so Prop. A.2 applies.
+  HORIZON_CHECK_GT(tail_index, 2.0);
+  // E[Z] = xm alpha / (alpha - 1)  =>  xm = mean (alpha - 1) / alpha.
+  xm_ = mean * (alpha_ - 1.0) / alpha_;
+}
+
+double ParetoMark::Sample(Rng& rng) const { return rng.Pareto(xm_, alpha_); }
+
+double ParetoMark::Mean() const { return xm_ * alpha_ / (alpha_ - 1.0); }
+
+double ParetoMark::SecondMoment() const {
+  return xm_ * xm_ * alpha_ / (alpha_ - 2.0);
+}
+
+double ParetoMark::LaplaceTransform(double s) const {
+  HORIZON_DCHECK(s >= 0.0);
+  if (s == 0.0) return 1.0;
+  // With U = (xm/Z)^alpha ~ Uniform(0,1):  E[e^{-s Z}] =
+  // int_0^1 exp(-s xm u^{-1/alpha}) du.  The integrand vanishes at u -> 0.
+  const double xm = xm_, alpha = alpha_;
+  return Simpson(
+      [&](double u) {
+        if (u <= 0.0) return 0.0;
+        return std::exp(-s * xm * std::pow(u, -1.0 / alpha));
+      },
+      0.0, 1.0, 800);
+}
+
+}  // namespace horizon::pp

@@ -1,0 +1,96 @@
+// Mark distributions for marked Hawkes processes.  Marks Z_i are the
+// "population size" of an event (Sec. 3.1.1); the intensity jump is
+// Y_i = beta Z_i, the branching ratio is mu = rho1 = E[Z].
+#ifndef HORIZON_POINTPROCESS_MARKS_H_
+#define HORIZON_POINTPROCESS_MARKS_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "common/rng.h"
+
+namespace horizon::pp {
+
+/// Distribution of the marks Z_i.  Implementations must be stateless with
+/// respect to sampling (all randomness comes from the Rng argument).
+class MarkDistribution {
+ public:
+  virtual ~MarkDistribution() = default;
+
+  /// Draws one mark (>= 0).
+  virtual double Sample(Rng& rng) const = 0;
+  /// rho1 = E[Z], the branching ratio.  Must be < 1 for stability.
+  virtual double Mean() const = 0;
+  /// rho2 = E[Z^2].
+  virtual double SecondMoment() const = 0;
+
+  /// Laplace transform E[e^{-s Z}] for s >= 0 (used by the conditional
+  /// transform of Proposition A.1).  Closed form where available, numeric
+  /// quadrature otherwise.
+  virtual double LaplaceTransform(double s) const = 0;
+
+  /// Variance E[Z^2] - E[Z]^2.
+  double Variance() const { return SecondMoment() - Mean() * Mean(); }
+};
+
+/// Deterministic mark Z = rho1.
+class ConstantMark : public MarkDistribution {
+ public:
+  explicit ConstantMark(double value);
+  double Sample(Rng& rng) const override;
+  double Mean() const override { return value_; }
+  double SecondMoment() const override { return value_ * value_; }
+  double LaplaceTransform(double s) const override;
+
+ private:
+  double value_;
+};
+
+/// Exponential mark with the given mean: Z ~ Exp(1/mean).
+class ExponentialMark : public MarkDistribution {
+ public:
+  explicit ExponentialMark(double mean);
+  double Sample(Rng& rng) const override;
+  double Mean() const override { return mean_; }
+  double SecondMoment() const override { return 2.0 * mean_ * mean_; }
+  double LaplaceTransform(double s) const override;
+
+ private:
+  double mean_;
+};
+
+/// Lognormal mark parameterized by its mean and the sigma of log Z.
+class LogNormalMark : public MarkDistribution {
+ public:
+  /// Constructs a lognormal with E[Z] = mean and Var[log Z] = sigma_log^2.
+  LogNormalMark(double mean, double sigma_log);
+  double Sample(Rng& rng) const override;
+  double Mean() const override;
+  double SecondMoment() const override;
+  /// Numeric (Simpson over the normal kernel); no closed form exists.
+  double LaplaceTransform(double s) const override;
+
+ private:
+  double mu_log_;
+  double sigma_log_;
+};
+
+/// Pareto (heavy-tailed) mark with tail index `alpha` > 2 and the given
+/// mean; models the long-tailed audience sizes of reshare events.
+class ParetoMark : public MarkDistribution {
+ public:
+  ParetoMark(double mean, double tail_index);
+  double Sample(Rng& rng) const override;
+  double Mean() const override;
+  double SecondMoment() const override;
+  /// Numeric (Simpson after the u = (xm/z)^alpha substitution).
+  double LaplaceTransform(double s) const override;
+
+ private:
+  double xm_;
+  double alpha_;
+};
+
+}  // namespace horizon::pp
+
+#endif  // HORIZON_POINTPROCESS_MARKS_H_

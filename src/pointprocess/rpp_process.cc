@@ -1,0 +1,69 @@
+#include "pointprocess/rpp_process.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace horizon::pp {
+
+namespace {
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+constexpr double kInvSqrt2 = 0.7071067811865476;
+}  // namespace
+
+double LogNormalPdf(double t, double mu_log, double sigma_log) {
+  HORIZON_DCHECK(sigma_log > 0.0);
+  if (t <= 0.0) return 0.0;
+  const double z = (std::log(t) - mu_log) / sigma_log;
+  return kInvSqrt2Pi / (sigma_log * t) * std::exp(-0.5 * z * z);
+}
+
+double LogNormalCdf(double t, double mu_log, double sigma_log) {
+  HORIZON_DCHECK(sigma_log > 0.0);
+  if (t <= 0.0) return 0.0;
+  const double z = (std::log(t) - mu_log) / sigma_log;
+  return 0.5 * std::erfc(-z * kInvSqrt2);
+}
+
+Realization SimulateRpp(const RppParams& params, double horizon, Rng& rng,
+                        uint64_t max_events) {
+  HORIZON_CHECK_GT(params.p, 0.0);
+  HORIZON_CHECK_GT(params.sigma_log, 0.0);
+  HORIZON_CHECK_GT(params.n0, 0.0);
+  // Global bound on f: its maximum is at the mode exp(mu - sigma^2).
+  const double mode = std::exp(params.mu_log - params.sigma_log * params.sigma_log);
+  const double f_max = LogNormalPdf(mode, params.mu_log, params.sigma_log);
+
+  Realization events;
+  double t = 0.0;
+  double n = 0.0;
+  while (t < horizon) {
+    // While N is constant, lambda(t) <= p f_max (n + n0).
+    const double bound = params.p * f_max * (n + params.n0);
+    HORIZON_CHECK_GT(bound, 0.0);
+    t += rng.Exponential(bound);
+    if (t >= horizon) break;
+    const double lam =
+        params.p * LogNormalPdf(t, params.mu_log, params.sigma_log) * (n + params.n0);
+    if (rng.Uniform() * bound <= lam) {
+      Event e;
+      e.time = t;
+      e.mark = 1.0;
+      events.push_back(e);
+      n += 1.0;
+      HORIZON_CHECK_LE(events.size(), max_events);
+    }
+  }
+  return events;
+}
+
+double RppConditionalMeanIncrement(const RppParams& params, double n_s, double s,
+                                   double dt) {
+  HORIZON_CHECK_GE(dt, 0.0);
+  const double f_s = LogNormalCdf(s, params.mu_log, params.sigma_log);
+  const double f_t =
+      std::isinf(dt) ? 1.0 : LogNormalCdf(s + dt, params.mu_log, params.sigma_log);
+  return (n_s + params.n0) * std::expm1(params.p * (f_t - f_s));
+}
+
+}  // namespace horizon::pp

@@ -1,0 +1,40 @@
+// Reinforced Poisson Process (RPP) of Shen et al. [40]:
+//   lambda(t) = p f(t; mu, sigma) (N(t) + n0)
+// with f a lognormal density.  Provides the density/CDF helpers, a thinning
+// simulator (used to validate the MLE fitter in baselines/), and the
+// closed-form conditional-increment predictor quoted in Sec. 4 of the paper.
+#ifndef HORIZON_POINTPROCESS_RPP_PROCESS_H_
+#define HORIZON_POINTPROCESS_RPP_PROCESS_H_
+
+#include "common/rng.h"
+#include "pointprocess/event.h"
+
+namespace horizon::pp {
+
+/// Parameters of the RPP model.
+struct RppParams {
+  double p = 1.0;        ///< infection rate, > 0
+  double mu_log = 0.0;   ///< lognormal relaxation location
+  double sigma_log = 1.0;///< lognormal relaxation scale, > 0
+  double n0 = 1.0;       ///< reinforcement offset (N(t) + n0); > 0
+};
+
+/// Lognormal density f(t; mu, sigma) for t > 0 (0 for t <= 0).
+double LogNormalPdf(double t, double mu_log, double sigma_log);
+
+/// Lognormal CDF F(t; mu, sigma).
+double LogNormalCdf(double t, double mu_log, double sigma_log);
+
+/// Simulates an RPP realization on [0, horizon) by thinning.
+Realization SimulateRpp(const RppParams& params, double horizon, Rng& rng,
+                        uint64_t max_events = 2'000'000);
+
+/// Conditional expected increment of the RPP (Sec. 4):
+///   E[N(t) - N(s) | F_s] = (N(s) + n0) (e^{p (F(t) - F(s))} - 1).
+/// `dt` may be +inf, in which case F(t) -> 1.
+double RppConditionalMeanIncrement(const RppParams& params, double n_s, double s,
+                                   double dt);
+
+}  // namespace horizon::pp
+
+#endif  // HORIZON_POINTPROCESS_RPP_PROCESS_H_

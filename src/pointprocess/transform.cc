@@ -1,0 +1,72 @@
+#include "pointprocess/transform.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace horizon::pp {
+
+namespace {
+
+// Right-hand side of the Proposition A.1 ODE:
+//   dA/dtau = 1 - beta A - u psi_F(A),
+// with psi_F(z) = E[e^{-z Y}] = E[e^{-z beta Z}] the Laplace transform of
+// the intensity jumps.
+double Rhs(double a, double u, double beta, const MarkDistribution& marks) {
+  return 1.0 - beta * a - u * marks.LaplaceTransform(beta * a);
+}
+
+}  // namespace
+
+double SolveTransformA(double tau, double u, double v, double beta,
+                       const MarkDistribution& marks, int steps) {
+  HORIZON_CHECK(u >= 0.0 && u <= 1.0);
+  HORIZON_CHECK_GE(v, 0.0);
+  HORIZON_CHECK_GE(tau, 0.0);
+  HORIZON_CHECK_GE(steps, 1);
+  if (tau == 0.0) return v;
+  const double h = tau / steps;
+  double a = v;
+  for (int i = 0; i < steps; ++i) {
+    const double k1 = Rhs(a, u, beta, marks);
+    const double k2 = Rhs(a + 0.5 * h * k1, u, beta, marks);
+    const double k3 = Rhs(a + 0.5 * h * k2, u, beta, marks);
+    const double k4 = Rhs(a + h * k3, u, beta, marks);
+    a += h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+  }
+  return a;
+}
+
+double ConditionalTransform(double lambda_s, double tau, double u, double v,
+                            double beta, const MarkDistribution& marks, int steps) {
+  HORIZON_CHECK_GE(lambda_s, 0.0);
+  return std::exp(-lambda_s * SolveTransformA(tau, u, v, beta, marks, steps));
+}
+
+double CountIncrementPgf(double lambda_s, double tau, double u, double beta,
+                         const MarkDistribution& marks, int steps) {
+  return ConditionalTransform(lambda_s, tau, u, /*v=*/0.0, beta, marks, steps);
+}
+
+double ProbabilityNoNewEvents(double lambda_s, double tau, double beta) {
+  HORIZON_CHECK_GE(lambda_s, 0.0);
+  HORIZON_CHECK_GT(beta, 0.0);
+  HORIZON_CHECK_GE(tau, 0.0);
+  // Closed form: with u = 0 the future events never materialize, so only
+  // the decaying current intensity matters.
+  const double mass = std::isinf(tau) ? 1.0 / beta : -std::expm1(-beta * tau) / beta;
+  return std::exp(-lambda_s * mass);
+}
+
+double LimitCoefficientOfVariation(double lambda_s, double n_s, double beta,
+                                   double rho1, double rho2) {
+  HORIZON_CHECK_GE(n_s, 0.0);
+  const double alpha = beta * (1.0 - rho1);
+  HORIZON_CHECK_GT(alpha, 0.0);
+  const double expected_final = n_s + lambda_s / alpha;
+  if (expected_final <= 0.0) return 0.0;
+  const double limit_var = SigmaSquared(beta, rho1, rho2) * lambda_s / alpha;
+  return std::sqrt(limit_var) / expected_final;
+}
+
+}  // namespace horizon::pp

@@ -1,0 +1,57 @@
+// Proposition A.1: the conditional joint Laplace transform / probability
+// generating function of (N(t), lambda(t)) for the exponential-kernel
+// Hawkes process,
+//   psi(u, v) = E[ u^{N(t)-N(s)} e^{-v lambda(t)} | F_s ]
+//             = exp(-lambda(s) A(t-s; u, v)),
+// where A solves the ODE
+//   dA/dtau = 1 - beta A - u psi_F(A),   A(0) = v,
+// with psi_F the Laplace transform of the intensity jumps Y = beta Z.
+//
+// We solve the ODE numerically (classic RK4), which yields the full
+// conditional distribution of the future count -- tail probabilities,
+// quantiles -- not just the first two moments.  Also provides the
+// Appendix A.7 coefficient of variation.
+#ifndef HORIZON_POINTPROCESS_TRANSFORM_H_
+#define HORIZON_POINTPROCESS_TRANSFORM_H_
+
+#include <vector>
+
+#include "pointprocess/exp_hawkes.h"
+
+namespace horizon::pp {
+
+/// Solves A(tau; u, v) of Proposition A.1 by RK4 with `steps` steps.
+/// Requires 0 <= u <= 1, v >= 0, tau >= 0.
+double SolveTransformA(double tau, double u, double v, double beta,
+                       const MarkDistribution& marks, int steps = 400);
+
+/// psi(u, v) = exp(-lambda_s A(tau; u, v)): the conditional joint
+/// transform given intensity lambda_s at the conditioning time.
+double ConditionalTransform(double lambda_s, double tau, double u, double v,
+                            double beta, const MarkDistribution& marks,
+                            int steps = 400);
+
+/// Probability generating function of the count increment:
+/// E[u^{N(s+tau) - N(s)} | F_s] = psi(u, 0).
+double CountIncrementPgf(double lambda_s, double tau, double u, double beta,
+                         const MarkDistribution& marks, int steps = 400);
+
+/// P(N(s+tau) - N(s) = 0 | F_s): the probability that a cascade produces
+/// no further events within tau -- the PGF at u = 0.  For tau -> inf this
+/// is the "cascade death" probability used to retire items from live
+/// tracking.  The u = 0 case has the closed form used in Appendix A.14,
+///   P(no events in (s, s+tau]) = exp(-lambda(s) (1 - e^{-beta tau}) / beta),
+/// which we return directly (and the ODE solver must agree with -- see the
+/// tests).
+double ProbabilityNoNewEvents(double lambda_s, double tau, double beta);
+
+/// Appendix A.7: the limiting coefficient of variation of N(t) given F_s,
+///   lim_t  sqrt(Var[N(t)|F_s]) / E[N(t)|F_s],
+/// with the corrected Sigma^2 (see exp_hawkes.h).  `n_s` is the observed
+/// count N(s).
+double LimitCoefficientOfVariation(double lambda_s, double n_s, double beta,
+                                   double rho1, double rho2);
+
+}  // namespace horizon::pp
+
+#endif  // HORIZON_POINTPROCESS_TRANSFORM_H_

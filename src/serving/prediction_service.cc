@@ -1,0 +1,119 @@
+#include "serving/prediction_service.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "pointprocess/transform.h"
+
+namespace horizon::serving {
+
+PredictionService::PredictionService(const core::HawkesPredictor* model,
+                                     const features::FeatureExtractor* extractor,
+                                     const ServiceConfig& config)
+    : model_(model), extractor_(extractor), config_(config) {
+  HORIZON_CHECK(model != nullptr);
+  HORIZON_CHECK(extractor != nullptr);
+  HORIZON_CHECK(model->trained());
+}
+
+bool PredictionService::RegisterItem(int64_t item_id, double creation_time,
+                                     const datagen::PageProfile& page,
+                                     const datagen::PostProfile& post) {
+  const auto [it, inserted] = items_.try_emplace(
+      item_id, Item{stream::CascadeTracker(creation_time, config_.tracker), page,
+                    post});
+  if (inserted) ++stats_.items_registered;
+  return inserted;
+}
+
+bool PredictionService::HasItem(int64_t item_id) const {
+  return items_.count(item_id) > 0;
+}
+
+bool PredictionService::Ingest(int64_t item_id, stream::EngagementType type,
+                               double t) {
+  const auto it = items_.find(item_id);
+  if (it == items_.end()) return false;
+  it->second.tracker.Observe(type, t);
+  ++stats_.events_ingested;
+  return true;
+}
+
+std::optional<PredictionResult> PredictionService::Query(int64_t item_id, double s,
+                                                         double delta) const {
+  const auto it = items_.find(item_id);
+  if (it == items_.end()) return std::nullopt;
+  const Item& item = it->second;
+  if (s < item.tracker.creation_time()) return std::nullopt;  // not yet live
+  const auto snapshot = item.tracker.Snapshot(s);
+  const auto row = extractor_->Extract(item.page, item.post, snapshot);
+  PredictionResult result;
+  result.observed_views = static_cast<double>(snapshot.views().total);
+  result.predicted_views =
+      model_->PredictCount(row.data(), result.observed_views, delta);
+  result.alpha = model_->PredictAlpha(row.data());
+  ++stats_.queries_answered;
+  return result;
+}
+
+std::vector<std::pair<int64_t, double>> PredictionService::TopK(double s,
+                                                                double delta,
+                                                                size_t k) const {
+  std::vector<std::pair<int64_t, double>> scored;
+  scored.reserve(items_.size());
+  for (const auto& [id, item] : items_) {
+    if (s < item.tracker.creation_time()) continue;  // not yet live
+    const auto snapshot = item.tracker.Snapshot(s);
+    const auto row = extractor_->Extract(item.page, item.post, snapshot);
+    const double increment = model_->PredictIncrement(row.data(), delta);
+    scored.emplace_back(id, increment);
+  }
+  const size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<ptrdiff_t>(take),
+                    scored.end(),
+                    [](const auto& a, const auto& b) { return a.second > b.second; });
+  scored.resize(take);
+  return scored;
+}
+
+size_t PredictionService::RetireDeadItems(double now) {
+  size_t retired = 0;
+  for (auto it = items_.begin(); it != items_.end();) {
+    const Item& item = it->second;
+    if (now < item.tracker.creation_time()) {
+      ++it;  // not yet live; nothing to retire
+      continue;
+    }
+    const auto snapshot = item.tracker.Snapshot(now);
+    const auto& views = snapshot.views();
+    bool dead = false;
+    if (views.last_event_age >= 0.0) {
+      const double idle = snapshot.age - views.last_event_age;
+      if (idle >= config_.idle_retirement_age) dead = true;
+    } else if (snapshot.age >= config_.idle_retirement_age) {
+      dead = true;  // never received a single view
+    }
+    if (!dead && views.ewma_rate > 0.0) {
+      // Eager retirement: with the EWMA rate as the lambda(now) proxy and
+      // the model's alpha as the decay scale, the probability that the
+      // cascade produces no further views (Appendix A.14, u = 0 transform)
+      // exceeds the threshold.
+      const auto row = extractor_->Extract(item.page, item.post, snapshot);
+      const double alpha = model_->PredictAlpha(row.data());
+      const double p_dead = pp::ProbabilityNoNewEvents(
+          views.ewma_rate, std::numeric_limits<double>::infinity(), alpha);
+      if (p_dead >= config_.death_probability_threshold) dead = true;
+    }
+    if (dead) {
+      it = items_.erase(it);
+      ++retired;
+    } else {
+      ++it;
+    }
+  }
+  stats_.items_retired += retired;
+  return retired;
+}
+
+}  // namespace horizon::serving

@@ -1,0 +1,110 @@
+// Multi-item prediction service: the deployment shape the paper targets
+// (Sec. 1: real-time popularity prediction "at planetary scale").
+//
+// The service owns one O(1)-state CascadeTracker per live content item,
+// ingests the interleaved engagement-event stream, and answers popularity
+// queries for any (prediction time, horizon) pair using a trained
+// HawkesPredictor.  Idle items are retired either by inactivity age or by
+// the model's cascade-death probability (Appendix A.14 closed form), so
+// resident state stays proportional to the number of *live* items.
+#ifndef HORIZON_SERVING_PREDICTION_SERVICE_H_
+#define HORIZON_SERVING_PREDICTION_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/hawkes_predictor.h"
+#include "datagen/profiles.h"
+#include "features/extractor.h"
+#include "stream/cascade_tracker.h"
+
+namespace horizon::serving {
+
+/// Service configuration.
+struct ServiceConfig {
+  stream::TrackerConfig tracker;
+  /// Items with no engagement for this long are retired by RetireIdle.
+  double idle_retirement_age = 14 * kDay;
+  /// Items whose probability of any further view (per the decaying
+  /// intensity proxy) falls below this are retired eagerly.
+  double death_probability_threshold = 0.99;
+};
+
+/// One answered query.
+struct PredictionResult {
+  double observed_views = 0.0;    ///< N(s)
+  double predicted_views = 0.0;   ///< predicted N(s + delta)
+  double alpha = 0.0;             ///< predicted effective growth exponent
+};
+
+/// Aggregate service counters.
+struct ServiceStats {
+  uint64_t items_registered = 0;
+  uint64_t events_ingested = 0;
+  uint64_t queries_answered = 0;
+  uint64_t items_retired = 0;
+};
+
+/// Thread-compatible (externally synchronized) prediction service.
+class PredictionService {
+ public:
+  /// The model and extractor must outlive the service.  The extractor's
+  /// tracker configuration must match `config.tracker`.
+  PredictionService(const core::HawkesPredictor* model,
+                    const features::FeatureExtractor* extractor,
+                    const ServiceConfig& config);
+
+  /// Registers a new content item.  Returns false if the id is taken.
+  bool RegisterItem(int64_t item_id, double creation_time,
+                    const datagen::PageProfile& page,
+                    const datagen::PostProfile& post);
+
+  bool HasItem(int64_t item_id) const;
+  size_t LiveItems() const { return items_.size(); }
+
+  /// Ingests one engagement event.  Returns false for unknown items
+  /// (events for retired items are dropped, which is the intended
+  /// behavior for late stragglers).
+  bool Ingest(int64_t item_id, stream::EngagementType type, double t);
+
+  /// Predicted popularity of an item at time `s` over horizon `delta`.
+  /// Returns nullopt for unknown items and for items whose creation time
+  /// is after `s` (not yet live); TopK likewise skips not-yet-live items.
+  std::optional<PredictionResult> Query(int64_t item_id, double s,
+                                        double delta) const;
+
+  /// The k live items with the largest predicted view increment over
+  /// `delta` as of time `s` (the moderation-queue primitive), as
+  /// (item_id, predicted increment), sorted descending.
+  std::vector<std::pair<int64_t, double>> TopK(double s, double delta,
+                                               size_t k) const;
+
+  /// Retires items that are idle (no event for idle_retirement_age) or
+  /// whose death probability exceeds the configured threshold at `now`.
+  /// Returns the number retired.
+  size_t RetireDeadItems(double now);
+
+  const ServiceStats& stats() const { return stats_; }
+
+ private:
+  struct Item {
+    stream::CascadeTracker tracker;
+    datagen::PageProfile page;
+    datagen::PostProfile post;
+  };
+
+  const core::HawkesPredictor* model_;
+  const features::FeatureExtractor* extractor_;
+  ServiceConfig config_;
+  std::unordered_map<int64_t, Item> items_;
+  // Mutable: const queries still count toward stats.
+  mutable ServiceStats stats_;
+};
+
+}  // namespace horizon::serving
+
+#endif  // HORIZON_SERVING_PREDICTION_SERVICE_H_

@@ -1,0 +1,99 @@
+#include "stream/cascade_tracker.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace horizon::stream {
+
+const char* EngagementTypeName(EngagementType type) {
+  switch (type) {
+    case EngagementType::kView: return "view";
+    case EngagementType::kShare: return "share";
+    case EngagementType::kComment: return "comment";
+    case EngagementType::kReaction: return "reaction";
+  }
+  return "unknown";
+}
+
+CascadeTracker::StreamState::StreamState(const TrackerConfig& config)
+    : bank(config.window_lengths, config.epsilon),
+      landmark_counts(config.landmark_ages.size(), 0),
+      landmark_done(config.landmark_ages.size(), false) {}
+
+void CascadeTracker::StreamState::Add(double age, const TrackerConfig& config) {
+  // Finalize landmarks that this event's age has passed: their count is the
+  // total *before* this event, because the landmark is "events with age <=
+  // landmark".
+  for (size_t j = 0; j < config.landmark_ages.size(); ++j) {
+    if (!landmark_done[j] && age > config.landmark_ages[j]) {
+      landmark_counts[j] = total;
+      landmark_done[j] = true;
+    }
+  }
+  bank.Add(age);
+  ++total;
+  age_sum.Add(age);
+  if (first_age < 0.0) first_age = age;
+  last_age = age;
+  // EWMA intensity estimator: decay, then add the unit impulse 1/tau.
+  const double dt = age - ewma_time;
+  ewma_rate = ewma_rate * std::exp(-dt / config.ewma_tau) + 1.0 / config.ewma_tau;
+  ewma_time = age;
+}
+
+StreamSnapshot CascadeTracker::StreamState::Snapshot(double age,
+                                                     const TrackerConfig& config) const {
+  StreamSnapshot snap;
+  snap.total = total;
+  snap.window_counts.resize(config.window_lengths.size());
+  snap.window_rates.resize(config.window_lengths.size());
+  for (size_t i = 0; i < config.window_lengths.size(); ++i) {
+    snap.window_counts[i] = bank.Count(i, age);
+    snap.window_rates[i] =
+        static_cast<double>(snap.window_counts[i]) / config.window_lengths[i];
+  }
+  snap.landmark_counts.resize(config.landmark_ages.size());
+  for (size_t j = 0; j < config.landmark_ages.size(); ++j) {
+    // If the landmark has been passed, report the finalized value; otherwise
+    // every event so far happened before the landmark age.
+    snap.landmark_counts[j] =
+        (landmark_done[j] && age > config.landmark_ages[j]) ? landmark_counts[j] : total;
+  }
+  snap.ewma_rate = ewma_rate * std::exp(-(age - ewma_time) / config.ewma_tau);
+  snap.mean_event_age =
+      total > 0 ? age_sum.value() / static_cast<double>(total) : 0.0;
+  snap.first_event_age = first_age;
+  snap.last_event_age = last_age;
+  return snap;
+}
+
+CascadeTracker::CascadeTracker(double creation_time, const TrackerConfig& config)
+    : creation_time_(creation_time),
+      config_(config),
+      streams_{StreamState(config), StreamState(config), StreamState(config),
+               StreamState(config)} {
+  HORIZON_CHECK(!config.window_lengths.empty());
+  HORIZON_CHECK_GT(config.ewma_tau, 0.0);
+}
+
+void CascadeTracker::Observe(EngagementType type, double t) {
+  HORIZON_CHECK_GE(t, creation_time_);
+  streams_[static_cast<int>(type)].Add(t - creation_time_, config_);
+}
+
+uint64_t CascadeTracker::TotalCount(EngagementType type) const {
+  return streams_[static_cast<int>(type)].total;
+}
+
+TrackerSnapshot CascadeTracker::Snapshot(double s) const {
+  HORIZON_CHECK_GE(s, creation_time_);
+  TrackerSnapshot snap;
+  snap.age = s - creation_time_;
+  for (int i = 0; i < kNumEngagementTypes; ++i) {
+    snap.streams[i] = streams_[i].Snapshot(snap.age, config_);
+  }
+  return snap;
+}
+
+}  // namespace horizon::stream

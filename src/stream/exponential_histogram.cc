@@ -1,0 +1,63 @@
+#include "stream/exponential_histogram.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace horizon::stream {
+
+ExponentialHistogram::ExponentialHistogram(double window_length, double epsilon)
+    : window_(window_length) {
+  HORIZON_CHECK_GT(window_length, 0.0);
+  HORIZON_CHECK(epsilon > 0.0 && epsilon <= 1.0);
+  max_per_size_ = static_cast<size_t>(std::ceil(1.0 / epsilon)) + 1;
+}
+
+void ExponentialHistogram::Add(double t) {
+  HORIZON_CHECK_GE(t, last_t_);
+  last_t_ = t;
+  ++total_;
+  buckets_.push_back({t, 1});
+  // Cascade merges: whenever more than max_per_size_ buckets share a size,
+  // merge the two oldest of that size into one of double the size.  Because
+  // the deque is ordered oldest->newest and sizes are non-increasing toward
+  // the back, equal-size runs are contiguous.
+  uint64_t size = 1;
+  for (;;) {
+    // Find the run of buckets with this size (they are contiguous, ending at
+    // the first bucket of larger size when scanning from the back).
+    size_t run = 0;
+    size_t i = buckets_.size();
+    while (i > 0 && buckets_[i - 1].size < size) --i;
+    while (i > 0 && buckets_[i - 1].size == size) {
+      --i;
+      ++run;
+    }
+    if (run <= max_per_size_) break;
+    // Merge the two oldest buckets of this run (indices i and i+1).
+    Bucket merged{buckets_[i + 1].newest, size * 2};
+    buckets_[i] = merged;
+    buckets_.erase(buckets_.begin() + static_cast<ptrdiff_t>(i) + 1);
+    size *= 2;
+  }
+}
+
+void ExponentialHistogram::Expire(double now) const {
+  const double cutoff = now - window_;
+  while (!buckets_.empty() && buckets_.front().newest <= cutoff) {
+    buckets_.pop_front();
+  }
+}
+
+uint64_t ExponentialHistogram::Count(double now) const {
+  Expire(now);
+  if (buckets_.empty()) return 0;
+  uint64_t sum = 0;
+  for (const Bucket& b : buckets_) sum += b.size;
+  // The oldest bucket straddles the window boundary; count half of it
+  // (rounded up), which is what bounds the relative error.
+  sum -= buckets_.front().size / 2;
+  return sum;
+}
+
+}  // namespace horizon::stream

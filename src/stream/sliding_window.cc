@@ -1,0 +1,55 @@
+#include "stream/sliding_window.h"
+
+#include "common/check.h"
+
+namespace horizon::stream {
+
+ExactSlidingWindow::ExactSlidingWindow(double window_length) : window_(window_length) {
+  HORIZON_CHECK_GT(window_length, 0.0);
+}
+
+void ExactSlidingWindow::Add(double t) {
+  HORIZON_CHECK_GE(t, last_t_);
+  last_t_ = t;
+  ++total_;
+  times_.push_back(t);
+}
+
+uint64_t ExactSlidingWindow::Count(double now) const {
+  const double cutoff = now - window_;
+  while (!times_.empty() && times_.front() <= cutoff) times_.pop_front();
+  // Events after `now` should not exist (timestamps are non-decreasing and
+  // queries use now >= last event time), so the remaining deque is the count.
+  return times_.size();
+}
+
+WindowBank::WindowBank(std::vector<double> window_lengths, double epsilon) {
+  HORIZON_CHECK(!window_lengths.empty());
+  windows_.reserve(window_lengths.size());
+  for (double w : window_lengths) windows_.emplace_back(w, epsilon);
+}
+
+void WindowBank::Add(double t) {
+  for (auto& w : windows_) w.Add(t);
+}
+
+uint64_t WindowBank::Count(size_t i, double now) const {
+  HORIZON_CHECK_LT(i, windows_.size());
+  return windows_[i].Count(now);
+}
+
+double WindowBank::Velocity(size_t i, double now) const {
+  HORIZON_CHECK_LT(i, windows_.size());
+  return static_cast<double>(windows_[i].Count(now)) / windows_[i].window_length();
+}
+
+double WindowBank::window_length(size_t i) const {
+  HORIZON_CHECK_LT(i, windows_.size());
+  return windows_[i].window_length();
+}
+
+uint64_t WindowBank::TotalCount() const {
+  return windows_.empty() ? 0 : windows_[0].TotalCount();
+}
+
+}  // namespace horizon::stream

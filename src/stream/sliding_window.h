@@ -1,0 +1,68 @@
+// Exact sliding-window counter (baseline for the exponential histogram) and
+// a multi-resolution bank of windows used for velocity features.
+#ifndef HORIZON_STREAM_SLIDING_WINDOW_H_
+#define HORIZON_STREAM_SLIDING_WINDOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "stream/exponential_histogram.h"
+
+namespace horizon::stream {
+
+/// Exact count of events in a sliding time window.  Memory grows with the
+/// number of in-window events; used as ground truth in tests and in the
+/// stream micro-benchmark.
+class ExactSlidingWindow {
+ public:
+  explicit ExactSlidingWindow(double window_length);
+
+  /// Records an event at time `t` (non-decreasing).
+  void Add(double t);
+
+  /// Exact number of events in (now - window, now].
+  uint64_t Count(double now) const;
+
+  uint64_t TotalCount() const { return total_; }
+  size_t MemoryEvents() const { return times_.size(); }
+  double window_length() const { return window_; }
+
+ private:
+  double window_;
+  mutable std::deque<double> times_;
+  uint64_t total_ = 0;
+  double last_t_ = -1e300;
+};
+
+/// A bank of approximate sliding windows of different lengths over one event
+/// stream, plus a velocity query.  This is the per-item state the paper
+/// describes for approximating the stochastic intensity lambda(s) by the
+/// local rate of points over [s - d, s].
+class WindowBank {
+ public:
+  /// @param window_lengths  strictly positive window lengths (seconds).
+  /// @param epsilon         per-window relative error bound.
+  explicit WindowBank(std::vector<double> window_lengths, double epsilon = 0.05);
+
+  void Add(double t);
+
+  /// Approximate count in (now - window_lengths[i], now].
+  uint64_t Count(size_t i, double now) const;
+
+  /// Approximate event rate (events/second) over window i, i.e.
+  /// Count(i, now) / window_lengths[i].
+  double Velocity(size_t i, double now) const;
+
+  size_t num_windows() const { return windows_.size(); }
+  double window_length(size_t i) const;
+  uint64_t TotalCount() const;
+
+ private:
+  std::vector<ExponentialHistogram> windows_;
+};
+
+}  // namespace horizon::stream
+
+#endif  // HORIZON_STREAM_SLIDING_WINDOW_H_

@@ -1,0 +1,135 @@
+#include "core/alpha_estimator.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "pointprocess/exp_hawkes.h"
+
+namespace horizon::core {
+namespace {
+
+TEST(MeanAlphaEstimateTest, ReciprocalOfMeanTime) {
+  // Times {1, 2, 3}: mean 2 -> alpha 0.5.
+  EXPECT_DOUBLE_EQ(MeanAlphaEstimate({1.0, 2.0, 3.0}), 0.5);
+}
+
+TEST(MeanAlphaEstimateTest, StartTimeShiftsOrigin) {
+  AlphaEstimatorOptions options;
+  options.start_time = 2.0;
+  // Events after 2: {3, 6}; relative {1, 4}: mean 2.5.
+  EXPECT_DOUBLE_EQ(MeanAlphaEstimate({1.0, 3.0, 6.0}, options), 1.0 / 2.5);
+}
+
+TEST(MeanAlphaEstimateTest, EmptyReturnsZero) {
+  EXPECT_EQ(MeanAlphaEstimate({}), 0.0);
+  AlphaEstimatorOptions options;
+  options.start_time = 100.0;
+  EXPECT_EQ(MeanAlphaEstimate({1.0, 2.0}, options), 0.0);
+}
+
+TEST(QuantileAlphaEstimateTest, MedianEstimator) {
+  // 4 events; gamma = 0.5 -> k = 2 -> T_gamma = 4.0 -> alpha = 0.25.
+  AlphaEstimatorOptions options;
+  options.gamma = 0.5;
+  EXPECT_DOUBLE_EQ(QuantileAlphaEstimate({2.0, 4.0, 8.0, 16.0}, options), 0.25);
+}
+
+TEST(QuantileAlphaEstimateTest, LogFactorRestoresEquation6) {
+  AlphaEstimatorOptions plain;
+  plain.gamma = 0.5;
+  AlphaEstimatorOptions with_factor = plain;
+  with_factor.include_log_factor = true;
+  const std::vector<double> times = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(QuantileAlphaEstimate(times, with_factor),
+              QuantileAlphaEstimate(times, plain) * std::log(2.0), 1e-12);
+}
+
+TEST(QuantileAlphaEstimateTest, HighGammaUsesLateEvent) {
+  AlphaEstimatorOptions options;
+  options.gamma = 0.99;
+  // k = ceil(0.99 * 4) = 4 -> T = 16.
+  EXPECT_DOUBLE_EQ(QuantileAlphaEstimate({2.0, 4.0, 8.0, 16.0}, options), 1.0 / 16.0);
+}
+
+TEST(QuantileAlphaEstimateTest, SingleEvent) {
+  AlphaEstimatorOptions options;
+  options.gamma = 0.5;
+  EXPECT_DOUBLE_EQ(QuantileAlphaEstimate({5.0}, options), 0.2);
+}
+
+TEST(EstimateAlphaTest, DispatchesOnKind) {
+  const std::vector<double> times = {1.0, 2.0, 3.0};
+  EXPECT_EQ(EstimateAlpha(AlphaEstimatorKind::kMeanValue, times),
+            MeanAlphaEstimate(times));
+  EXPECT_EQ(EstimateAlpha(AlphaEstimatorKind::kQuantileValue, times),
+            QuantileAlphaEstimate(times));
+  EXPECT_STREQ(AlphaEstimatorKindName(AlphaEstimatorKind::kMeanValue), "mean");
+}
+
+// Property sweep: on simulated exponential-kernel Hawkes processes the
+// mean-value estimator must track the true alpha across a decade of values.
+class AlphaRecoveryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaRecoveryTest, MeanEstimatorTracksTrueAlpha) {
+  const double true_alpha = GetParam();
+  const double rho1 = 0.5;
+  const double beta = true_alpha / (1.0 - rho1);
+  pp::ExpHawkesParams params;
+  params.beta = beta;
+  params.lambda0 = 200.0 * true_alpha;  // expected 200 events
+  params.marks = std::make_shared<pp::LogNormalMark>(rho1, 0.8);
+  pp::SimulateOptions options;
+  options.horizon = 80.0 / true_alpha;
+
+  Rng rng(1234 + static_cast<uint64_t>(1000 * true_alpha));
+  std::vector<double> ratios;
+  for (int rep = 0; rep < 60; ++rep) {
+    const auto events = pp::SimulateExpHawkes(params, options, rng);
+    if (events.size() < 20) continue;
+    std::vector<double> times;
+    for (const auto& e : events) times.push_back(e.time);
+    const double est = MeanAlphaEstimate(times);
+    ratios.push_back(est / true_alpha);
+  }
+  ASSERT_GT(ratios.size(), 30u);
+  const double median_ratio = Median(ratios);
+  // The estimator is biased upward a bit (early events weigh the mean);
+  // require the right order of magnitude and scale-invariance.
+  EXPECT_GT(median_ratio, 0.5);
+  EXPECT_LT(median_ratio, 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, AlphaRecoveryTest,
+                         ::testing::Values(0.05, 0.2, 1.0, 4.0));
+
+TEST(AlphaEstimatorComparisonTest, MedianEstimatorLargerOnSimulatedCascades) {
+  // Fig. 6's observation: the median(quantile)-value estimator tends to be
+  // larger than the mean-value estimator.
+  pp::ExpHawkesParams params;
+  params.beta = 2.0;
+  params.lambda0 = 150.0;
+  params.marks = std::make_shared<pp::LogNormalMark>(0.5, 0.8);
+  pp::SimulateOptions options;
+  options.horizon = 50.0;
+  Rng rng(999);
+  int median_larger = 0, total = 0;
+  for (int rep = 0; rep < 100; ++rep) {
+    const auto events = pp::SimulateExpHawkes(params, options, rng);
+    if (events.size() < 10) continue;
+    std::vector<double> times;
+    for (const auto& e : events) times.push_back(e.time);
+    AlphaEstimatorOptions opt;
+    opt.gamma = 0.5;
+    if (QuantileAlphaEstimate(times, opt) > MeanAlphaEstimate(times)) ++median_larger;
+    ++total;
+  }
+  EXPECT_GT(median_larger, total / 2);
+}
+
+}  // namespace
+}  // namespace horizon::core

@@ -1,0 +1,130 @@
+#include "core/conformal.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace horizon::core {
+namespace {
+
+// Synthetic world: true = pred * multiplicative lognormal noise.
+struct ToyCalibration {
+  std::vector<double> pred, truth, horizon;
+};
+
+ToyCalibration MakeToy(size_t n, double sigma, uint64_t seed) {
+  ToyCalibration data;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const double p = std::exp(rng.Uniform(2.0, 7.0));
+    const double h = std::exp(rng.Uniform(std::log(kHour), std::log(7 * kDay)));
+    data.pred.push_back(p);
+    data.truth.push_back(p * rng.LogNormal(0.0, sigma));
+    data.horizon.push_back(h);
+  }
+  return data;
+}
+
+TEST(ConformalCalibratorTest, NotCalibratedInitially) {
+  ConformalCalibrator calibrator;
+  EXPECT_FALSE(calibrator.calibrated());
+}
+
+TEST(ConformalCalibratorTest, IntervalContainsPointForCenteredNoise) {
+  const auto data = MakeToy(3000, 0.5, 1);
+  ConformalCalibrator calibrator;
+  calibrator.Calibrate(data.pred, data.truth, data.horizon);
+  ASSERT_TRUE(calibrator.calibrated());
+  const auto interval = calibrator.IntervalFor(500.0, kDay, 0.1);
+  EXPECT_LT(interval.lo, 500.0);
+  EXPECT_GT(interval.hi, 500.0);
+  EXPECT_GE(interval.lo, 0.0);
+}
+
+TEST(ConformalCalibratorTest, EmpiricalCoverageMeetsTarget) {
+  const auto calibration = MakeToy(4000, 0.6, 2);
+  ConformalCalibrator calibrator;
+  calibrator.Calibrate(calibration.pred, calibration.truth, calibration.horizon);
+
+  const auto test = MakeToy(4000, 0.6, 3);
+  for (double miscoverage : {0.1, 0.2, 0.4}) {
+    int covered = 0;
+    for (size_t i = 0; i < test.pred.size(); ++i) {
+      const auto iv = calibrator.IntervalFor(test.pred[i], test.horizon[i],
+                                             miscoverage);
+      if (test.truth[i] >= iv.lo && test.truth[i] <= iv.hi) ++covered;
+    }
+    const double coverage = static_cast<double>(covered) / test.pred.size();
+    EXPECT_GE(coverage, 1.0 - miscoverage - 0.02) << "target " << 1.0 - miscoverage;
+    // Not absurdly conservative either.
+    EXPECT_LE(coverage, 1.0 - miscoverage + 0.08) << "target " << 1.0 - miscoverage;
+  }
+}
+
+TEST(ConformalCalibratorTest, WidthIncreasesWithCoverage) {
+  const auto data = MakeToy(2000, 0.5, 4);
+  ConformalCalibrator calibrator;
+  calibrator.Calibrate(data.pred, data.truth, data.horizon);
+  const auto narrow = calibrator.IntervalFor(300.0, kDay, 0.5);
+  const auto wide = calibrator.IntervalFor(300.0, kDay, 0.05);
+  EXPECT_GT(wide.hi - wide.lo, narrow.hi - narrow.lo);
+}
+
+TEST(ConformalCalibratorTest, WidthTracksNoiseScale) {
+  ConformalCalibrator low_noise, high_noise;
+  const auto a = MakeToy(2000, 0.2, 5);
+  const auto b = MakeToy(2000, 1.0, 6);
+  low_noise.Calibrate(a.pred, a.truth, a.horizon);
+  high_noise.Calibrate(b.pred, b.truth, b.horizon);
+  const auto iv_low = low_noise.IntervalFor(300.0, kDay, 0.1);
+  const auto iv_high = high_noise.IntervalFor(300.0, kDay, 0.1);
+  EXPECT_GT(iv_high.hi - iv_high.lo, iv_low.hi - iv_low.lo);
+}
+
+TEST(ConformalCalibratorTest, HorizonBucketsAreSeparate) {
+  // Short horizons get small noise, long horizons large noise; interval
+  // widths must reflect the bucket, not the pool.
+  ConformalCalibrator calibrator;
+  std::vector<double> pred, truth, horizon;
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    pred.push_back(100.0);
+    truth.push_back(100.0 * rng.LogNormal(0.0, 0.1));
+    horizon.push_back(1 * kHour);
+    pred.push_back(100.0);
+    truth.push_back(100.0 * rng.LogNormal(0.0, 1.0));
+    horizon.push_back(5 * kDay);
+  }
+  calibrator.Calibrate(pred, truth, horizon);
+  const auto short_iv = calibrator.IntervalFor(100.0, 1 * kHour, 0.1);
+  const auto long_iv = calibrator.IntervalFor(100.0, 5 * kDay, 0.1);
+  EXPECT_GT(long_iv.hi - long_iv.lo, 3.0 * (short_iv.hi - short_iv.lo));
+}
+
+TEST(ConformalCalibratorTest, SmallBucketFallsBackToPool) {
+  ConformalCalibrator::Options options;
+  options.min_bucket_size = 100;
+  ConformalCalibrator calibrator(options);
+  // All mass in the long-horizon bucket; the 1h bucket stays tiny.
+  std::vector<double> pred(500, 50.0), truth(500, 60.0), horizon(500, 5 * kDay);
+  pred.push_back(50.0);
+  truth.push_back(55.0);
+  horizon.push_back(1 * kHour);
+  calibrator.Calibrate(pred, truth, horizon);
+  EXPECT_EQ(calibrator.BucketSize(1 * kHour), 501u);  // pooled fallback
+  EXPECT_EQ(calibrator.BucketSize(5 * kDay), 500u);
+}
+
+TEST(ConformalCalibratorTest, LowerBoundClampedAtZero) {
+  const auto data = MakeToy(500, 2.0, 8);
+  ConformalCalibrator calibrator;
+  calibrator.Calibrate(data.pred, data.truth, data.horizon);
+  const auto iv = calibrator.IntervalFor(0.5, kDay, 0.02);
+  EXPECT_GE(iv.lo, 0.0);
+}
+
+}  // namespace
+}  // namespace horizon::core

@@ -1,0 +1,93 @@
+// Contract-enforcement tests: the library uses CHECK macros (no
+// exceptions), so violated preconditions must abort loudly rather than
+// corrupt state.  These death tests pin the most safety-critical
+// contracts.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/alpha_estimator.h"
+#include "core/hawkes_predictor.h"
+#include "core/relative_growth.h"
+#include "eval/metrics.h"
+#include "pointprocess/exp_hawkes.h"
+#include "stream/cascade_tracker.h"
+#include "stream/exponential_histogram.h"
+
+namespace horizon {
+namespace {
+
+TEST(ContractsTest, ExponentialHistogramRejectsOutOfOrderEvents) {
+  stream::ExponentialHistogram hist(10.0, 0.1);
+  hist.Add(5.0);
+  EXPECT_DEATH(hist.Add(4.0), "CHECK failed");
+}
+
+TEST(ContractsTest, ExponentialHistogramRejectsBadParams) {
+  EXPECT_DEATH(stream::ExponentialHistogram(0.0, 0.1), "CHECK failed");
+  EXPECT_DEATH(stream::ExponentialHistogram(10.0, 0.0), "CHECK failed");
+}
+
+TEST(ContractsTest, CascadeTrackerRejectsEventsBeforeCreation) {
+  stream::CascadeTracker tracker(100.0, stream::TrackerConfig{});
+  EXPECT_DEATH(tracker.Observe(stream::EngagementType::kView, 99.0),
+               "CHECK failed");
+}
+
+TEST(ContractsTest, CascadeTrackerRejectsSnapshotBeforeCreation) {
+  stream::CascadeTracker tracker(100.0, stream::TrackerConfig{});
+  EXPECT_DEATH(tracker.Snapshot(50.0), "CHECK failed");
+}
+
+TEST(ContractsTest, HawkesPredictorRejectsUnorderedReferences) {
+  core::HawkesPredictorParams params;
+  params.reference_horizons = {kDay, 6 * kHour};  // not increasing
+  EXPECT_DEATH(core::HawkesPredictor{params}, "CHECK failed");
+}
+
+TEST(ContractsTest, HawkesPredictorRejectsEmptyReferences) {
+  core::HawkesPredictorParams params;
+  params.reference_horizons = {};
+  EXPECT_DEATH(core::HawkesPredictor{params}, "CHECK failed");
+}
+
+TEST(ContractsTest, HawkesPredictorFitRejectsMisalignedTargets) {
+  core::HawkesPredictorParams params;
+  params.reference_horizons = {kDay};
+  core::HawkesPredictor model(params);
+  gbdt::DataMatrix x(3, 2);
+  // Two target vectors for one reference horizon.
+  EXPECT_DEATH(model.Fit(x, {{1, 2, 3}, {1, 2, 3}}, {1, 2, 3}), "CHECK failed");
+  // Alpha targets with the wrong arity.
+  EXPECT_DEATH(model.Fit(x, {{1, 2, 3}}, {1, 2}), "CHECK failed");
+}
+
+TEST(ContractsTest, SimulatorRejectsSupercriticalMarks) {
+  pp::ExpHawkesParams params;
+  params.lambda0 = 1.0;
+  params.beta = 1.0;
+  params.marks = std::make_shared<pp::ConstantMark>(1.5);  // mu >= 1
+  pp::SimulateOptions options;
+  Rng rng(1);
+  EXPECT_DEATH(pp::SimulateExpHawkes(params, options, rng), "CHECK failed");
+}
+
+TEST(ContractsTest, MetricsRejectMisalignedVectors) {
+  EXPECT_DEATH(eval::MedianApe({1.0, 2.0}, {1.0}), "CHECK failed");
+  EXPECT_DEATH(eval::KendallTau({1.0}, {1.0, 2.0}), "CHECK failed");
+}
+
+TEST(ContractsTest, RelativeGrowthRejectsBadFactor) {
+  EXPECT_DEATH(core::PredictRelativeGrowth(1.0, 1.0, 1.0, /*c=*/1.0),
+               "CHECK failed");
+  EXPECT_DEATH(core::ChiCorrection(/*n_s=*/0.0, 2.0, 1.0, 0.1), "CHECK failed");
+}
+
+TEST(ContractsTest, QuantileEstimatorRejectsBadGamma) {
+  core::AlphaEstimatorOptions options;
+  options.gamma = 1.0;
+  EXPECT_DEATH(core::QuantileAlphaEstimate({1.0, 2.0}, options), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace horizon

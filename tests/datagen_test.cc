@@ -1,0 +1,202 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace horizon::datagen {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.num_pages = 40;
+  config.num_posts = 150;
+  config.base_mean_size = 80.0;
+  config.max_views_per_cascade = 30000;
+  config.seed = 5;
+  return config;
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  Generator gen(SmallConfig());
+  const SyntheticDataset a = gen.Generate();
+  const SyntheticDataset b = Generator(SmallConfig()).Generate();
+  ASSERT_EQ(a.cascades.size(), b.cascades.size());
+  for (size_t i = 0; i < a.cascades.size(); ++i) {
+    ASSERT_EQ(a.cascades[i].views.size(), b.cascades[i].views.size());
+    if (!a.cascades[i].views.empty()) {
+      EXPECT_DOUBLE_EQ(a.cascades[i].views[0].time, b.cascades[i].views[0].time);
+    }
+  }
+  EXPECT_DOUBLE_EQ(a.pages[0].followers, b.pages[0].followers);
+}
+
+TEST(GeneratorTest, PageProfilesAreValid) {
+  const SyntheticDataset data = Generator(SmallConfig()).Generate();
+  ASSERT_EQ(data.pages.size(), 40u);
+  for (const auto& page : data.pages) {
+    EXPECT_GT(page.followers, 0.0);
+    EXPECT_GT(page.fans, 0.0);
+    EXPECT_LE(page.fans, page.followers);
+    EXPECT_GT(page.quality, 0.0);
+    EXPECT_LT(page.quality, 1.0);
+    EXPECT_GT(page.alpha_page, 0.0);
+    EXPECT_GT(page.hist_mean_views, 0.0);
+    EXPECT_GT(page.hist_mean_halflife, 0.0);
+  }
+}
+
+TEST(GeneratorTest, PostParametersAreStable) {
+  const SyntheticDataset data = Generator(SmallConfig()).Generate();
+  for (const auto& cascade : data.cascades) {
+    const auto& post = cascade.post;
+    EXPECT_GT(post.lambda0, 0.0);
+    EXPECT_GT(post.beta, 0.0);
+    EXPECT_GT(post.rho1, 0.0);
+    EXPECT_LT(post.rho1, 1.0);  // stability
+    EXPECT_GT(post.TrueAlpha(), 0.0);
+    EXPECT_GE(post.creation_tod, 0.0);
+    EXPECT_LT(post.creation_tod, 24.0);
+    EXPECT_GE(post.day_of_week, 0);
+    EXPECT_LT(post.day_of_week, 7);
+    EXPECT_GE(static_cast<size_t>(post.page_id), 0u);
+    EXPECT_LT(static_cast<size_t>(post.page_id), data.pages.size());
+  }
+}
+
+TEST(GeneratorTest, CascadesSortedWithValidGenealogy) {
+  const SyntheticDataset data = Generator(SmallConfig()).Generate();
+  for (const auto& cascade : data.cascades) {
+    for (size_t i = 0; i < cascade.views.size(); ++i) {
+      if (i > 0) {
+        EXPECT_GE(cascade.views[i].time, cascade.views[i - 1].time);
+      }
+      EXPECT_GE(cascade.views[i].time, 0.0);
+      EXPECT_LT(cascade.views[i].time, data.config.tracking_window);
+      const auto parent = cascade.views[i].parent;
+      if (parent >= 0) {
+        EXPECT_LT(static_cast<size_t>(parent), i);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, ReshareDepthsConsistent) {
+  const SyntheticDataset data = Generator(SmallConfig()).Generate();
+  for (const auto& cascade : data.cascades) {
+    ASSERT_EQ(cascade.reshare_depth.size(), cascade.views.size());
+    ASSERT_EQ(cascade.is_share.size(), cascade.views.size());
+    for (size_t i = 0; i < cascade.views.size(); ++i) {
+      EXPECT_GE(cascade.reshare_depth[i], 0);
+      const auto parent = cascade.views[i].parent;
+      if (parent < 0) {
+        EXPECT_EQ(cascade.reshare_depth[i], 0);
+      } else {
+        const int expected =
+            cascade.reshare_depth[static_cast<size_t>(parent)] +
+            (cascade.is_share[static_cast<size_t>(parent)] ? 1 : 0);
+        EXPECT_EQ(cascade.reshare_depth[i], expected);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, DerivedStreamsSortedAndBounded) {
+  const SyntheticDataset data = Generator(SmallConfig()).Generate();
+  size_t total_shares = 0;
+  for (const auto& cascade : data.cascades) {
+    EXPECT_TRUE(std::is_sorted(cascade.share_times.begin(), cascade.share_times.end()));
+    EXPECT_TRUE(
+        std::is_sorted(cascade.comment_times.begin(), cascade.comment_times.end()));
+    EXPECT_TRUE(
+        std::is_sorted(cascade.reaction_times.begin(), cascade.reaction_times.end()));
+    EXPECT_LE(cascade.share_times.size(), cascade.views.size());
+    total_shares += cascade.share_times.size();
+  }
+  EXPECT_GT(total_shares, 0u);
+}
+
+TEST(GeneratorTest, SizesAreLongTailed) {
+  GeneratorConfig config = SmallConfig();
+  config.num_posts = 400;
+  const SyntheticDataset data = Generator(config).Generate();
+  std::vector<double> sizes;
+  for (const auto& cascade : data.cascades) {
+    sizes.push_back(static_cast<double>(cascade.TotalViews()));
+  }
+  const double median = Median(sizes);
+  const double max = *std::max_element(sizes.begin(), sizes.end());
+  EXPECT_GT(max, 20.0 * std::max(median, 1.0));
+}
+
+TEST(CascadeTest, DurationAtFraction) {
+  Cascade cascade;
+  for (double t : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0}) {
+    pp::Event e;
+    e.time = t;
+    cascade.views.push_back(e);
+  }
+  EXPECT_DOUBLE_EQ(cascade.DurationAtFraction(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(cascade.DurationAtFraction(0.95), 10.0);
+  EXPECT_DOUBLE_EQ(cascade.DurationAtFraction(1.0), 10.0);
+  Cascade empty;
+  EXPECT_DOUBLE_EQ(empty.DurationAtFraction(0.95), 0.0);
+}
+
+TEST(CascadeTest, ViewsBefore) {
+  Cascade cascade;
+  for (double t : {1.0, 5.0, 9.0}) {
+    pp::Event e;
+    e.time = t;
+    cascade.views.push_back(e);
+  }
+  EXPECT_EQ(cascade.ViewsBefore(0.5), 0u);
+  EXPECT_EQ(cascade.ViewsBefore(5.0), 1u);
+  EXPECT_EQ(cascade.ViewsBefore(100.0), 3u);
+}
+
+TEST(GeneratorTest, SeasonalityThinsAndKeepsValidity) {
+  GeneratorConfig config = SmallConfig();
+  config.num_posts = 60;
+  const SyntheticDataset plain = Generator(config).Generate();
+  config.seasonality_amplitude = 0.8;
+  const SyntheticDataset seasonal = Generator(config).Generate();
+  size_t plain_total = 0, seasonal_total = 0;
+  for (const auto& c : plain.cascades) plain_total += c.TotalViews();
+  for (const auto& c : seasonal.cascades) seasonal_total += c.TotalViews();
+  EXPECT_LT(seasonal_total, plain_total);
+  for (const auto& cascade : seasonal.cascades) {
+    for (size_t i = 1; i < cascade.views.size(); ++i) {
+      EXPECT_GE(cascade.views[i].time, cascade.views[i - 1].time);
+      const auto parent = cascade.views[i].parent;
+      if (parent >= 0) {
+        EXPECT_LT(static_cast<size_t>(parent), i);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, StaticFeaturesCarrySignalAboutSize) {
+  // Follower count must correlate positively with realized cascade size
+  // (this is what gives the GBDT static-feature signal).
+  GeneratorConfig config = SmallConfig();
+  config.num_posts = 400;
+  const SyntheticDataset data = Generator(config).Generate();
+  std::vector<double> log_followers, log_sizes;
+  for (const auto& cascade : data.cascades) {
+    log_followers.push_back(std::log(data.PageOf(cascade.post).followers));
+    log_sizes.push_back(std::log1p(static_cast<double>(cascade.TotalViews())));
+  }
+  EXPECT_GT(PearsonCorrelation(log_followers, log_sizes), 0.3);
+}
+
+TEST(MediaTypeTest, Names) {
+  EXPECT_STREQ(MediaTypeName(MediaType::kVideo), "video");
+  EXPECT_STREQ(PageCategoryName(PageCategory::kNews), "news");
+}
+
+}  // namespace
+}  // namespace horizon::datagen

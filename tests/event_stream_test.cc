@@ -1,0 +1,95 @@
+#include "datagen/event_stream.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace horizon::datagen {
+namespace {
+
+SyntheticDataset SmallDataset() {
+  GeneratorConfig config;
+  config.num_pages = 10;
+  config.num_posts = 40;
+  config.base_mean_size = 60.0;
+  config.seed = 13;
+  return Generator(config).Generate();
+}
+
+TEST(EventStreamTest, SortedByAbsoluteTime) {
+  const auto data = SmallDataset();
+  const auto events = BuildEventStream(data);
+  ASSERT_GT(events.size(), 0u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time, events[i - 1].time);
+  }
+}
+
+TEST(EventStreamTest, CountsMatchDataset) {
+  const auto data = SmallDataset();
+  const auto events = BuildEventStream(data);
+  size_t views = 0, shares = 0, comments = 0, reactions = 0;
+  for (const auto& e : events) {
+    switch (e.type) {
+      case stream::EngagementType::kView: ++views; break;
+      case stream::EngagementType::kShare: ++shares; break;
+      case stream::EngagementType::kComment: ++comments; break;
+      case stream::EngagementType::kReaction: ++reactions; break;
+    }
+  }
+  size_t expected_views = 0, expected_shares = 0, expected_comments = 0,
+         expected_reactions = 0;
+  for (const auto& c : data.cascades) {
+    expected_views += c.views.size();
+    expected_shares += c.share_times.size();
+    expected_comments += c.comment_times.size();
+    expected_reactions += c.reaction_times.size();
+  }
+  EXPECT_EQ(views, expected_views);
+  EXPECT_EQ(shares, expected_shares);
+  EXPECT_EQ(comments, expected_comments);
+  EXPECT_EQ(reactions, expected_reactions);
+}
+
+TEST(EventStreamTest, MaxAgeFilters) {
+  const auto data = SmallDataset();
+  EventStreamOptions options;
+  options.max_age = 6 * kHour;
+  const auto events = BuildEventStream(data, options);
+  size_t views = 0;
+  for (const auto& e : events) {
+    if (e.type == stream::EngagementType::kView) ++views;
+  }
+  size_t expected = 0;
+  for (const auto& c : data.cascades) expected += c.ViewsBefore(6 * kHour);
+  EXPECT_EQ(views, expected);
+}
+
+TEST(EventStreamTest, TypeFiltersWork) {
+  const auto data = SmallDataset();
+  EventStreamOptions options;
+  options.include_shares = false;
+  options.include_comments = false;
+  options.include_reactions = false;
+  const auto events = BuildEventStream(data, options);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.type, stream::EngagementType::kView);
+  }
+}
+
+TEST(EventStreamTest, EventTimesAreCreationPlusAge) {
+  const auto data = SmallDataset();
+  EventStreamOptions options;
+  options.include_shares = false;
+  options.include_comments = false;
+  options.include_reactions = false;
+  const auto events = BuildEventStream(data, options);
+  // The earliest event of each post must not precede its creation time.
+  for (const auto& e : events) {
+    const auto& cascade = data.cascades[static_cast<size_t>(e.post_id)];
+    EXPECT_GE(e.time, cascade.post.creation_time);
+  }
+}
+
+}  // namespace
+}  // namespace horizon::datagen

@@ -1,0 +1,115 @@
+#include "pointprocess/exp_hawkes_mle.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "pointprocess/exp_hawkes.h"
+
+namespace horizon::pp {
+namespace {
+
+std::vector<double> Times(const Realization& events) {
+  std::vector<double> out;
+  for (const auto& e : events) out.push_back(e.time);
+  return out;
+}
+
+TEST(ExpHawkesLogLikelihoodTest, FiniteForValidInputs) {
+  const std::vector<double> times = {1.0, 2.0, 5.0};
+  const double ll = ExpHawkesLogLikelihood(times, 10.0, 2.0, 1.0, 0.5);
+  EXPECT_TRUE(std::isfinite(ll));
+}
+
+TEST(ExpHawkesLogLikelihoodTest, EmptyHistoryIsMinusCompensator) {
+  // No events: LL = -int lambda = -lambda0 (1 - e^{-beta T}) / beta.
+  const double ll = ExpHawkesLogLikelihood({}, 4.0, 3.0, 2.0, 0.5);
+  EXPECT_NEAR(ll, -3.0 / 2.0 * (1.0 - std::exp(-8.0)), 1e-12);
+}
+
+TEST(ExpHawkesLogLikelihoodTest, TrueParametersScoreWell) {
+  // The LL at the generating parameters should on average beat clearly
+  // wrong parameters.
+  ExpHawkesParams params;
+  params.lambda0 = 50.0;
+  params.beta = 2.0;
+  params.marks = std::make_shared<ConstantMark>(0.5);
+  SimulateOptions options;
+  options.horizon = 20.0;
+  Rng rng(5);
+  int true_wins = 0;
+  const int reps = 30;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto times = Times(SimulateExpHawkes(params, options, rng));
+    if (times.size() < 10) continue;
+    const double ll_true = ExpHawkesLogLikelihood(times, 20.0, 50.0, 2.0, 0.5);
+    const double ll_wrong = ExpHawkesLogLikelihood(times, 20.0, 50.0, 0.2, 0.1);
+    if (ll_true > ll_wrong) ++true_wins;
+  }
+  EXPECT_GT(true_wins, reps * 2 / 3);
+}
+
+TEST(FitExpHawkesMleTest, TooFewEventsNotOk) {
+  EXPECT_FALSE(FitExpHawkesMle({1.0, 2.0}, 10.0).ok);
+}
+
+TEST(FitExpHawkesMleTest, CountsLikelihoodEvaluations) {
+  const std::vector<double> times = {10.0, 20.0, 40.0, 80.0, 200.0, 300.0};
+  const auto fit = FitExpHawkesMle(times, 1000.0);
+  ASSERT_TRUE(fit.ok);
+  // Coarse grid alone is 8 * 8 * 5 = 320 evaluations.
+  EXPECT_GT(fit.likelihood_evaluations, 320);
+}
+
+TEST(FitExpHawkesMleTest, RecoversAlphaOnSimulatedData) {
+  ExpHawkesParams params;
+  params.lambda0 = 3.0;     // expected ~300 events
+  params.beta = 2e-4;       // ~2.3 h kernel half-life
+  params.marks = std::make_shared<ConstantMark>(0.5);
+  const double true_alpha = params.alpha();
+  SimulateOptions options;
+  options.horizon = 40.0 / true_alpha;
+
+  Rng rng(11);
+  std::vector<double> alpha_ratios, beta_ratios;
+  for (int rep = 0; rep < 12; ++rep) {
+    const auto times = Times(SimulateExpHawkes(params, options, rng));
+    if (times.size() < 50) continue;
+    const auto fit = FitExpHawkesMle(times, options.horizon);
+    ASSERT_TRUE(fit.ok);
+    alpha_ratios.push_back(fit.alpha() / true_alpha);
+    beta_ratios.push_back(fit.beta / params.beta);
+  }
+  ASSERT_GT(alpha_ratios.size(), 6u);
+  const double med_alpha = Median(alpha_ratios);
+  const double med_beta = Median(beta_ratios);
+  EXPECT_GT(med_alpha, 0.5);
+  EXPECT_LT(med_alpha, 2.0);
+  EXPECT_GT(med_beta, 0.4);
+  EXPECT_LT(med_beta, 2.5);
+}
+
+TEST(FitExpHawkesMleTest, MleBeatsGridCornersInLikelihood) {
+  ExpHawkesParams params;
+  params.lambda0 = 5.0;
+  params.beta = 1e-3;
+  params.marks = std::make_shared<ConstantMark>(0.4);
+  SimulateOptions options;
+  options.horizon = 50000.0;
+  Rng rng(13);
+  const auto times = Times(SimulateExpHawkes(params, options, rng));
+  ASSERT_GT(times.size(), 20u);
+  const auto fit = FitExpHawkesMle(times, options.horizon);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_GE(fit.log_likelihood,
+            ExpHawkesLogLikelihood(times, options.horizon, fit.lambda0, 1e-7, 0.01));
+  EXPECT_GE(fit.log_likelihood,
+            ExpHawkesLogLikelihood(times, options.horizon, fit.lambda0, 1e-2, 0.95));
+}
+
+}  // namespace
+}  // namespace horizon::pp

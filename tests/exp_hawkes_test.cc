@@ -1,0 +1,267 @@
+#include "pointprocess/exp_hawkes.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace horizon::pp {
+namespace {
+
+ExpHawkesParams MakeParams(double lambda0, double beta, double rho1,
+                           double sigma_log = 0.8) {
+  ExpHawkesParams params;
+  params.lambda0 = lambda0;
+  params.beta = beta;
+  params.marks = std::make_shared<LogNormalMark>(rho1, sigma_log);
+  return params;
+}
+
+TEST(CountBeforeTest, Basic) {
+  Realization events;
+  for (double t : {1.0, 2.0, 3.0, 5.0}) {
+    Event e;
+    e.time = t;
+    events.push_back(e);
+  }
+  EXPECT_EQ(CountBefore(events, 0.5), 0u);
+  EXPECT_EQ(CountBefore(events, 3.0), 2u);  // strictly less than
+  EXPECT_EQ(CountBefore(events, 3.1), 3u);
+  EXPECT_EQ(CountBefore(events, 100.0), 4u);
+}
+
+TEST(ExpHawkesParamsTest, DerivedQuantities) {
+  const auto params = MakeParams(10.0, 2.0, 0.5);
+  EXPECT_NEAR(params.rho1(), 0.5, 1e-12);
+  EXPECT_NEAR(params.alpha(), 1.0, 1e-12);
+  EXPECT_NEAR(params.ExpectedFinalSize(), 10.0, 1e-12);
+}
+
+TEST(SimulateExpHawkesTest, EventsSortedWithValidGenealogy) {
+  Rng rng(7);
+  const auto params = MakeParams(20.0, 1.0, 0.6);
+  SimulateOptions options;
+  options.horizon = 50.0;
+  const Realization events = SimulateExpHawkes(params, options, rng);
+  ASSERT_GT(events.size(), 0u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(events[i].time, events[i - 1].time);
+    }
+    EXPECT_LT(events[i].time, options.horizon);
+    EXPECT_GT(events[i].mark, 0.0);
+    if (events[i].parent >= 0) {
+      const auto p = static_cast<size_t>(events[i].parent);
+      ASSERT_LT(p, i);  // parents precede children
+      EXPECT_LE(events[p].time, events[i].time);
+      EXPECT_EQ(events[i].generation, events[p].generation + 1);
+    } else {
+      EXPECT_EQ(events[i].generation, 0);
+    }
+  }
+}
+
+TEST(SimulateExpHawkesTest, MeanFinalSizeMatchesTheory) {
+  // E[N(inf)] = lambda0 / alpha.
+  Rng rng(11);
+  const auto params = MakeParams(8.0, 2.0, 0.5);  // expected size 8
+  SimulateOptions options;
+  options.horizon = 60.0;  // >> 1/alpha = 1
+  RunningStats sizes;
+  for (int rep = 0; rep < 3000; ++rep) {
+    sizes.Add(static_cast<double>(SimulateExpHawkes(params, options, rng).size()));
+  }
+  // Standard error ~ sqrt(var/n); allow 4 sigma.
+  const double se = sizes.stddev() / std::sqrt(3000.0);
+  EXPECT_NEAR(sizes.mean(), params.ExpectedFinalSize(), 4.0 * se + 0.05);
+}
+
+struct MeanCurveCase {
+  double beta;
+  double rho1;
+  double t;
+};
+
+class ExpHawkesMeanCurveTest : public ::testing::TestWithParam<MeanCurveCase> {};
+
+TEST_P(ExpHawkesMeanCurveTest, CountAtTimeMatchesProposition32) {
+  // With s = 0 and F_0 empty, Prop. 3.2 gives
+  // E[N(t)] = lambda(0)/alpha (1 - e^{-alpha t}).
+  const MeanCurveCase c = GetParam();
+  Rng rng(101 + static_cast<uint64_t>(c.beta * 10 + c.t * 100));
+  const auto params = MakeParams(10.0, c.beta, c.rho1);
+  SimulateOptions options;
+  options.horizon = c.t;
+  RunningStats counts;
+  const int reps = 2500;
+  for (int rep = 0; rep < reps; ++rep) {
+    counts.Add(static_cast<double>(SimulateExpHawkes(params, options, rng).size()));
+  }
+  const double expected =
+      ConditionalMeanIncrement(params.lambda0, params.alpha(), c.t);
+  const double se = counts.stddev() / std::sqrt(static_cast<double>(reps));
+  EXPECT_NEAR(counts.mean(), expected, 4.0 * se + 0.05)
+      << "beta=" << c.beta << " rho1=" << c.rho1 << " t=" << c.t;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExpHawkesMeanCurveTest,
+    ::testing::Values(MeanCurveCase{1.0, 0.5, 0.5}, MeanCurveCase{1.0, 0.5, 2.0},
+                      MeanCurveCase{2.0, 0.3, 1.0}, MeanCurveCase{0.5, 0.8, 4.0},
+                      MeanCurveCase{4.0, 0.6, 0.25}));
+
+TEST(SimulateExpHawkesTest, VarianceMatchesPropositionA2) {
+  Rng rng(13);
+  const double beta = 2.0, rho1 = 0.4, sigma_log = 0.6, t = 1.5;
+  const auto params = MakeParams(12.0, beta, rho1, sigma_log);
+  SimulateOptions options;
+  options.horizon = t;
+  RunningStats counts;
+  const int reps = 6000;
+  for (int rep = 0; rep < reps; ++rep) {
+    counts.Add(static_cast<double>(SimulateExpHawkes(params, options, rng).size()));
+  }
+  const double rho2 = params.rho2();
+  const double expected_var =
+      ConditionalVarianceIncrement(params.lambda0, beta, rho1, rho2, t);
+  // Sample variance of variance estimate: allow 15% relative error.
+  EXPECT_NEAR(counts.variance(), expected_var, 0.15 * expected_var);
+}
+
+// Property sweep: the corrected conditional-variance formula must match
+// Monte-Carlo across mark distributions (the paper's printed Prop. A.2
+// fails this suite; see exp_hawkes.h).
+struct VarianceCase {
+  const char* name;
+  std::shared_ptr<const MarkDistribution> marks;
+  double beta;
+  double t;
+};
+
+class VarianceAcrossMarksTest : public ::testing::TestWithParam<VarianceCase> {};
+
+TEST_P(VarianceAcrossMarksTest, MatchesMonteCarlo) {
+  const VarianceCase& c = GetParam();
+  ExpHawkesParams params;
+  params.lambda0 = 10.0;
+  params.beta = c.beta;
+  params.marks = c.marks;
+  SimulateOptions options;
+  options.horizon = c.t;
+  Rng rng(4242);
+  RunningStats counts;
+  const int reps = 8000;
+  for (int rep = 0; rep < reps; ++rep) {
+    counts.Add(static_cast<double>(SimulateExpHawkes(params, options, rng).size()));
+  }
+  const double expected = ConditionalVarianceIncrement(
+      params.lambda0, c.beta, params.rho1(), params.rho2(), c.t);
+  EXPECT_NEAR(counts.variance(), expected, 0.12 * expected) << c.name;
+  // And the mean stays on Prop. 3.2.
+  const double expected_mean =
+      ConditionalMeanIncrement(params.lambda0, params.alpha(), c.t);
+  EXPECT_NEAR(counts.mean(), expected_mean, 0.05 * expected_mean) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Marks, VarianceAcrossMarksTest,
+    ::testing::Values(
+        VarianceCase{"constant", std::make_shared<ConstantMark>(0.5), 2.0, 1.5},
+        VarianceCase{"exponential", std::make_shared<ExponentialMark>(0.4), 1.0,
+                     2.0},
+        VarianceCase{"lognormal", std::make_shared<LogNormalMark>(0.5, 1.0), 2.0,
+                     1.0},
+        VarianceCase{"pareto", std::make_shared<ParetoMark>(0.4, 3.0), 3.0, 0.8},
+        VarianceCase{"slow_decay", std::make_shared<ConstantMark>(0.7), 0.5, 4.0}),
+    [](const ::testing::TestParamInfo<VarianceCase>& info) {
+      return info.param.name;
+    });
+
+TEST(SimulateExpHawkesTest, MaxEventsCensorsRealization) {
+  Rng rng(17);
+  auto params = MakeParams(500.0, 1.0, 0.8);
+  SimulateOptions options;
+  options.horizon = 100.0;
+  options.max_events = 200;
+  const Realization events = SimulateExpHawkes(params, options, rng);
+  EXPECT_LE(events.size(), 400u);  // cap + at most one batch of children
+}
+
+TEST(ExpHawkesIntensityTest, MatchesBruteForce) {
+  Rng rng(19);
+  const auto params = MakeParams(5.0, 1.5, 0.5);
+  SimulateOptions options;
+  options.horizon = 10.0;
+  const Realization events = SimulateExpHawkes(params, options, rng);
+  ASSERT_GT(events.size(), 3u);
+  const double t_end = 8.0;
+  double brute = params.lambda0 * std::exp(-params.beta * t_end);
+  for (const Event& e : events) {
+    if (e.time < t_end) {
+      brute += params.beta * e.mark * std::exp(-params.beta * (t_end - e.time));
+    }
+  }
+  EXPECT_NEAR(ExpHawkesIntensity(events, params, t_end), brute,
+              1e-9 * (1.0 + brute));
+}
+
+TEST(ConditionalMeanIncrementTest, LimitsAndMonotonicity) {
+  const double lambda_s = 6.0, alpha = 2.0;
+  EXPECT_DOUBLE_EQ(ConditionalMeanIncrement(lambda_s, alpha, 0.0), 0.0);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(ConditionalMeanIncrement(lambda_s, alpha, inf), 3.0);
+  double prev = 0.0;
+  for (double dt = 0.1; dt < 10.0; dt *= 2.0) {
+    const double v = ConditionalMeanIncrement(lambda_s, alpha, dt);
+    EXPECT_GT(v, prev);
+    EXPECT_LE(v, 3.0 + 1e-12);
+    prev = v;
+  }
+}
+
+TEST(ConditionalVarianceIncrementTest, LimitMatchesSigmaSquared) {
+  const double lambda_s = 4.0, beta = 2.0, rho1 = 0.4, rho2 = 0.5;
+  const double alpha = beta * (1.0 - rho1);
+  const double inf = std::numeric_limits<double>::infinity();
+  const double limit = ConditionalVarianceIncrement(lambda_s, beta, rho1, rho2, inf);
+  // Eq. (20): limit variance = Sigma^2 lambda(s) / alpha.
+  EXPECT_NEAR(limit, SigmaSquared(beta, rho1, rho2) * lambda_s / alpha, 1e-9);
+  // Large dt approaches the limit.
+  EXPECT_NEAR(ConditionalVarianceIncrement(lambda_s, beta, rho1, rho2, 100.0), limit,
+              1e-6);
+}
+
+TEST(SigmaSquaredTest, MatchesGaltonWatsonForConstantMarks) {
+  // For constant marks Z = rho1, the infinite-horizon variance of N from a
+  // fresh start with E[N(inf)] = lambda0/alpha immigrant mass must equal
+  // the branching (Galton-Watson) value:
+  //   Var[N(inf)] = (lambda0/beta) (rho1 + Var_off) / (1-rho1)^3 ...
+  // which reduces to Sigma^2 = (1 + rho2 - rho1^2) / (1 - rho1)^2 in units
+  // of lambda0/alpha.  (The paper's printed Eq. 21 is dimensionally
+  // inconsistent; see exp_hawkes.h.)
+  const double beta = 3.0, rho1 = 0.4, rho2 = rho1 * rho1;  // constant marks
+  const double expected = (1.0 + rho2 - rho1 * rho1) / ((1.0 - rho1) * (1.0 - rho1));
+  EXPECT_NEAR(SigmaSquared(beta, rho1, rho2), expected, 1e-12);
+}
+
+TEST(SigmaSquaredTest, GeneralMarksMatchBranchingFormula) {
+  // General marks: Sigma^2 = (1 + rho2 - rho1^2) / (1 - rho1)^2 (beta
+  // cancels -- the total count distribution is time-scale invariant).
+  const double rho1 = 0.3, rho2 = 0.5;
+  for (double beta : {0.5, 1.0, 4.0}) {
+    EXPECT_NEAR(SigmaSquared(beta, rho1, rho2),
+                (1.0 + rho2 - rho1 * rho1) / ((1.0 - rho1) * (1.0 - rho1)), 1e-12)
+        << "beta=" << beta;
+  }
+}
+
+TEST(ConditionalVarianceIncrementTest, ZeroHorizonIsZero) {
+  EXPECT_DOUBLE_EQ(ConditionalVarianceIncrement(5.0, 2.0, 0.3, 0.2, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace horizon::pp

@@ -1,0 +1,138 @@
+#include "baselines/feature_models.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace horizon::baselines {
+namespace {
+
+// Toy world: increment over horizon delta is final * (1 - e^{-alpha delta})
+// with (final, alpha) encoded in the two features.
+struct ToyData {
+  gbdt::DataMatrix x;
+  std::vector<double> finals;
+  std::vector<double> alphas;
+
+  std::vector<std::vector<double>> TargetsFor(const std::vector<double>& horizons) const {
+    std::vector<std::vector<double>> out(horizons.size());
+    for (size_t h = 0; h < horizons.size(); ++h) {
+      for (size_t i = 0; i < finals.size(); ++i) {
+        out[h].push_back(
+            std::log1p(finals[i] * -std::expm1(-alphas[i] * horizons[h])));
+      }
+    }
+    return out;
+  }
+};
+
+ToyData MakeToyData(size_t n = 2500, uint64_t seed = 3) {
+  ToyData data;
+  data.x = gbdt::DataMatrix(n, 2);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const double final_inc = std::exp(rng.Uniform(std::log(30.0), std::log(3000.0)));
+    const double alpha = std::exp(rng.Uniform(std::log(0.5 / kDay), std::log(6.0 / kDay)));
+    data.x.Set(i, 0, static_cast<float>(std::log(final_inc)));
+    data.x.Set(i, 1, static_cast<float>(std::log(alpha * kDay)));
+    data.finals.push_back(final_inc);
+    data.alphas.push_back(alpha);
+  }
+  return data;
+}
+
+gbdt::GbdtParams SmallGbdt() {
+  gbdt::GbdtParams params;
+  params.num_trees = 60;
+  params.tree.max_depth = 5;
+  return params;
+}
+
+TEST(PointBasedModelsTest, SupportsOnlyTrainedHorizons) {
+  const auto data = MakeToyData(500);
+  const std::vector<double> horizons = {6 * kHour, 1 * kDay};
+  PointBasedModels pb(SmallGbdt());
+  pb.Fit(data.x, horizons, data.TargetsFor(horizons));
+  EXPECT_TRUE(pb.SupportsHorizon(6 * kHour));
+  EXPECT_TRUE(pb.SupportsHorizon(1 * kDay));
+  EXPECT_FALSE(pb.SupportsHorizon(2 * kDay));
+  EXPECT_EQ(pb.horizons().size(), 2u);
+}
+
+TEST(PointBasedModelsTest, AccurateAtTrainedHorizons) {
+  const auto data = MakeToyData();
+  const std::vector<double> horizons = {6 * kHour, 1 * kDay, 4 * kDay};
+  PointBasedModels pb(SmallGbdt());
+  pb.Fit(data.x, horizons, data.TargetsFor(horizons));
+
+  for (double h : horizons) {
+    double err_sum = 0.0;
+    int n = 0;
+    for (size_t i = 0; i < 200; ++i) {
+      const double truth = data.finals[i] * -std::expm1(-data.alphas[i] * h);
+      const double pred = pb.PredictIncrement(data.x.Row(i), h);
+      err_sum += std::fabs(pred - truth) / truth;
+      ++n;
+    }
+    EXPECT_LT(err_sum / n, 0.25) << "horizon " << h;
+  }
+}
+
+TEST(HorizonFeatureModelTest, InterpolatesBetweenTrainingHorizons) {
+  const auto data = MakeToyData();
+  const std::vector<double> train_horizons = {1 * kHour, 6 * kHour, 1 * kDay, 4 * kDay};
+  HorizonFeatureModel hf(SmallGbdt());
+  hf.Fit(data.x, train_horizons, data.TargetsFor(train_horizons));
+
+  // Query at 12h (unseen): must be between the 6h and 1d predictions.
+  int ordered = 0, total = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    const double p6 = hf.PredictIncrement(data.x.Row(i), 6 * kHour);
+    const double p12 = hf.PredictIncrement(data.x.Row(i), 12 * kHour);
+    const double p24 = hf.PredictIncrement(data.x.Row(i), 1 * kDay);
+    if (p6 <= p12 + 1e-9 && p12 <= p24 + 1e-9) ++ordered;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(ordered) / total, 0.7);
+}
+
+TEST(HorizonFeatureModelTest, ReasonableAccuracyAtTrainedHorizons) {
+  const auto data = MakeToyData();
+  const std::vector<double> train_horizons = {6 * kHour, 1 * kDay, 4 * kDay};
+  HorizonFeatureModel hf(SmallGbdt());
+  hf.Fit(data.x, train_horizons, data.TargetsFor(train_horizons));
+  double err_sum = 0.0;
+  int n = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    const double truth = data.finals[i] * -std::expm1(-data.alphas[i] * kDay);
+    const double pred = hf.PredictIncrement(data.x.Row(i), 1 * kDay);
+    err_sum += std::fabs(pred - truth) / truth;
+    ++n;
+  }
+  EXPECT_LT(err_sum / n, 0.35);
+}
+
+TEST(HorizonFeatureModelTest, TrainingHorizonsRecorded) {
+  const auto data = MakeToyData(300);
+  const std::vector<double> train_horizons = {1 * kHour, 1 * kDay};
+  HorizonFeatureModel hf(SmallGbdt());
+  hf.Fit(data.x, train_horizons, data.TargetsFor(train_horizons));
+  EXPECT_EQ(hf.training_horizons(), train_horizons);
+}
+
+TEST(PointBasedModelsTest, PredictionsNonNegative) {
+  const auto data = MakeToyData(400);
+  const std::vector<double> horizons = {1 * kHour};
+  PointBasedModels pb(SmallGbdt());
+  pb.Fit(data.x, horizons, data.TargetsFor(horizons));
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_GE(pb.PredictIncrement(data.x.Row(i), 1 * kHour), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace horizon::baselines

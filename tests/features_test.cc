@@ -1,0 +1,151 @@
+#include "features/extractor.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "datagen/generator.h"
+#include "features/schema.h"
+
+namespace horizon::features {
+namespace {
+
+datagen::SyntheticDataset SmallDataset() {
+  datagen::GeneratorConfig config;
+  config.num_pages = 20;
+  config.num_posts = 50;
+  config.base_mean_size = 60.0;
+  config.seed = 77;
+  return datagen::Generator(config).Generate();
+}
+
+TEST(FeatureSchemaTest, AddAndQuery) {
+  FeatureSchema schema;
+  EXPECT_EQ(schema.Add("a", FeatureCategory::kContent), 0u);
+  EXPECT_EQ(schema.Add("b", FeatureCategory::kPage), 1u);
+  EXPECT_EQ(schema.Add("c", FeatureCategory::kContent), 2u);
+  EXPECT_EQ(schema.size(), 3u);
+  EXPECT_EQ(schema.CountOf(FeatureCategory::kContent), 2u);
+  EXPECT_EQ(schema.IndicesOf(FeatureCategory::kPage), std::vector<size_t>{1});
+  EXPECT_EQ(schema.def(0).name, "a");
+}
+
+TEST(FeatureCategoryTest, AllNamesDistinct) {
+  std::set<std::string> names;
+  for (int c = 0; c < kNumFeatureCategories; ++c) {
+    names.insert(FeatureCategoryName(static_cast<FeatureCategory>(c)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumFeatureCategories));
+}
+
+TEST(FeatureExtractorTest, SchemaCoversAllCategories) {
+  FeatureExtractor extractor(stream::TrackerConfig{});
+  const FeatureSchema& schema = extractor.schema();
+  EXPECT_GT(schema.size(), 60u);
+  for (int c = 0; c < kNumFeatureCategories; ++c) {
+    EXPECT_GT(schema.CountOf(static_cast<FeatureCategory>(c)), 0u)
+        << FeatureCategoryName(static_cast<FeatureCategory>(c));
+  }
+}
+
+TEST(FeatureExtractorTest, UniqueFeatureNames) {
+  FeatureExtractor extractor(stream::TrackerConfig{});
+  std::set<std::string> names;
+  for (size_t i = 0; i < extractor.schema().size(); ++i) {
+    names.insert(extractor.schema().def(i).name);
+  }
+  EXPECT_EQ(names.size(), extractor.schema().size());
+}
+
+TEST(FeatureExtractorTest, ExtractMatchesSchemaSizeAndIsFinite) {
+  const auto data = SmallDataset();
+  FeatureExtractor extractor(stream::TrackerConfig{});
+  const auto& cascade = data.cascades[0];
+  const auto snap = extractor.ReplaySnapshot(cascade, 6 * kHour);
+  const auto row = extractor.Extract(data.PageOf(cascade.post), cascade.post, snap);
+  ASSERT_EQ(row.size(), extractor.schema().size());
+  for (float v : row) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(FeatureExtractorTest, ReplaySnapshotCountsMatchCascade) {
+  const auto data = SmallDataset();
+  FeatureExtractor extractor(stream::TrackerConfig{});
+  for (size_t i = 0; i < 10; ++i) {
+    const auto& cascade = data.cascades[i];
+    const double s = 12 * kHour;
+    const auto snap = extractor.ReplaySnapshot(cascade, s);
+    EXPECT_EQ(snap.views().total, cascade.ViewsBefore(s));
+    size_t shares = 0;
+    for (double t : cascade.share_times) shares += t < s ? 1 : 0;
+    EXPECT_EQ(snap.shares().total, shares);
+  }
+}
+
+TEST(FeatureExtractorTest, TotalsMonotoneInObservationAge) {
+  const auto data = SmallDataset();
+  FeatureExtractor extractor(stream::TrackerConfig{});
+  const auto& cascade = data.cascades[1];
+  uint64_t prev = 0;
+  for (double age : {1 * kHour, 6 * kHour, 1 * kDay, 4 * kDay}) {
+    const auto snap = extractor.ReplaySnapshot(cascade, age);
+    EXPECT_GE(snap.views().total, prev);
+    prev = snap.views().total;
+  }
+}
+
+TEST(FeatureExtractorTest, DeterministicExtraction) {
+  const auto data = SmallDataset();
+  FeatureExtractor extractor(stream::TrackerConfig{});
+  const auto& cascade = data.cascades[2];
+  const auto snap_a = extractor.ReplaySnapshot(cascade, kDay);
+  const auto snap_b = extractor.ReplaySnapshot(cascade, kDay);
+  const auto row_a = extractor.Extract(data.PageOf(cascade.post), cascade.post, snap_a);
+  const auto row_b = extractor.Extract(data.PageOf(cascade.post), cascade.post, snap_b);
+  EXPECT_EQ(row_a, row_b);
+}
+
+TEST(FeatureExtractorTest, MediaOneHotMatchesPost) {
+  const auto data = SmallDataset();
+  FeatureExtractor extractor(stream::TrackerConfig{});
+  const auto& schema = extractor.schema();
+  const auto& cascade = data.cascades[3];
+  const auto snap = extractor.ReplaySnapshot(cascade, kHour);
+  const auto row = extractor.Extract(data.PageOf(cascade.post), cascade.post, snap);
+  int hot = 0;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema.def(i).name.rfind("content/media_", 0) == 0) {
+      hot += row[i] > 0.5f ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(hot, 1);
+}
+
+TEST(FeatureExtractorTest, EngagementFeaturesReflectActivity) {
+  // A later snapshot of an active cascade has a larger views total feature.
+  const auto data = SmallDataset();
+  FeatureExtractor extractor(stream::TrackerConfig{});
+  const auto& schema = extractor.schema();
+  size_t total_idx = schema.size();
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema.def(i).name == "views/log1p_total") total_idx = i;
+  }
+  ASSERT_LT(total_idx, schema.size());
+
+  // Find a cascade with meaningful growth.
+  for (const auto& cascade : data.cascades) {
+    if (cascade.ViewsBefore(kDay) > cascade.ViewsBefore(kHour) + 10) {
+      const auto early = extractor.Extract(
+          data.PageOf(cascade.post), cascade.post, extractor.ReplaySnapshot(cascade, kHour));
+      const auto late = extractor.Extract(
+          data.PageOf(cascade.post), cascade.post, extractor.ReplaySnapshot(cascade, kDay));
+      EXPECT_GT(late[total_idx], early[total_idx]);
+      return;
+    }
+  }
+  FAIL() << "no growing cascade found";
+}
+
+}  // namespace
+}  // namespace horizon::features

@@ -1,0 +1,102 @@
+#include "baselines/hip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace horizon::baselines {
+namespace {
+
+// A simple self-exciting world with exponential-ish decay: seed pulse plus
+// branching, used only for qualitative checks.
+std::vector<double> MakeBurstyCascade(Rng& rng, double scale, double horizon) {
+  std::vector<double> times;
+  const int seeds = static_cast<int>(rng.Poisson(scale));
+  for (int i = 0; i < seeds; ++i) times.push_back(rng.Exponential(1.0 / (4 * kHour)));
+  for (size_t i = 0; i < times.size() && times.size() < 20000; ++i) {
+    const uint64_t children = rng.Poisson(0.6);
+    for (uint64_t c = 0; c < children; ++c) {
+      const double t = times[i] + rng.Exponential(1.0 / (6 * kHour));
+      if (t < horizon) times.push_back(t);
+    }
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+TEST(HipModelTest, TooFewBinsNotOk) {
+  HipModel model;
+  EXPECT_FALSE(model.Fit({1.0, 2.0}, 3 * kHour).ok);  // < 4 bins at 2h width
+}
+
+TEST(HipModelTest, FitReportsIterations) {
+  Rng rng(1);
+  HipModel model;
+  const auto times = MakeBurstyCascade(rng, 50.0, 2 * kDay);
+  const auto fit = model.Fit(times, 2 * kDay);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_EQ(fit.iterations, 4);  // one LSQ solve per theta candidate
+  EXPECT_GE(fit.gamma, 0.0);
+  EXPECT_GE(fit.p, 0.0);
+}
+
+TEST(HipModelTest, PredictionMonotoneInHorizon) {
+  Rng rng(2);
+  HipModel model;
+  const auto times = MakeBurstyCascade(rng, 80.0, 2 * kDay);
+  const auto fit = model.Fit(times, 2 * kDay);
+  ASSERT_TRUE(fit.ok);
+  double prev = 0.0;
+  for (double delta : {6 * kHour, 1 * kDay, 4 * kDay}) {
+    const double inc = model.PredictIncrement(fit, times, 2 * kDay, delta);
+    EXPECT_GE(inc, prev - 1e-9);
+    prev = inc;
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_GE(model.PredictIncrement(fit, times, 2 * kDay, inf), prev - 1e-9);
+}
+
+TEST(HipModelTest, ActiveCascadePredictsMoreThanDeadOne) {
+  HipModel model;
+  // Active: steady recent arrivals.  Dead: all mass long ago.
+  std::vector<double> active, dead;
+  for (int i = 0; i < 300; ++i) {
+    active.push_back(2 * kDay * (0.5 + 0.5 * i / 300.0));
+    dead.push_back(2 * kHour * i / 300.0);
+  }
+  const double s = 2 * kDay;
+  const auto fit_active = model.Fit(active, s);
+  const auto fit_dead = model.Fit(dead, s);
+  ASSERT_TRUE(fit_active.ok);
+  ASSERT_TRUE(fit_dead.ok);
+  EXPECT_GT(model.PredictIncrement(fit_active, active, s, 1 * kDay),
+            model.PredictIncrement(fit_dead, dead, s, 1 * kDay));
+}
+
+TEST(HipModelTest, UnfitPredictsZero) {
+  HipModel model;
+  HipModel::FitResult bad;
+  EXPECT_EQ(model.PredictIncrement(bad, {1.0}, 10.0, 100.0), 0.0);
+}
+
+TEST(HipModelTest, ForwardIterationStaysFinite) {
+  // Even a very dense history (apparently supercritical) must produce a
+  // finite prediction thanks to the branching cap.
+  HipModel model;
+  std::vector<double> times;
+  for (int i = 0; i < 5000; ++i) times.push_back(8 * kHour + i * 2.0);
+  const double s = 12 * kHour;
+  const auto fit = model.Fit(times, s);
+  ASSERT_TRUE(fit.ok);
+  const double pred =
+      model.PredictIncrement(fit, times, s, std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isfinite(pred));
+}
+
+}  // namespace
+}  // namespace horizon::baselines

@@ -1,0 +1,127 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/hawkes_predictor.h"
+
+namespace horizon::core {
+namespace {
+
+// Small trained model over a toy problem (same construction as
+// hawkes_predictor_test).
+HawkesPredictor TrainToyModel(const std::vector<double>& refs,
+                              Aggregation agg = Aggregation::kGeometricMean) {
+  const size_t n = 800;
+  gbdt::DataMatrix x(n, 2);
+  std::vector<std::vector<double>> targets(refs.size());
+  std::vector<double> alphas;
+  Rng rng(31);
+  for (size_t i = 0; i < n; ++i) {
+    const double alpha =
+        std::exp(rng.Uniform(std::log(0.3 / kDay), std::log(6.0 / kDay)));
+    const double final_inc = std::exp(rng.Uniform(std::log(30.0), std::log(2000.0)));
+    x.Set(i, 0, static_cast<float>(std::log(final_inc)));
+    x.Set(i, 1, static_cast<float>(std::log(alpha * kDay)));
+    for (size_t h = 0; h < refs.size(); ++h) {
+      targets[h].push_back(std::log1p(final_inc * -std::expm1(-alpha * refs[h])));
+    }
+    alphas.push_back(alpha);
+  }
+  HawkesPredictorParams params;
+  params.reference_horizons = refs;
+  params.aggregation = agg;
+  params.gbdt_count.num_trees = 30;
+  params.gbdt_alpha.num_trees = 30;
+  HawkesPredictor model(params);
+  model.Fit(x, targets, alphas);
+  return model;
+}
+
+TEST(HwkSerializationTest, RoundTripPredictionsIdentical) {
+  const std::vector<double> refs = {6 * kHour, 1 * kDay, 4 * kDay};
+  const HawkesPredictor original = TrainToyModel(refs);
+  const std::string blob = original.Serialize();
+
+  HawkesPredictor restored;
+  ASSERT_TRUE(restored.Deserialize(blob));
+  EXPECT_TRUE(restored.trained());
+  EXPECT_EQ(restored.num_reference_horizons(), 3u);
+
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    const float row[2] = {static_cast<float>(rng.Uniform(3.0, 7.0)),
+                          static_cast<float>(rng.Uniform(-1.0, 2.0))};
+    for (double delta : {1 * kHour, 12 * kHour, 2 * kDay, 7 * kDay}) {
+      EXPECT_DOUBLE_EQ(original.PredictIncrement(row, delta),
+                       restored.PredictIncrement(row, delta));
+    }
+    EXPECT_DOUBLE_EQ(original.PredictAlpha(row), restored.PredictAlpha(row));
+    EXPECT_DOUBLE_EQ(original.PredictFinalIncrement(row),
+                     restored.PredictFinalIncrement(row));
+  }
+}
+
+TEST(HwkSerializationTest, PreservesAggregationAndParams) {
+  const HawkesPredictor arith =
+      TrainToyModel({6 * kHour, 1 * kDay}, Aggregation::kArithmeticMean);
+  HawkesPredictor restored;
+  ASSERT_TRUE(restored.Deserialize(arith.Serialize()));
+  EXPECT_EQ(restored.params().aggregation, Aggregation::kArithmeticMean);
+  EXPECT_DOUBLE_EQ(restored.params().reference_horizons[0], 6 * kHour);
+  EXPECT_DOUBLE_EQ(restored.params().alpha_min, arith.params().alpha_min);
+}
+
+TEST(HwkSerializationTest, RejectsGarbage) {
+  HawkesPredictor model;
+  EXPECT_FALSE(model.Deserialize(""));
+  EXPECT_FALSE(model.Deserialize("hwk v2\n1 geo 0.1 1\n100\n"));
+  EXPECT_FALSE(model.Deserialize("not a model at all"));
+}
+
+TEST(HwkSerializationTest, RejectsTruncatedBlob) {
+  const HawkesPredictor original = TrainToyModel({1 * kDay});
+  std::string blob = original.Serialize();
+  blob.resize(blob.size() / 2);
+  HawkesPredictor restored;
+  EXPECT_FALSE(restored.Deserialize(blob));
+}
+
+TEST(HwkSerializationTest, FuzzTruncationsNeverCrash) {
+  // Any prefix of a valid blob must be rejected cleanly (never crash,
+  // never yield a trained model from a strict prefix).
+  const HawkesPredictor original = TrainToyModel({6 * kHour, 1 * kDay});
+  const std::string blob = original.Serialize();
+  Rng rng(71);
+  for (int i = 0; i < 60; ++i) {
+    const size_t cut = rng.UniformInt(blob.size());
+    HawkesPredictor restored;
+    EXPECT_FALSE(restored.Deserialize(blob.substr(0, cut))) << "cut=" << cut;
+  }
+}
+
+TEST(HwkSerializationTest, FuzzByteCorruptionsNeverCrash) {
+  // Flipping bytes must either fail cleanly or produce a loadable model;
+  // it must never crash or CHECK-fail.
+  const HawkesPredictor original = TrainToyModel({1 * kDay});
+  const std::string blob = original.Serialize();
+  Rng rng(73);
+  for (int i = 0; i < 60; ++i) {
+    std::string corrupted = blob;
+    const size_t pos = rng.UniformInt(corrupted.size());
+    corrupted[pos] = static_cast<char>(rng.UniformInt(256));
+    HawkesPredictor restored;
+    const bool ok = restored.Deserialize(corrupted);
+    if (ok) {
+      // If it parsed, it must be usable.
+      const float row[2] = {5.0f, 0.0f};
+      const double v = restored.PredictIncrement(row, 1 * kDay);
+      EXPECT_GE(v, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace horizon::core

@@ -1,0 +1,68 @@
+#include "eval/importance.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace horizon::eval {
+namespace {
+
+TEST(PermutationImportanceTest, InformativeFeatureDominates) {
+  Rng rng(3);
+  const size_t n = 1500;
+  gbdt::DataMatrix x(n, 3);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t f = 0; f < 3; ++f) x.Set(i, f, static_cast<float>(rng.Uniform()));
+    y[i] = 8.0 * x.Get(i, 1) + rng.Normal(0.0, 0.05);
+  }
+  gbdt::GbdtParams params;
+  params.num_trees = 50;
+  gbdt::GbdtRegressor model(params);
+  model.Fit(x, y);
+
+  const auto importance = PermutationImportance(model, x, y, /*repeats=*/2);
+  ASSERT_EQ(importance.size(), 3u);
+  EXPECT_GT(importance[1], 0.9);
+  const double total = std::accumulate(importance.begin(), importance.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PermutationImportanceTest, DoesNotMutateInput) {
+  Rng rng(5);
+  gbdt::DataMatrix x(200, 2);
+  std::vector<double> y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    x.Set(i, 0, static_cast<float>(rng.Uniform()));
+    x.Set(i, 1, static_cast<float>(rng.Uniform()));
+    y[i] = x.Get(i, 0);
+  }
+  gbdt::DataMatrix copy = x;
+  gbdt::GbdtParams params;
+  params.num_trees = 20;
+  gbdt::GbdtRegressor model(params);
+  model.Fit(x, y);
+  PermutationImportance(model, x, y);
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(x.Get(i, 0), copy.Get(i, 0));
+    EXPECT_EQ(x.Get(i, 1), copy.Get(i, 1));
+  }
+}
+
+TEST(AggregateByCategoryTest, SumsWithinCategories) {
+  features::FeatureSchema schema;
+  schema.Add("a", features::FeatureCategory::kContent);
+  schema.Add("b", features::FeatureCategory::kPage);
+  schema.Add("c", features::FeatureCategory::kContent);
+  const std::vector<double> importances = {0.2, 0.5, 0.3};
+  const auto by_cat = AggregateByCategory(schema, importances);
+  EXPECT_DOUBLE_EQ(by_cat[static_cast<int>(features::FeatureCategory::kContent)], 0.5);
+  EXPECT_DOUBLE_EQ(by_cat[static_cast<int>(features::FeatureCategory::kPage)], 0.5);
+  EXPECT_DOUBLE_EQ(by_cat[static_cast<int>(features::FeatureCategory::kOther)], 0.0);
+}
+
+}  // namespace
+}  // namespace horizon::eval

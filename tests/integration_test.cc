@@ -1,0 +1,187 @@
+// End-to-end test: generate a synthetic workload, train the HWK predictor
+// and the PB baseline, and check that accuracies land in the regime the
+// paper reports (HWK consistent across horizons; comparable to PB).
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/feature_models.h"
+#include "core/hawkes_predictor.h"
+#include "core/trainer.h"
+#include "datagen/generator.h"
+#include "eval/metrics.h"
+#include "eval/split.h"
+#include "features/extractor.h"
+
+namespace horizon {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::GeneratorConfig config;
+    config.num_pages = 120;
+    config.num_posts = 900;
+    config.base_mean_size = 120.0;
+    config.max_views_per_cascade = 60000;
+    config.seed = 2021;
+    dataset_ = new datagen::SyntheticDataset(datagen::Generator(config).Generate());
+    extractor_ = new features::FeatureExtractor(stream::TrackerConfig{});
+
+    const eval::Split split = eval::SplitIndices(dataset_->cascades.size(), 0.3, 9);
+
+    core::ExampleSetOptions options;
+    options.reference_horizons = {6 * kHour, 1 * kDay, 4 * kDay};
+    options.samples_per_cascade = 2;
+    options.seed = 13;
+    train_ = new core::ExampleSet(
+        core::BuildExampleSet(*dataset_, split.train, *extractor_, options));
+    test_ = new core::ExampleSet(
+        core::BuildExampleSet(*dataset_, split.test, *extractor_, options));
+  }
+
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete extractor_;
+    delete train_;
+    delete test_;
+    dataset_ = nullptr;
+  }
+
+  static gbdt::GbdtParams Gbdt() {
+    gbdt::GbdtParams params;
+    params.num_trees = 80;
+    params.tree.max_depth = 5;
+    params.tree.min_samples_leaf = 10;
+    return params;
+  }
+
+  static datagen::SyntheticDataset* dataset_;
+  static features::FeatureExtractor* extractor_;
+  static core::ExampleSet* train_;
+  static core::ExampleSet* test_;
+};
+
+datagen::SyntheticDataset* EndToEndTest::dataset_ = nullptr;
+features::FeatureExtractor* EndToEndTest::extractor_ = nullptr;
+core::ExampleSet* EndToEndTest::train_ = nullptr;
+core::ExampleSet* EndToEndTest::test_ = nullptr;
+
+TEST_F(EndToEndTest, HawkesPredictorBeatsNaiveAcrossHorizons) {
+  core::HawkesPredictorParams params;
+  params.reference_horizons = {6 * kHour, 1 * kDay, 4 * kDay};
+  params.gbdt_count = Gbdt();
+  params.gbdt_alpha = Gbdt();
+  core::HawkesPredictor model(params);
+  model.Fit(train_->x, train_->log1p_increments, train_->alpha_targets);
+
+  for (double delta : {3 * kHour, 1 * kDay, 2 * kDay}) {
+    std::vector<double> pred, truth, naive;
+    for (size_t i = 0; i < test_->size(); ++i) {
+      const auto& ref = test_->refs[i];
+      const double true_inc = core::TrueIncrement(
+          dataset_->cascades[ref.cascade_index], ref.prediction_age, delta);
+      if (ref.n_s + true_inc <= 0.0) continue;
+      pred.push_back(ref.n_s + model.PredictIncrement(test_->x.Row(i), delta));
+      naive.push_back(ref.n_s);  // "no further growth" baseline
+      truth.push_back(ref.n_s + true_inc);
+    }
+    ASSERT_GT(pred.size(), 100u);
+    const auto model_metrics = eval::ComputeMetrics(pred, truth);
+    const auto naive_metrics = eval::ComputeMetrics(naive, truth);
+    // Sanity: learned model must beat "popularity freezes now".
+    EXPECT_LT(model_metrics.median_ape, naive_metrics.median_ape)
+        << "delta=" << delta;
+    EXPECT_LT(model_metrics.median_ape, 1.0) << "delta=" << delta;
+    EXPECT_GT(model_metrics.kendall_tau, 0.55) << "delta=" << delta;
+  }
+}
+
+TEST_F(EndToEndTest, HawkesComparableToPointBasedAtUnseenHorizon) {
+  // HWK trained with refs {6h, 1d, 4d}; PB trained exactly at 2d.
+  core::HawkesPredictorParams params;
+  params.reference_horizons = {6 * kHour, 1 * kDay, 4 * kDay};
+  params.gbdt_count = Gbdt();
+  params.gbdt_alpha = Gbdt();
+  core::HawkesPredictor hwk(params);
+  hwk.Fit(train_->x, train_->log1p_increments, train_->alpha_targets);
+
+  const double delta = 2 * kDay;
+  // Build PB targets for 2d from the same training examples.
+  std::vector<double> pb_targets;
+  for (const auto& ref : train_->refs) {
+    pb_targets.push_back(std::log1p(core::TrueIncrement(
+        dataset_->cascades[ref.cascade_index], ref.prediction_age, delta)));
+  }
+  baselines::PointBasedModels pb(Gbdt());
+  pb.Fit(train_->x, {delta}, {pb_targets});
+
+  std::vector<double> hwk_pred, pb_pred, truth;
+  for (size_t i = 0; i < test_->size(); ++i) {
+    const auto& ref = test_->refs[i];
+    const double t = ref.n_s + core::TrueIncrement(
+        dataset_->cascades[ref.cascade_index], ref.prediction_age, delta);
+    if (t <= 0.0) continue;
+    hwk_pred.push_back(ref.n_s + hwk.PredictIncrement(test_->x.Row(i), delta));
+    pb_pred.push_back(ref.n_s + pb.PredictIncrement(test_->x.Row(i), delta));
+    truth.push_back(t);
+  }
+  const double hwk_ape = eval::MedianApe(hwk_pred, truth);
+  const double pb_ape = eval::MedianApe(pb_pred, truth);
+  // The paper's finding: HWK reaches parity with per-horizon models on
+  // longer horizons.  Allow a modest band.
+  EXPECT_LT(hwk_ape, pb_ape * 1.35);
+}
+
+TEST_F(EndToEndTest, AlphaPredictionsCorrelateWithGroundTruth) {
+  core::HawkesPredictorParams params;
+  params.reference_horizons = {1 * kDay};
+  params.gbdt_count = Gbdt();
+  params.gbdt_alpha = Gbdt();
+  core::HawkesPredictor model(params);
+  // The shared example set carries targets for {6h, 1d, 4d}; this model
+  // uses only the 1d reference.
+  model.Fit(train_->x, {train_->log1p_increments[1]}, train_->alpha_targets);
+
+  std::vector<double> predicted, truth;
+  for (size_t i = 0; i < test_->size(); ++i) {
+    const auto& ref = test_->refs[i];
+    predicted.push_back(std::log(model.PredictAlpha(test_->x.Row(i))));
+    truth.push_back(std::log(dataset_->cascades[ref.cascade_index].post.TrueAlpha()));
+  }
+  EXPECT_GT(eval::KendallTau(predicted, truth), 0.25);
+}
+
+TEST_F(EndToEndTest, ConstantTimePredictionIndependentOfCascadeSize) {
+  // The feature vector has fixed width; prediction cost must not depend on
+  // cascade size.  We check the structural property: rows for the largest
+  // and smallest cascades have identical dimensionality.
+  size_t small_idx = 0, large_idx = 0;
+  for (size_t i = 0; i < dataset_->cascades.size(); ++i) {
+    if (dataset_->cascades[i].TotalViews() <
+        dataset_->cascades[small_idx].TotalViews()) {
+      small_idx = i;
+    }
+    if (dataset_->cascades[i].TotalViews() >
+        dataset_->cascades[large_idx].TotalViews()) {
+      large_idx = i;
+    }
+  }
+  ASSERT_GT(dataset_->cascades[large_idx].TotalViews(),
+            dataset_->cascades[small_idx].TotalViews());
+  const auto snap_small =
+      extractor_->ReplaySnapshot(dataset_->cascades[small_idx], kDay);
+  const auto snap_large =
+      extractor_->ReplaySnapshot(dataset_->cascades[large_idx], kDay);
+  const auto row_small =
+      extractor_->Extract(dataset_->PageOf(dataset_->cascades[small_idx].post),
+                          dataset_->cascades[small_idx].post, snap_small);
+  const auto row_large =
+      extractor_->Extract(dataset_->PageOf(dataset_->cascades[large_idx].post),
+                          dataset_->cascades[large_idx].post, snap_large);
+  EXPECT_EQ(row_small.size(), row_large.size());
+}
+
+}  // namespace
+}  // namespace horizon

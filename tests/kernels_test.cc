@@ -1,0 +1,79 @@
+#include "pointprocess/kernels.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace horizon::pp {
+namespace {
+
+// Numeric integral of a kernel's Value on [0, x] by Simpson's rule.
+template <typename Kernel>
+double NumericIntegral(const Kernel& kernel, double x, int steps = 20000) {
+  double sum = 0.0;
+  const double h = x / steps;
+  for (int i = 0; i < steps; ++i) {
+    const double a = i * h, b = (i + 1) * h;
+    sum += (kernel.Value(a) + 4.0 * kernel.Value(0.5 * (a + b)) + kernel.Value(b)) *
+           h / 6.0;
+  }
+  return sum;
+}
+
+TEST(ExponentialKernelTest, ValueAndDecay) {
+  ExponentialKernel k(2.0);
+  EXPECT_DOUBLE_EQ(k.Value(0.0), 1.0);
+  EXPECT_NEAR(k.Value(1.0), std::exp(-2.0), 1e-12);
+  EXPECT_GT(k.Value(0.5), k.Value(1.0));
+}
+
+TEST(ExponentialKernelTest, IntegralMatchesNumeric) {
+  ExponentialKernel k(0.7);
+  for (double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(k.Integral(x), NumericIntegral(k, x), 1e-6) << "x=" << x;
+  }
+}
+
+TEST(ExponentialKernelTest, TotalMass) {
+  ExponentialKernel k(4.0);
+  EXPECT_DOUBLE_EQ(k.TotalMass(), 0.25);
+  EXPECT_NEAR(k.Integral(100.0), k.TotalMass(), 1e-12);
+}
+
+TEST(PowerLawKernelTest, FlatThenPowerLaw) {
+  PowerLawKernel k(2.0, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(k.Value(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(k.Value(1.0), 2.0);
+  // Continuity at tau.
+  EXPECT_NEAR(k.Value(1.0 + 1e-9), 2.0, 1e-6);
+  // Power-law tail: value(2 tau) = phi0 (1/2)^{1.5}.
+  EXPECT_NEAR(k.Value(2.0), 2.0 * std::pow(0.5, 1.5), 1e-12);
+}
+
+TEST(PowerLawKernelTest, IntegralMatchesNumeric) {
+  PowerLawKernel k(1.3, 0.5, 0.8);
+  for (double x : {0.2, 0.5, 1.0, 4.0, 50.0}) {
+    EXPECT_NEAR(k.Integral(x), NumericIntegral(k, x), 1e-4) << "x=" << x;
+  }
+}
+
+TEST(PowerLawKernelTest, TotalMassFormula) {
+  PowerLawKernel k(1.3, 0.5, 0.8);
+  // Phi(inf) = phi0 tau (1 + 1/theta).
+  EXPECT_DOUBLE_EQ(k.TotalMass(), 1.3 * 0.5 * (1.0 + 1.0 / 0.8));
+  // The integral approaches total mass for large x.
+  EXPECT_NEAR(k.Integral(1e9), k.TotalMass(), 1e-3);
+}
+
+TEST(PowerLawKernelTest, IntegralMonotone) {
+  PowerLawKernel k(1.0, 1.0, 0.3);
+  double prev = 0.0;
+  for (double x = 0.1; x < 100.0; x *= 1.7) {
+    const double v = k.Integral(x);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace horizon::pp

@@ -1,0 +1,146 @@
+#include "common/math_util.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace horizon {
+namespace {
+
+TEST(Log1mExpTest, MatchesNaiveForModerateValues) {
+  for (double x : {0.1, 0.5, 0.7, 1.0, 2.0, 5.0, 20.0}) {
+    EXPECT_NEAR(Log1mExp(x), std::log(1.0 - std::exp(-x)), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(Log1mExpTest, AccurateForTinyValues) {
+  // 1 - e^{-x} ~ x for tiny x; naive log(1 - exp(-x)) loses precision.
+  const double x = 1e-12;
+  EXPECT_NEAR(Log1mExp(x), std::log(x), 1e-6);
+}
+
+TEST(Log1mExpTest, ZeroGivesNegativeInfinity) {
+  EXPECT_EQ(Log1mExp(0.0), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Log1mExpTest, LargeValuesApproachZero) {
+  EXPECT_NEAR(Log1mExp(50.0), 0.0, 1e-20);
+  EXPECT_LT(Log1mExp(50.0), 0.0);
+}
+
+TEST(LogAddExpTest, MatchesNaive) {
+  EXPECT_NEAR(LogAddExp(1.0, 2.0), std::log(std::exp(1.0) + std::exp(2.0)), 1e-12);
+}
+
+TEST(LogAddExpTest, HandlesLargeMagnitudes) {
+  EXPECT_NEAR(LogAddExp(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_NEAR(LogAddExp(-1000.0, 0.0), 0.0, 1e-9);
+}
+
+TEST(LogAddExpTest, NegativeInfinityIdentity) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_EQ(LogAddExp(ninf, 3.0), 3.0);
+  EXPECT_EQ(LogAddExp(3.0, ninf), 3.0);
+}
+
+TEST(ClampTest, Basic) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 10.0), 5.0);
+  EXPECT_EQ(Clamp(-1.0, 0.0, 10.0), 0.0);
+  EXPECT_EQ(Clamp(11.0, 0.0, 10.0), 10.0);
+}
+
+TEST(KahanSumTest, CompensatesSmallAdditions) {
+  KahanSum sum;
+  sum.Add(1e16);
+  for (int i = 0; i < 10000; ++i) sum.Add(1.0);
+  sum.Add(-1e16);
+  EXPECT_NEAR(sum.value(), 10000.0, 1e-6);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  RunningStats stats;
+  const std::vector<double> values = {1.0, 2.0, 4.0, 8.0, 16.0};
+  for (double v : values) stats.Add(v);
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 6.2);
+  // Unbiased variance of {1,2,4,8,16}.
+  double m2 = 0.0;
+  for (double v : values) m2 += (v - 6.2) * (v - 6.2);
+  EXPECT_NEAR(stats.variance(), m2 / 4.0, 1e-12);
+  EXPECT_EQ(stats.min(), 1.0);
+  EXPECT_EQ(stats.max(), 16.0);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.variance(), 0.0);
+  stats.Add(3.0);
+  EXPECT_EQ(stats.mean(), 3.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(QuantileTest, KnownValues) {
+  const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_NEAR(Quantile(v, 0.25), 1.75, 1e-12);
+}
+
+TEST(QuantileTest, SingleAndEmpty) {
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.9), 7.0);
+  EXPECT_TRUE(std::isnan(Quantile({}, 0.5)));
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(FitLineTest, RecoversExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(2.5 * i - 7.0);
+  }
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-9);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(FitLineTest, NoisyLineHasLowerR2) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(i + ((i % 2 == 0) ? 30.0 : -30.0));
+  }
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_GT(fit.r2, 0.0);
+  EXPECT_LT(fit.r2, 0.95);
+}
+
+TEST(FitLineTest, DegenerateInputs) {
+  EXPECT_EQ(FitLine({1.0}, {2.0}).slope, 0.0);
+  // Constant x: no slope derivable.
+  const LinearFit fit = FitLine({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(fit.slope, 0.0);
+}
+
+TEST(PearsonTest, PerfectCorrelations) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateReturnsNaN) {
+  EXPECT_TRUE(std::isnan(PearsonCorrelation({1.0, 1.0}, {2.0, 3.0})));
+}
+
+}  // namespace
+}  // namespace horizon

@@ -1,0 +1,121 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace horizon::eval {
+namespace {
+
+TEST(MedianApeTest, HandComputed) {
+  // APEs: |9-10|/10 = 0.1, |30-20|/20 = 0.5, |40-40|/40 = 0 -> median 0.1.
+  EXPECT_DOUBLE_EQ(MedianApe({9.0, 30.0, 40.0}, {10.0, 20.0, 40.0}), 0.1);
+}
+
+TEST(MedianApeTest, DropsZeroTruths) {
+  // The item with zero truth is dropped; remaining APEs {0.1, 0.5}.
+  EXPECT_DOUBLE_EQ(MedianApe({9.0, 30.0, 5.0}, {10.0, 20.0, 0.0}), 0.3);
+}
+
+TEST(MedianApeTest, AllZeroTruthsIsNaN) {
+  EXPECT_TRUE(std::isnan(MedianApe({1.0}, {0.0})));
+}
+
+TEST(RmseTest, HandComputed) {
+  // Errors {3, -4}: RMSE = sqrt((9 + 16)/2) = 3.5355...
+  EXPECT_NEAR(Rmse({4.0, 0.0}, {1.0, 4.0}), std::sqrt(12.5), 1e-12);
+}
+
+TEST(RmseTest, PerfectPredictionIsZero) {
+  EXPECT_DOUBLE_EQ(Rmse({1.0, 2.0}, {1.0, 2.0}), 0.0);
+}
+
+TEST(KendallTauTest, PerfectAgreement) {
+  EXPECT_NEAR(KendallTau({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0, 1e-12);
+}
+
+TEST(KendallTauTest, PerfectDisagreement) {
+  EXPECT_NEAR(KendallTau({1, 2, 3, 4}, {40, 30, 20, 10}), -1.0, 1e-12);
+}
+
+TEST(KendallTauTest, KnownMixedCase) {
+  // Pairs of (1,1),(2,3),(3,2): concordant = 2, discordant = 1, tau = 1/3.
+  EXPECT_NEAR(KendallTau({1, 2, 3}, {1, 3, 2}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTauTest, DegenerateInputs) {
+  EXPECT_TRUE(std::isnan(KendallTau({1.0}, {1.0})));
+  EXPECT_TRUE(std::isnan(KendallTau({1.0, 1.0}, {2.0, 3.0})));  // all x tied
+}
+
+// Brute-force tau-b for verification.
+double BruteForceTauB(const std::vector<double>& x, const std::vector<double>& y) {
+  const size_t n = x.size();
+  long long concordant = 0, discordant = 0, tie_x = 0, tie_y = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j], dy = y[i] - y[j];
+      if (dx == 0.0 && dy == 0.0) {
+        ++tie_x;
+        ++tie_y;
+      } else if (dx == 0.0) {
+        ++tie_x;
+      } else if (dy == 0.0) {
+        ++tie_y;
+      } else if (dx * dy > 0) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = static_cast<double>(n) * (n - 1) / 2.0;
+  const double denom = std::sqrt((n0 - tie_x) * (n0 - tie_y));
+  return (concordant - discordant) / denom;
+}
+
+class KendallTauPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KendallTauPropertyTest, MatchesBruteForceWithTies) {
+  Rng rng(GetParam());
+  const size_t n = 120;
+  std::vector<double> x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Coarse grids produce plenty of ties.
+    x[i] = static_cast<double>(rng.UniformInt(12));
+    y[i] = static_cast<double>(rng.UniformInt(8));
+  }
+  EXPECT_NEAR(KendallTau(x, y), BruteForceTauB(x, y), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KendallTauPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(KendallTauTest, LargeInputRuns) {
+  Rng rng(77);
+  const size_t n = 200000;
+  std::vector<double> x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Uniform();
+    y[i] = x[i] + rng.Normal(0.0, 0.5);
+  }
+  const double tau = KendallTau(x, y);
+  EXPECT_GT(tau, 0.3);
+  EXPECT_LT(tau, 0.8);
+}
+
+TEST(ComputeMetricsTest, BundlesAllThree) {
+  const std::vector<double> pred = {9.0, 30.0, 40.0};
+  const std::vector<double> truth = {10.0, 20.0, 40.0};
+  const MetricSummary m = ComputeMetrics(pred, truth);
+  EXPECT_DOUBLE_EQ(m.median_ape, MedianApe(pred, truth));
+  EXPECT_DOUBLE_EQ(m.kendall_tau, KendallTau(pred, truth));
+  EXPECT_DOUBLE_EQ(m.rmse, Rmse(pred, truth));
+  EXPECT_EQ(m.n, 3u);
+}
+
+}  // namespace
+}  // namespace horizon::eval

@@ -1,0 +1,101 @@
+#include "pointprocess/ogata.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "pointprocess/exp_hawkes.h"
+#include "pointprocess/kernels.h"
+
+namespace horizon::pp {
+namespace {
+
+TEST(OgataTest, EventsSortedAndWithinHorizon) {
+  Rng rng(3);
+  ExponentialKernel kernel(1.0);
+  ExponentialMark marks(0.5);  // y multipliers
+  const Realization events = SimulateOgataHawkes(kernel, 10.0, marks, 20.0, rng);
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(events[i].time, events[i - 1].time);
+    }
+    EXPECT_LT(events[i].time, 20.0);
+  }
+}
+
+TEST(OgataTest, ExponentialKernelMatchesBranchingSimulator) {
+  // The thinning simulator and the branching simulator target the same
+  // process; their mean final sizes must agree.
+  //
+  // Branching parameterization: lambda0 = 6, beta = 2, marks Z with E[Z] =
+  // rho1 = 0.5.  Ogata parameterization uses kernel multipliers y = beta Z,
+  // so E[y] = 1.0 and mu = E[y] Phi(inf) = 1.0 / beta = 0.5.
+  const double lambda0 = 6.0, beta = 2.0, rho1 = 0.5;
+  const double horizon_t = 40.0;
+
+  Rng rng_a(41), rng_b(42);
+  ExponentialKernel kernel(beta);
+  ExponentialMark y_marks(beta * rho1);
+  RunningStats ogata_sizes, branching_sizes;
+  const int reps = 800;
+  for (int rep = 0; rep < reps; ++rep) {
+    ogata_sizes.Add(static_cast<double>(
+        SimulateOgataHawkes(kernel, lambda0, y_marks, horizon_t, rng_a).size()));
+  }
+  ExpHawkesParams params;
+  params.lambda0 = lambda0;
+  params.beta = beta;
+  params.marks = std::make_shared<ExponentialMark>(rho1);
+  SimulateOptions options;
+  options.horizon = horizon_t;
+  for (int rep = 0; rep < reps; ++rep) {
+    branching_sizes.Add(
+        static_cast<double>(SimulateExpHawkes(params, options, rng_b).size()));
+  }
+  const double expected = lambda0 / (beta * (1.0 - rho1));
+  const double se_a = ogata_sizes.stddev() / std::sqrt(static_cast<double>(reps));
+  const double se_b = branching_sizes.stddev() / std::sqrt(static_cast<double>(reps));
+  EXPECT_NEAR(ogata_sizes.mean(), expected, 4.0 * se_a + 0.1);
+  EXPECT_NEAR(branching_sizes.mean(), expected, 4.0 * se_b + 0.1);
+}
+
+TEST(OgataTest, PowerLawKernelMeanSizeMatchesBranchingTheory) {
+  // For baseline lambda0 * phi(t) and i.i.d. multipliers y:
+  // E[N(inf)] = lambda0 Phi(inf) / (1 - E[y] Phi(inf)).
+  Rng rng(5);
+  PowerLawKernel kernel(1.0, 0.5, 1.0);  // Phi(inf) = 1.0 * 0.5 * 2 = 1
+  const double mean_y = 0.4;             // mu = 0.4
+  ConstantMark y_marks(mean_y);
+  const double lambda0 = 5.0;
+  RunningStats sizes;
+  const int reps = 600;
+  for (int rep = 0; rep < reps; ++rep) {
+    sizes.Add(static_cast<double>(
+        SimulateOgataHawkes(kernel, lambda0, y_marks, 2000.0, rng).size()));
+  }
+  const double phi_inf = kernel.TotalMass();
+  const double expected = lambda0 * phi_inf / (1.0 - mean_y * phi_inf);
+  const double se = sizes.stddev() / std::sqrt(static_cast<double>(reps));
+  // Allow extra tolerance for horizon truncation of the power-law tail.
+  EXPECT_NEAR(sizes.mean(), expected, 4.0 * se + 0.15 * expected);
+}
+
+TEST(OgataTest, HigherBaselineYieldsMoreEvents) {
+  Rng rng(9);
+  ExponentialKernel kernel(1.0);
+  ConstantMark marks(0.3);
+  RunningStats small, large;
+  for (int rep = 0; rep < 200; ++rep) {
+    small.Add(static_cast<double>(
+        SimulateOgataHawkes(kernel, 2.0, marks, 30.0, rng).size()));
+    large.Add(static_cast<double>(
+        SimulateOgataHawkes(kernel, 20.0, marks, 30.0, rng).size()));
+  }
+  EXPECT_GT(large.mean(), 5.0 * small.mean());
+}
+
+}  // namespace
+}  // namespace horizon::pp

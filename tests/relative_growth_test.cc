@@ -1,0 +1,96 @@
+#include "core/relative_growth.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pointprocess/exp_hawkes.h"
+
+namespace horizon::core {
+namespace {
+
+TEST(PredictRelativeGrowthTest, ThresholdRule) {
+  // lambda >= (c-1) alpha N(s)?
+  EXPECT_TRUE(PredictRelativeGrowth(/*lambda_s=*/10.0, /*alpha=*/1.0,
+                                    /*n_s=*/5.0, /*c=*/2.0));  // 10 >= 5
+  EXPECT_FALSE(PredictRelativeGrowth(4.0, 1.0, 5.0, 2.0));     // 4 < 5
+  EXPECT_TRUE(PredictRelativeGrowth(0.0, 1.0, 0.0, 2.0));      // empty cascade
+}
+
+TEST(ChiCorrectionTest, PositiveAndDecreasingInN) {
+  const double c = 2.0, sigma_sq = 2.0, delta = 0.1;
+  double prev = 1e300;
+  for (double n : {1.0, 10.0, 100.0, 1000.0}) {
+    const double chi = ChiCorrection(n, c, sigma_sq, delta);
+    EXPECT_GT(chi, 0.0);
+    EXPECT_LT(chi, prev);
+    prev = chi;
+  }
+}
+
+TEST(ChiCorrectionTest, VanishesForLargeCascades) {
+  EXPECT_LT(ChiCorrection(1e9, 2.0, 2.0, 0.1), 1e-3);
+}
+
+TEST(ChiCorrectionTest, MatchesClosedForm) {
+  const double n = 50.0, c = 3.0, sigma_sq = 1.5, delta = 0.2;
+  const double a = sigma_sq / (2.0 * delta * n);
+  EXPECT_NEAR(ChiCorrection(n, c, sigma_sq, delta),
+              a + std::sqrt(2.0 * (c - 1.0) * a + a * a), 1e-12);
+}
+
+TEST(PredictWithConfidenceTest, StricterThanSimpleRule) {
+  const double alpha = 1.0, n_s = 20.0, c = 2.0, sigma_sq = 2.0, delta = 0.1;
+  // Between the two thresholds: simple rule fires, corrected rule does not.
+  const double simple_threshold = (c - 1.0) * alpha * n_s;
+  const double chi = ChiCorrection(n_s, c, sigma_sq, delta);
+  const double lambda_mid = simple_threshold + 0.5 * chi * alpha * n_s;
+  EXPECT_TRUE(PredictRelativeGrowth(lambda_mid, alpha, n_s, c));
+  EXPECT_FALSE(
+      PredictRelativeGrowthWithConfidence(lambda_mid, alpha, n_s, c, sigma_sq, delta));
+  // Far above both: both fire.
+  const double lambda_hi = simple_threshold * 10.0;
+  EXPECT_TRUE(
+      PredictRelativeGrowthWithConfidence(lambda_hi, alpha, n_s, c, sigma_sq, delta));
+}
+
+TEST(PredictWithConfidenceTest, EmpiricallyCalibrated) {
+  // For cascades satisfying the corrected rule at time s, the fraction that
+  // actually double must be high (>= 1 - delta up to MC noise).
+  Rng rng(71);
+  pp::ExpHawkesParams params;
+  params.beta = 2.0;
+  params.lambda0 = 60.0;
+  params.marks = std::make_shared<pp::ConstantMark>(0.5);
+  const double alpha = params.alpha();
+  const double sigma_sq = pp::SigmaSquared(params.beta, params.rho1(), params.rho2());
+  // Predict early (s small): the intensity is still high relative to
+  // alpha N(s), so the corrected rule fires on a meaningful fraction.
+  const double s = 0.2, c = 2.0, delta = 0.2;
+
+  int fired = 0, fired_and_grew = 0;
+  pp::SimulateOptions options;
+  options.horizon = 60.0;
+  for (int rep = 0; rep < 800; ++rep) {
+    const auto events = pp::SimulateExpHawkes(params, options, rng);
+    const size_t n_s = pp::CountBefore(events, s);
+    if (n_s < 3) continue;
+    const double lambda_s = pp::ExpHawkesIntensity(events, params, s);
+    if (PredictRelativeGrowthWithConfidence(lambda_s, alpha,
+                                            static_cast<double>(n_s), c, sigma_sq,
+                                            delta)) {
+      ++fired;
+      if (static_cast<double>(events.size()) >
+          c * static_cast<double>(n_s)) {
+        ++fired_and_grew;
+      }
+    }
+  }
+  ASSERT_GT(fired, 30);
+  EXPECT_GT(static_cast<double>(fired_and_grew) / fired, 1.0 - delta - 0.05);
+}
+
+}  // namespace
+}  // namespace horizon::core

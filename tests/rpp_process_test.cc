@@ -1,0 +1,121 @@
+#include "pointprocess/rpp_process.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace horizon::pp {
+namespace {
+
+TEST(LogNormalPdfTest, NonNegativeAndZeroForNonPositive) {
+  EXPECT_EQ(LogNormalPdf(0.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(LogNormalPdf(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_GT(LogNormalPdf(1.0, 0.0, 1.0), 0.0);
+}
+
+TEST(LogNormalPdfTest, KnownValueAtMedian) {
+  // At t = e^mu, z = 0: pdf = 1/(sigma t sqrt(2 pi)).
+  const double mu = 0.7, sigma = 0.9;
+  const double t = std::exp(mu);
+  EXPECT_NEAR(LogNormalPdf(t, mu, sigma),
+              1.0 / (sigma * t * std::sqrt(2.0 * M_PI)), 1e-12);
+}
+
+TEST(LogNormalPdfTest, IntegratesToOne) {
+  const double mu = 0.5, sigma = 0.8;
+  double integral = 0.0;
+  const double dt = 0.01;
+  for (double t = dt / 2; t < 200.0; t += dt) {
+    integral += LogNormalPdf(t, mu, sigma) * dt;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(LogNormalCdfTest, MonotoneWithCorrectLimits) {
+  const double mu = 0.0, sigma = 1.0;
+  EXPECT_EQ(LogNormalCdf(0.0, mu, sigma), 0.0);
+  EXPECT_NEAR(LogNormalCdf(1.0, mu, sigma), 0.5, 1e-12);  // median at e^mu
+  EXPECT_NEAR(LogNormalCdf(1e9, mu, sigma), 1.0, 1e-6);
+  double prev = 0.0;
+  for (double t = 0.1; t < 100.0; t *= 2.0) {
+    const double v = LogNormalCdf(t, mu, sigma);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(LogNormalCdfTest, MatchesPdfDerivative) {
+  const double mu = 0.3, sigma = 0.7, t = 2.0, h = 1e-5;
+  const double numeric =
+      (LogNormalCdf(t + h, mu, sigma) - LogNormalCdf(t - h, mu, sigma)) / (2 * h);
+  EXPECT_NEAR(numeric, LogNormalPdf(t, mu, sigma), 1e-6);
+}
+
+TEST(SimulateRppTest, MeanCountMatchesTheory) {
+  // E[N(t) + n0] = n0 e^{p F(t)}  (each increment multiplies the expected
+  // intensity integral), so E[N(t)] = n0 (e^{p F(t)} - 1).
+  RppParams params;
+  params.p = 1.5;
+  params.mu_log = std::log(5.0);
+  params.sigma_log = 0.8;
+  params.n0 = 1.0;
+  Rng rng(21);
+  const double t = 50.0;
+  RunningStats counts;
+  const int reps = 4000;
+  for (int rep = 0; rep < reps; ++rep) {
+    counts.Add(static_cast<double>(SimulateRpp(params, t, rng).size()));
+  }
+  const double f_t = LogNormalCdf(t, params.mu_log, params.sigma_log);
+  const double expected = params.n0 * std::expm1(params.p * f_t);
+  const double se = counts.stddev() / std::sqrt(static_cast<double>(reps));
+  EXPECT_NEAR(counts.mean(), expected, 4.0 * se + 0.05);
+}
+
+TEST(SimulateRppTest, EventsSortedWithinHorizon) {
+  RppParams params;
+  params.p = 2.0;
+  params.mu_log = std::log(2.0);
+  params.sigma_log = 1.0;
+  Rng rng(23);
+  const Realization events = SimulateRpp(params, 30.0, rng);
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(events[i].time, events[i - 1].time);
+    }
+    EXPECT_LT(events[i].time, 30.0);
+  }
+}
+
+TEST(RppConditionalMeanIncrementTest, ZeroAndInfiniteHorizons) {
+  RppParams params;
+  params.p = 1.0;
+  params.mu_log = 0.0;
+  params.sigma_log = 1.0;
+  params.n0 = 1.0;
+  EXPECT_DOUBLE_EQ(RppConditionalMeanIncrement(params, 10.0, 5.0, 0.0), 0.0);
+  const double inf = std::numeric_limits<double>::infinity();
+  const double f_s = LogNormalCdf(5.0, 0.0, 1.0);
+  EXPECT_NEAR(RppConditionalMeanIncrement(params, 10.0, 5.0, inf),
+              11.0 * std::expm1(1.0 - f_s), 1e-9);
+}
+
+TEST(RppConditionalMeanIncrementTest, MonotoneInHorizon) {
+  RppParams params;
+  params.p = 2.0;
+  params.mu_log = std::log(3.0);
+  params.sigma_log = 0.5;
+  double prev = 0.0;
+  for (double dt = 0.5; dt < 100.0; dt *= 2.0) {
+    const double v = RppConditionalMeanIncrement(params, 5.0, 1.0, dt);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace horizon::pp

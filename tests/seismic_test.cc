@@ -1,0 +1,225 @@
+#include "baselines/seismic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "pointprocess/kernels.h"
+#include "pointprocess/marks.h"
+#include "pointprocess/ogata.h"
+
+namespace horizon::baselines {
+namespace {
+
+TEST(SeismicCfTest, NoEventsGivesZero) {
+  SeismicCf model;
+  EXPECT_EQ(model.EstimateInfectiousness({}, 10.0), 0.0);
+  EXPECT_EQ(model.PredictIncrement({}, 10.0, 100.0), 0.0);
+  EXPECT_EQ(model.PredictFinal({}, 10.0), 0.0);
+}
+
+// Samples a delay from the normalized power-law kernel density (the
+// SEISMIC memory kernel) by inverse-CDF.
+double SampleKernelDelay(const pp::PowerLawKernel& kernel, Rng& rng) {
+  const double u = rng.Uniform() * kernel.TotalMass();
+  const double flat_mass = kernel.phi0() * kernel.tau();
+  if (u <= flat_mass) return u / kernel.phi0();
+  // Solve phi0 tau + (phi0 tau / theta)(1 - (tau/x)^theta) = u.
+  const double theta = kernel.theta();
+  const double tail = 1.0 - theta * (u - flat_mass) / flat_mass;
+  return kernel.tau() * std::pow(tail, -1.0 / theta);
+}
+
+TEST(SeismicCfTest, RecoversInfectiousnessOnSingleSeedCascades) {
+  // SEISMIC's generative world: a single seed event infects d followers,
+  // each event spawns Poisson(p d) children at kernel-density delays.  The
+  // pooled closed-form estimator must then recover p (up to the +1 bias of
+  // counting the seed in the numerator).
+  SeismicCf::Params params;
+  params.tau = 0.5;
+  params.theta = 0.6;
+  params.degree = 20.0;
+  SeismicCf model(params);
+  const double phi0 = 1.0 / (params.tau * (1.0 + 1.0 / params.theta));
+  pp::PowerLawKernel kernel(phi0, params.tau, params.theta);
+
+  const double p_true = 0.045;  // branching factor p d = 0.9
+  const double s = 500.0;
+  Rng rng(3);
+  double pooled_num = 0.0, pooled_denom = 0.0;
+  std::vector<double> ratios;
+  for (int rep = 0; rep < 1500; ++rep) {
+    // Branching construction of one cascade seeded at time 0.
+    std::vector<double> times = {0.0};
+    for (size_t i = 0; i < times.size() && times.size() < 10000; ++i) {
+      const uint64_t children = rng.Poisson(p_true * params.degree);
+      for (uint64_t c = 0; c < children; ++c) {
+        const double t = times[i] + SampleKernelDelay(kernel, rng);
+        if (t < s) times.push_back(t);
+      }
+    }
+    std::sort(times.begin(), times.end());
+    // Pool numerators/denominators to average out small-cascade noise:
+    // EstimateInfectiousness = N / (d sum Phi); recover its pieces.
+    const double p_hat = model.EstimateInfectiousness(times, s);
+    ASSERT_GT(p_hat, 0.0);
+    const double denom = static_cast<double>(times.size()) / p_hat;
+    pooled_num += static_cast<double>(times.size()) - 1.0;  // exclude seed
+    pooled_denom += denom;
+    if (times.size() >= 30) ratios.push_back(p_hat / p_true);
+  }
+  const double pooled_p = pooled_num / pooled_denom;
+  EXPECT_NEAR(pooled_p / p_true, 1.0, 0.1);
+  // Per-cascade estimates on large cascades are individually sane.
+  ASSERT_GT(ratios.size(), 20u);
+  EXPECT_GT(Median(ratios), 0.8);
+  EXPECT_LT(Median(ratios), 1.45);
+}
+
+TEST(SeismicCfTest, PredictionAccountsForRecentEvents) {
+  // Two histories with the same count: one recent burst, one old burst.
+  // The recent one must predict more future views (kernel mass remaining).
+  SeismicCf model;
+  std::vector<double> recent, old;
+  for (int i = 0; i < 50; ++i) {
+    recent.push_back(9000.0 + i);
+    old.push_back(100.0 + i);
+  }
+  const double s = 10000.0;
+  EXPECT_GT(model.PredictIncrement(recent, s, 1e9),
+            model.PredictIncrement(old, s, 1e9));
+}
+
+TEST(SeismicCfTest, IncrementMonotoneInHorizon) {
+  SeismicCf model;
+  std::vector<double> times;
+  for (int i = 0; i < 100; ++i) times.push_back(i * 10.0);
+  const double s = 1000.0;
+  double prev = 0.0;
+  for (double delta : {60.0, 600.0, 3600.0, 86400.0}) {
+    const double inc = model.PredictIncrement(times, s, delta);
+    EXPECT_GE(inc, prev);
+    prev = inc;
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_GE(model.PredictIncrement(times, s, inf), prev);
+}
+
+TEST(SeismicCfTest, PredictFinalIncludesObservedCount) {
+  SeismicCf model;
+  std::vector<double> times = {1.0, 2.0, 3.0};
+  const double final_size = model.PredictFinal(times, 10.0);
+  EXPECT_GE(final_size, 3.0);
+}
+
+TEST(SeismicCfTest, BranchingCapPreventsExplosion) {
+  // A history so dense that p d would exceed 1 must still produce a finite
+  // prediction.
+  SeismicCf::Params params;
+  params.degree = 5000.0;
+  SeismicCf model(params);
+  std::vector<double> times;
+  for (int i = 0; i < 1000; ++i) times.push_back(0.001 * i);
+  const double pred =
+      model.PredictIncrement(times, 1.0, std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isfinite(pred));
+  EXPECT_GT(pred, 0.0);
+}
+
+TEST(SeismicCfTest, DegreeVariantReducesToConstantForEqualDegrees) {
+  SeismicCf model;
+  std::vector<double> times, degrees;
+  for (int i = 0; i < 40; ++i) {
+    times.push_back(i * 30.0);
+    degrees.push_back(model.params().degree);
+  }
+  const double s = 2000.0;
+  EXPECT_NEAR(model.EstimateInfectiousnessWithDegrees(times, degrees, s),
+              model.EstimateInfectiousness(times, s), 1e-12);
+  EXPECT_NEAR(model.PredictFinalWithDegrees(times, degrees, s),
+              model.PredictFinal(times, s), 1e-9);
+}
+
+TEST(SeismicCfTest, RecentHighDegreeEventsPredictMoreGrowth) {
+  // A uniform degree scaling cancels out of the estimator (p_hat adjusts),
+  // so the informative signal is WHERE the audience mass sits: recent
+  // high-degree events have most of their kernel mass still ahead.
+  SeismicCf model;
+  std::vector<double> times;
+  std::vector<double> recent_heavy(40, 10.0), early_heavy(40, 10.0);
+  for (int i = 0; i < 40; ++i) {
+    // Spread events over a long window so kernel masses differ.
+    times.push_back(25.0 * i);
+  }
+  for (int i = 0; i < 10; ++i) {
+    early_heavy[static_cast<size_t>(i)] = 300.0;
+    recent_heavy[static_cast<size_t>(39 - i)] = 300.0;
+  }
+  const double s = 1000.0;
+  EXPECT_GT(model.PredictIncrementWithDegrees(times, recent_heavy, s, 1e9),
+            model.PredictIncrementWithDegrees(times, early_heavy, s, 1e9));
+}
+
+TEST(SeismicCfTest, DegreeVariantRecoversInfectiousnessWithVaryingDegrees) {
+  // Single-seed branching world where event i infects Poisson(p * d_i)
+  // children, d_i drawn from a lognormal degree distribution -- the
+  // original SEISMIC setting.  The degree-aware pooled estimator must
+  // recover p.
+  SeismicCf::Params params;
+  params.tau = 0.5;
+  params.theta = 0.6;
+  SeismicCf model(params);
+  const double phi0 = 1.0 / (params.tau * (1.0 + 1.0 / params.theta));
+  pp::PowerLawKernel kernel(phi0, params.tau, params.theta);
+
+  const double p_true = 0.03;
+  Rng rng(17);
+  double pooled_num = 0.0, pooled_denom = 0.0;
+  const double s = 500.0;
+  for (int rep = 0; rep < 1500; ++rep) {
+    std::vector<double> times = {0.0};
+    std::vector<double> degrees = {rng.LogNormal(std::log(25.0), 0.8)};
+    for (size_t i = 0; i < times.size() && times.size() < 10000; ++i) {
+      const uint64_t children = rng.Poisson(p_true * degrees[i]);
+      for (uint64_t c = 0; c < children; ++c) {
+        const double t = times[i] + SampleKernelDelay(kernel, rng);
+        if (t < s) {
+          times.push_back(t);
+          degrees.push_back(rng.LogNormal(std::log(25.0), 0.8));
+        }
+      }
+    }
+    // Branching construction appends children after parents but not in
+    // global time order; sort jointly.
+    std::vector<size_t> order(times.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return times[a] < times[b]; });
+    std::vector<double> st(times.size()), sd(times.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      st[i] = times[order[i]];
+      sd[i] = degrees[order[i]];
+    }
+    const double p_hat = model.EstimateInfectiousnessWithDegrees(st, sd, s);
+    ASSERT_GT(p_hat, 0.0);
+    pooled_num += static_cast<double>(st.size()) - 1.0;
+    pooled_denom += static_cast<double>(st.size()) / p_hat;
+  }
+  EXPECT_NEAR(pooled_num / pooled_denom / p_true, 1.0, 0.1);
+}
+
+TEST(SeismicCfTest, OnlyEventsBeforePredictionTimeCount) {
+  SeismicCf model;
+  std::vector<double> times = {1.0, 2.0, 50.0, 60.0};
+  const double p_early = model.EstimateInfectiousness(times, 10.0);
+  std::vector<double> early_only = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(p_early, model.EstimateInfectiousness(early_only, 10.0));
+}
+
+}  // namespace
+}  // namespace horizon::baselines

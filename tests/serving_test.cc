@@ -1,0 +1,198 @@
+#include "serving/prediction_service.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "eval/split.h"
+
+namespace horizon::serving {
+namespace {
+
+// Shared fixture: a small trained model plus its extractor and dataset.
+class PredictionServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::GeneratorConfig config;
+    config.num_pages = 40;
+    config.num_posts = 250;
+    config.base_mean_size = 80.0;
+    config.seed = 55;
+    dataset_ = new datagen::SyntheticDataset(datagen::Generator(config).Generate());
+    extractor_ = new features::FeatureExtractor(stream::TrackerConfig{});
+
+    std::vector<size_t> indices;
+    for (size_t i = 0; i < dataset_->cascades.size(); ++i) indices.push_back(i);
+    core::ExampleSetOptions options;
+    options.reference_horizons = {6 * kHour, 1 * kDay};
+    const auto examples =
+        core::BuildExampleSet(*dataset_, indices, *extractor_, options);
+
+    core::HawkesPredictorParams params;
+    params.reference_horizons = options.reference_horizons;
+    params.gbdt_count.num_trees = 40;
+    params.gbdt_alpha.num_trees = 40;
+    model_ = new core::HawkesPredictor(params);
+    model_->Fit(examples.x, examples.log1p_increments, examples.alpha_targets);
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete extractor_;
+    delete dataset_;
+  }
+
+  PredictionService MakeService(ServiceConfig config = {}) const {
+    return PredictionService(model_, extractor_, config);
+  }
+
+  static datagen::SyntheticDataset* dataset_;
+  static features::FeatureExtractor* extractor_;
+  static core::HawkesPredictor* model_;
+};
+
+datagen::SyntheticDataset* PredictionServiceTest::dataset_ = nullptr;
+features::FeatureExtractor* PredictionServiceTest::extractor_ = nullptr;
+core::HawkesPredictor* PredictionServiceTest::model_ = nullptr;
+
+TEST_F(PredictionServiceTest, RegisterAndQueryLifecycle) {
+  PredictionService service = MakeService();
+  const auto& cascade = dataset_->cascades[0];
+  const auto& page = dataset_->PageOf(cascade.post);
+
+  EXPECT_FALSE(service.HasItem(1));
+  EXPECT_TRUE(service.RegisterItem(1, 0.0, page, cascade.post));
+  EXPECT_FALSE(service.RegisterItem(1, 0.0, page, cascade.post));  // duplicate
+  EXPECT_TRUE(service.HasItem(1));
+  EXPECT_EQ(service.LiveItems(), 1u);
+
+  size_t ingested = 0;
+  for (const auto& e : cascade.views) {
+    if (e.time >= 6 * kHour) break;
+    EXPECT_TRUE(service.Ingest(1, stream::EngagementType::kView, e.time));
+    ++ingested;
+  }
+  const auto result = service.Query(1, 6 * kHour, 1 * kDay);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->observed_views, static_cast<double>(ingested));
+  EXPECT_GE(result->predicted_views, result->observed_views);
+  EXPECT_GT(result->alpha, 0.0);
+
+  EXPECT_EQ(service.stats().items_registered, 1u);
+  EXPECT_EQ(service.stats().events_ingested, ingested);
+  EXPECT_EQ(service.stats().queries_answered, 1u);
+}
+
+TEST_F(PredictionServiceTest, IngestUnknownItemDropped) {
+  PredictionService service = MakeService();
+  EXPECT_FALSE(service.Ingest(42, stream::EngagementType::kView, 1.0));
+  EXPECT_FALSE(service.Query(42, 1.0, kDay).has_value());
+}
+
+TEST_F(PredictionServiceTest, QueryMatchesOfflineReplay) {
+  // The service's online answer must equal the offline replay-based
+  // prediction used in the experiments.
+  PredictionService service = MakeService();
+  const auto& cascade = dataset_->cascades[3];
+  const auto& page = dataset_->PageOf(cascade.post);
+  service.RegisterItem(7, 0.0, page, cascade.post);
+  const double s = 12 * kHour;
+  for (const auto& e : cascade.views) {
+    if (e.time >= s) break;
+    service.Ingest(7, stream::EngagementType::kView, e.time);
+  }
+  for (double t : cascade.share_times) {
+    if (t >= s) break;
+    service.Ingest(7, stream::EngagementType::kShare, t);
+  }
+  for (double t : cascade.comment_times) {
+    if (t >= s) break;
+    service.Ingest(7, stream::EngagementType::kComment, t);
+  }
+  for (double t : cascade.reaction_times) {
+    if (t >= s) break;
+    service.Ingest(7, stream::EngagementType::kReaction, t);
+  }
+  const auto online = service.Query(7, s, 2 * kDay);
+  ASSERT_TRUE(online.has_value());
+
+  const auto snapshot = extractor_->ReplaySnapshot(cascade, s);
+  const auto row = extractor_->Extract(page, cascade.post, snapshot);
+  const double offline = model_->PredictCount(
+      row.data(), static_cast<double>(snapshot.views().total), 2 * kDay);
+  EXPECT_DOUBLE_EQ(online->predicted_views, offline);
+}
+
+TEST_F(PredictionServiceTest, TopKRanksByPredictedIncrement) {
+  PredictionService service = MakeService();
+  const double s = 6 * kHour;
+  for (int64_t i = 0; i < 20; ++i) {
+    const auto& cascade = dataset_->cascades[static_cast<size_t>(i)];
+    service.RegisterItem(i, 0.0, dataset_->PageOf(cascade.post), cascade.post);
+    for (const auto& e : cascade.views) {
+      if (e.time >= s) break;
+      service.Ingest(i, stream::EngagementType::kView, e.time);
+    }
+  }
+  const auto top = service.TopK(s, 1 * kDay, 5);
+  ASSERT_EQ(top.size(), 5u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].second, top[i].second);
+  }
+  // The leader must match the individually queried maximum.
+  double best = -1.0;
+  for (int64_t i = 0; i < 20; ++i) {
+    const auto q = service.Query(i, s, 1 * kDay);
+    best = std::max(best, q->predicted_views - q->observed_views);
+  }
+  EXPECT_DOUBLE_EQ(top[0].second, best);
+}
+
+TEST_F(PredictionServiceTest, RetiresIdleItems) {
+  ServiceConfig config;
+  config.idle_retirement_age = 2 * kDay;
+  PredictionService service = MakeService(config);
+  const auto& cascade = dataset_->cascades[0];
+  const auto& page = dataset_->PageOf(cascade.post);
+  service.RegisterItem(1, 0.0, page, cascade.post);   // will go idle
+  service.RegisterItem(2, 0.0, page, cascade.post);   // stays active
+  service.Ingest(1, stream::EngagementType::kView, 1 * kHour);
+  service.Ingest(2, stream::EngagementType::kView, 1 * kHour);
+  service.Ingest(2, stream::EngagementType::kView, 5 * kDay - kHour);
+
+  const size_t retired = service.RetireDeadItems(5 * kDay);
+  EXPECT_EQ(retired, 1u);
+  EXPECT_FALSE(service.HasItem(1));
+  EXPECT_TRUE(service.HasItem(2));
+  EXPECT_EQ(service.stats().items_retired, 1u);
+}
+
+TEST_F(PredictionServiceTest, NotYetLiveItemsAreInvisible) {
+  // Items created in the future must not be queryable, must be skipped by
+  // TopK, and must not be retired before they go live.
+  PredictionService service = MakeService();
+  const auto& cascade = dataset_->cascades[0];
+  const auto& page = dataset_->PageOf(cascade.post);
+  service.RegisterItem(1, /*creation_time=*/10 * kDay, page, cascade.post);
+  EXPECT_FALSE(service.Query(1, 5 * kDay, kDay).has_value());
+  EXPECT_TRUE(service.TopK(5 * kDay, kDay, 3).empty());
+  EXPECT_EQ(service.RetireDeadItems(5 * kDay), 0u);
+  EXPECT_TRUE(service.HasItem(1));
+  // Once live, it becomes queryable.
+  EXPECT_TRUE(service.Query(1, 11 * kDay, kDay).has_value());
+}
+
+TEST_F(PredictionServiceTest, RetiresNeverViewedItems) {
+  ServiceConfig config;
+  config.idle_retirement_age = 1 * kDay;
+  PredictionService service = MakeService(config);
+  const auto& cascade = dataset_->cascades[0];
+  service.RegisterItem(9, 0.0, dataset_->PageOf(cascade.post), cascade.post);
+  EXPECT_EQ(service.RetireDeadItems(2 * kDay), 1u);
+  EXPECT_EQ(service.LiveItems(), 0u);
+}
+
+}  // namespace
+}  // namespace horizon::serving

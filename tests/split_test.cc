@@ -1,0 +1,51 @@
+#include "eval/split.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace horizon::eval {
+namespace {
+
+TEST(SplitIndicesTest, PartitionIsCompleteAndDisjoint) {
+  const Split split = SplitIndices(100, 0.3, 1);
+  EXPECT_EQ(split.test.size(), 30u);
+  EXPECT_EQ(split.train.size(), 70u);
+  std::set<size_t> all;
+  for (size_t i : split.train) all.insert(i);
+  for (size_t i : split.test) {
+    EXPECT_EQ(all.count(i), 0u);  // disjoint
+    all.insert(i);
+  }
+  EXPECT_EQ(all.size(), 100u);
+  EXPECT_EQ(*all.begin(), 0u);
+  EXPECT_EQ(*all.rbegin(), 99u);
+}
+
+TEST(SplitIndicesTest, DeterministicForSeed) {
+  const Split a = SplitIndices(50, 0.2, 7);
+  const Split b = SplitIndices(50, 0.2, 7);
+  EXPECT_EQ(a.test, b.test);
+  EXPECT_EQ(a.train, b.train);
+}
+
+TEST(SplitIndicesTest, DifferentSeedsDiffer) {
+  const Split a = SplitIndices(200, 0.5, 1);
+  const Split b = SplitIndices(200, 0.5, 2);
+  EXPECT_NE(a.test, b.test);
+}
+
+TEST(SplitIndicesTest, AtLeastOneTestItem) {
+  const Split split = SplitIndices(10, 0.01, 3);
+  EXPECT_GE(split.test.size(), 1u);
+}
+
+TEST(SplitIndicesTest, OutputSorted) {
+  const Split split = SplitIndices(64, 0.25, 11);
+  EXPECT_TRUE(std::is_sorted(split.test.begin(), split.test.end()));
+  EXPECT_TRUE(std::is_sorted(split.train.begin(), split.train.end()));
+}
+
+}  // namespace
+}  // namespace horizon::eval

@@ -1,0 +1,66 @@
+#include "common/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace horizon {
+namespace {
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::Num(0.565, 3), "0.565");
+  EXPECT_EQ(Table::Num(1234.5678, 6), "1234.57");
+  EXPECT_EQ(Table::Num(std::nan(""), 3), "nan");
+}
+
+TEST(TableTest, SciFormatting) {
+  EXPECT_EQ(Table::Sci(2.0e6, 2), "2.0e+06");
+  EXPECT_EQ(Table::Sci(std::nan("")), "nan");
+}
+
+TEST(TableTest, AddRowAndPrint) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"333", "4"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  t.Print("test table");  // should not crash
+}
+
+TEST(TableTest, WriteCsvRoundTrip) {
+  Table t({"name", "value"});
+  t.AddRow({"plain", "1"});
+  t.AddRow({"with,comma", "2"});
+  t.AddRow({"with\"quote", "3"});
+  const std::string path = ::testing::TempDir() + "/table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path));
+
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(content.find("name,value"), std::string::npos);
+  EXPECT_NE(content.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(content.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, WriteCsvFailsOnBadPath) {
+  Table t({"a"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent_dir_zzz/foo.csv"));
+}
+
+TEST(FormatDurationTest, CompactLabels) {
+  EXPECT_EQ(FormatDuration(kHour), "1h");
+  EXPECT_EQ(FormatDuration(6 * kHour), "6h");
+  EXPECT_EQ(FormatDuration(kDay), "1d");
+  EXPECT_EQ(FormatDuration(4 * kDay), "4d");
+  EXPECT_EQ(FormatDuration(30 * kMinute), "30m");
+  EXPECT_EQ(FormatDuration(45.0), "45s");
+}
+
+}  // namespace
+}  // namespace horizon

@@ -1,0 +1,141 @@
+#include "core/trainer.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "features/extractor.h"
+
+namespace horizon::core {
+namespace {
+
+datagen::SyntheticDataset SmallDataset() {
+  datagen::GeneratorConfig config;
+  config.num_pages = 20;
+  config.num_posts = 60;
+  config.base_mean_size = 70.0;
+  config.seed = 31;
+  return datagen::Generator(config).Generate();
+}
+
+ExampleSetOptions SmallOptions() {
+  ExampleSetOptions options;
+  options.reference_horizons = {6 * kHour, 1 * kDay};
+  options.samples_per_cascade = 2;
+  options.seed = 17;
+  return options;
+}
+
+TEST(TrueIncrementTest, CountsViewsInInterval) {
+  const auto data = SmallDataset();
+  const auto& cascade = data.cascades[0];
+  const double s = 6 * kHour;
+  const double inc = TrueIncrement(cascade, s, kDay);
+  EXPECT_DOUBLE_EQ(inc, static_cast<double>(cascade.ViewsBefore(s + kDay) -
+                                            cascade.ViewsBefore(s)));
+  EXPECT_GE(inc, 0.0);
+}
+
+TEST(TrueIncrementTest, InfiniteHorizonUsesFullWindow) {
+  const auto data = SmallDataset();
+  const auto& cascade = data.cascades[1];
+  const double s = kDay;
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(
+      TrueIncrement(cascade, s, inf),
+      static_cast<double>(cascade.TotalViews() - cascade.ViewsBefore(s)));
+}
+
+TEST(BuildExampleSetTest, SizesAndAlignment) {
+  const auto data = SmallDataset();
+  features::FeatureExtractor extractor(stream::TrackerConfig{});
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < 30; ++i) indices.push_back(i);
+  const auto options = SmallOptions();
+  const ExampleSet set = BuildExampleSet(data, indices, extractor, options);
+
+  EXPECT_EQ(set.size(), 60u);  // 30 cascades x 2 samples
+  EXPECT_EQ(set.x.num_rows(), 60u);
+  EXPECT_EQ(set.x.num_features(), extractor.schema().size());
+  ASSERT_EQ(set.log1p_increments.size(), 2u);
+  EXPECT_EQ(set.log1p_increments[0].size(), 60u);
+  EXPECT_EQ(set.alpha_targets.size(), 60u);
+  EXPECT_EQ(set.refs.size(), 60u);
+}
+
+TEST(BuildExampleSetTest, RefsConsistentWithCascades) {
+  const auto data = SmallDataset();
+  features::FeatureExtractor extractor(stream::TrackerConfig{});
+  std::vector<size_t> indices = {0, 5, 10};
+  const ExampleSet set = BuildExampleSet(data, indices, extractor, SmallOptions());
+  for (const auto& ref : set.refs) {
+    EXPECT_TRUE(ref.cascade_index == 0 || ref.cascade_index == 5 ||
+                ref.cascade_index == 10);
+    const auto& cascade = data.cascades[ref.cascade_index];
+    EXPECT_DOUBLE_EQ(ref.n_s,
+                     static_cast<double>(cascade.ViewsBefore(ref.prediction_age)));
+    EXPECT_GE(ref.prediction_age, SmallOptions().min_prediction_age);
+    EXPECT_LE(ref.prediction_age, SmallOptions().max_prediction_age);
+  }
+}
+
+TEST(BuildExampleSetTest, IncrementsAreLog1pOfTrueIncrements) {
+  const auto data = SmallDataset();
+  features::FeatureExtractor extractor(stream::TrackerConfig{});
+  std::vector<size_t> indices = {2, 3};
+  const auto options = SmallOptions();
+  const ExampleSet set = BuildExampleSet(data, indices, extractor, options);
+  for (size_t e = 0; e < set.size(); ++e) {
+    const auto& ref = set.refs[e];
+    for (size_t h = 0; h < options.reference_horizons.size(); ++h) {
+      const double inc = TrueIncrement(data.cascades[ref.cascade_index],
+                                       ref.prediction_age,
+                                       options.reference_horizons[h]);
+      EXPECT_DOUBLE_EQ(set.log1p_increments[h][e], std::log1p(inc));
+    }
+  }
+}
+
+TEST(BuildExampleSetTest, MostAlphaTargetsPositive) {
+  const auto data = SmallDataset();
+  features::FeatureExtractor extractor(stream::TrackerConfig{});
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < data.cascades.size(); ++i) indices.push_back(i);
+  const ExampleSet set = BuildExampleSet(data, indices, extractor, SmallOptions());
+  size_t positive = 0;
+  for (double a : set.alpha_targets) positive += a > 0.0 ? 1 : 0;
+  EXPECT_GT(static_cast<double>(positive) / set.size(), 0.8);
+}
+
+TEST(BuildExampleSetTest, DeterministicForSeed) {
+  const auto data = SmallDataset();
+  features::FeatureExtractor extractor(stream::TrackerConfig{});
+  std::vector<size_t> indices = {1, 2, 3};
+  const ExampleSet a = BuildExampleSet(data, indices, extractor, SmallOptions());
+  const ExampleSet b = BuildExampleSet(data, indices, extractor, SmallOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.refs[i].prediction_age, b.refs[i].prediction_age);
+  }
+}
+
+TEST(BuildExampleSetTest, QuantileAlphaKindProducesDifferentTargets) {
+  const auto data = SmallDataset();
+  features::FeatureExtractor extractor(stream::TrackerConfig{});
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < 20; ++i) indices.push_back(i);
+  auto options = SmallOptions();
+  const ExampleSet mean_set = BuildExampleSet(data, indices, extractor, options);
+  options.alpha_kind = AlphaEstimatorKind::kQuantileValue;
+  const ExampleSet quant_set = BuildExampleSet(data, indices, extractor, options);
+  size_t different = 0;
+  for (size_t i = 0; i < mean_set.size(); ++i) {
+    if (mean_set.alpha_targets[i] != quant_set.alpha_targets[i]) ++different;
+  }
+  EXPECT_GT(different, mean_set.size() / 2);
+}
+
+}  // namespace
+}  // namespace horizon::core

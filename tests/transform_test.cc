@@ -1,0 +1,165 @@
+#include "pointprocess/transform.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace horizon::pp {
+namespace {
+
+TEST(MarkLaplaceTransformTest, BoundaryValues) {
+  const ConstantMark constant(0.5);
+  const ExponentialMark exponential(0.4);
+  const LogNormalMark lognormal(0.5, 0.8);
+  const ParetoMark pareto(0.5, 3.0);
+  for (const MarkDistribution* dist :
+       {static_cast<const MarkDistribution*>(&constant),
+        static_cast<const MarkDistribution*>(&exponential),
+        static_cast<const MarkDistribution*>(&lognormal),
+        static_cast<const MarkDistribution*>(&pareto)}) {
+    EXPECT_NEAR(dist->LaplaceTransform(0.0), 1.0, 1e-9);
+    // Monotone decreasing in s, bounded in (0, 1].
+    double prev = 1.0;
+    for (double s : {0.1, 0.5, 2.0, 10.0}) {
+      const double v = dist->LaplaceTransform(s);
+      EXPECT_GT(v, 0.0);
+      EXPECT_LE(v, prev + 1e-12);
+      prev = v;
+    }
+  }
+}
+
+TEST(MarkLaplaceTransformTest, MatchesMonteCarlo) {
+  const LogNormalMark lognormal(0.6, 0.9);
+  const ParetoMark pareto(0.4, 2.8);
+  Rng rng(3);
+  for (const MarkDistribution* dist :
+       {static_cast<const MarkDistribution*>(&lognormal),
+        static_cast<const MarkDistribution*>(&pareto)}) {
+    for (double s : {0.3, 1.5}) {
+      double mc = 0.0;
+      const int n = 200000;
+      for (int i = 0; i < n; ++i) mc += std::exp(-s * dist->Sample(rng));
+      mc /= n;
+      EXPECT_NEAR(dist->LaplaceTransform(s), mc, 0.005) << "s=" << s;
+    }
+  }
+}
+
+TEST(MarkLaplaceTransformTest, DerivativeAtZeroIsMinusMean) {
+  const ExponentialMark mark(0.7);
+  const double h = 1e-6;
+  const double numeric = (mark.LaplaceTransform(h) - 1.0) / h;
+  EXPECT_NEAR(numeric, -mark.Mean(), 1e-4);
+}
+
+TEST(SolveTransformATest, InitialCondition) {
+  const ConstantMark marks(0.5);
+  EXPECT_DOUBLE_EQ(SolveTransformA(0.0, 0.5, 0.7, 2.0, marks), 0.7);
+}
+
+TEST(SolveTransformATest, UOneVZeroStaysZero) {
+  // At u = 1, v = 0: dA/dtau = 1 - beta*0 - psi_F(0) = 0, so A == 0 and
+  // psi == 1 (probabilities sum to one).
+  const ConstantMark marks(0.5);
+  EXPECT_NEAR(SolveTransformA(5.0, 1.0, 0.0, 2.0, marks), 0.0, 1e-12);
+  EXPECT_NEAR(ConditionalTransform(3.0, 5.0, 1.0, 0.0, 2.0, marks), 1.0, 1e-12);
+}
+
+TEST(CountIncrementPgfTest, DerivativeMatchesProposition32) {
+  // d/du E[u^N] at u = 1 equals E[N] = Prop. 3.2's conditional mean.
+  const double beta = 2.0, rho1 = 0.4, lambda_s = 3.0, tau = 1.5;
+  const ConstantMark marks(rho1);
+  const double alpha = beta * (1.0 - rho1);
+  const double h = 1e-5;
+  const double g1 = CountIncrementPgf(lambda_s, tau, 1.0, beta, marks, 2000);
+  const double g0 = CountIncrementPgf(lambda_s, tau, 1.0 - h, beta, marks, 2000);
+  const double numeric_mean = (g1 - g0) / h;
+  EXPECT_NEAR(numeric_mean, ConditionalMeanIncrement(lambda_s, alpha, tau),
+              0.01 * ConditionalMeanIncrement(lambda_s, alpha, tau));
+}
+
+TEST(CountIncrementPgfTest, MatchesMonteCarlo) {
+  ExpHawkesParams params;
+  params.lambda0 = 4.0;
+  params.beta = 2.0;
+  params.marks = std::make_shared<ExponentialMark>(0.5);
+  const double tau = 1.0, u = 0.6;
+  Rng rng(7);
+  SimulateOptions options;
+  options.horizon = tau;
+  double mc = 0.0;
+  const int reps = 30000;
+  for (int i = 0; i < reps; ++i) {
+    const auto events = SimulateExpHawkes(params, options, rng);
+    mc += std::pow(u, static_cast<double>(events.size()));
+  }
+  mc /= reps;
+  const double analytic =
+      CountIncrementPgf(params.lambda0, tau, u, params.beta, *params.marks);
+  EXPECT_NEAR(analytic, mc, 0.01);
+}
+
+TEST(ProbabilityNoNewEventsTest, ClosedFormAndOdeAgree) {
+  const double lambda_s = 3.0, beta = 2.0, tau = 1.2;
+  const ConstantMark marks(0.5);
+  // u = 0 through the ODE solver must match the closed form.
+  const double via_ode = CountIncrementPgf(lambda_s, tau, 0.0, beta, marks, 2000);
+  EXPECT_NEAR(ProbabilityNoNewEvents(lambda_s, tau, beta), via_ode, 1e-6);
+}
+
+TEST(ProbabilityNoNewEventsTest, MatchesMonteCarlo) {
+  ExpHawkesParams params;
+  params.lambda0 = 2.0;
+  params.beta = 1.5;
+  params.marks = std::make_shared<ConstantMark>(0.5);
+  const double tau = 0.8;
+  Rng rng(9);
+  SimulateOptions options;
+  options.horizon = tau;
+  int empty = 0;
+  const int reps = 50000;
+  for (int i = 0; i < reps; ++i) {
+    if (SimulateExpHawkes(params, options, rng).empty()) ++empty;
+  }
+  EXPECT_NEAR(ProbabilityNoNewEvents(params.lambda0, tau, params.beta),
+              static_cast<double>(empty) / reps, 0.01);
+}
+
+TEST(ProbabilityNoNewEventsTest, LimitsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(ProbabilityNoNewEvents(3.0, 0.0, 2.0), 1.0);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(ProbabilityNoNewEvents(3.0, inf, 2.0), std::exp(-1.5), 1e-12);
+  double prev = 1.0;
+  for (double tau : {0.1, 0.5, 2.0, 10.0}) {
+    const double p = ProbabilityNoNewEvents(3.0, tau, 2.0);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(LimitCoefficientOfVariationTest, FreshProcessScalesAsInverseSqrtN) {
+  // Appendix A.7: with E[N(inf)] = lambda0/alpha = n and N(s) = 0, the
+  // limiting CV equals Sigma / sqrt(n).
+  const double beta = 2.0, rho1 = 0.4, rho2 = 0.2;
+  const double alpha = beta * (1.0 - rho1);
+  const double sigma = std::sqrt(SigmaSquared(beta, rho1, rho2));
+  for (double n : {10.0, 100.0, 1000.0}) {
+    const double cv = LimitCoefficientOfVariation(n * alpha, 0.0, beta, rho1, rho2);
+    EXPECT_NEAR(cv, sigma / std::sqrt(n), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(LimitCoefficientOfVariationTest, ObservedCountShrinksCv) {
+  const double beta = 2.0, rho1 = 0.4, rho2 = 0.2;
+  const double cv0 = LimitCoefficientOfVariation(10.0, 0.0, beta, rho1, rho2);
+  const double cv100 = LimitCoefficientOfVariation(10.0, 100.0, beta, rho1, rho2);
+  EXPECT_LT(cv100, cv0);
+}
+
+}  // namespace
+}  // namespace horizon::pp

@@ -1,0 +1,119 @@
+#include "core/velocity_predictor.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "pointprocess/exp_hawkes.h"
+
+namespace horizon::core {
+namespace {
+
+stream::TrackerConfig FastConfig() {
+  stream::TrackerConfig config;
+  config.window_lengths = {kHour};
+  config.landmark_ages = {kHour};
+  config.ewma_tau = 2 * kHour;
+  return config;
+}
+
+TEST(VelocityPredictorTest, EmptySnapshotPredictsZero) {
+  stream::CascadeTracker tracker(0.0, FastConfig());
+  VelocityHawkesPredictor predictor;
+  const auto snapshot = tracker.Snapshot(kDay);
+  EXPECT_EQ(predictor.PredictIncrement(snapshot, kDay), 0.0);
+}
+
+TEST(VelocityPredictorTest, ZeroHorizonIsZero) {
+  stream::CascadeTracker tracker(0.0, FastConfig());
+  tracker.Observe(stream::EngagementType::kView, kHour);
+  VelocityHawkesPredictor predictor;
+  EXPECT_EQ(predictor.PredictIncrement(tracker.Snapshot(2 * kHour), 0.0), 0.0);
+}
+
+TEST(VelocityPredictorTest, MonotoneInHorizonAndBoundedByFinal) {
+  stream::CascadeTracker tracker(0.0, FastConfig());
+  Rng rng(3);
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += rng.Exponential(1.0 / (5 * kMinute));
+    tracker.Observe(stream::EngagementType::kView, t);
+  }
+  VelocityHawkesPredictor predictor;
+  const auto snapshot = tracker.Snapshot(t);
+  double prev = 0.0;
+  for (double delta : {kHour, 6 * kHour, kDay, 7 * kDay}) {
+    const double inc = predictor.PredictIncrement(snapshot, delta);
+    EXPECT_GE(inc, prev);
+    prev = inc;
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_GE(predictor.PredictIncrement(snapshot, inf), prev);
+}
+
+TEST(VelocityPredictorTest, AlphaFromMeanEventAge) {
+  stream::CascadeTracker tracker(0.0, FastConfig());
+  // Events at ages 1h, 2h, 3h: mean age 2h -> alpha = 1/2h.
+  tracker.Observe(stream::EngagementType::kView, 1 * kHour);
+  tracker.Observe(stream::EngagementType::kView, 2 * kHour);
+  tracker.Observe(stream::EngagementType::kView, 3 * kHour);
+  VelocityHawkesPredictor predictor;
+  EXPECT_NEAR(predictor.EstimateAlpha(tracker.Snapshot(4 * kHour)),
+              1.0 / (2 * kHour), 1e-12);
+}
+
+TEST(VelocityPredictorTest, WindowVelocityVariant) {
+  stream::CascadeTracker tracker(0.0, FastConfig());
+  for (int i = 0; i < 60; ++i) {
+    tracker.Observe(stream::EngagementType::kView, i * kMinute);
+  }
+  VelocityHawkesPredictor::Options options;
+  options.use_ewma = false;
+  options.window_index = 0;
+  VelocityHawkesPredictor predictor(options);
+  const auto snapshot = tracker.Snapshot(60 * kMinute);
+  // ~60 events in the 1h window -> rate ~1/min.
+  EXPECT_NEAR(predictor.EstimateIntensity(snapshot) * kMinute, 1.0, 0.15);
+}
+
+TEST(VelocityPredictorTest, TracksTrueRemainingGrowthOnSimulatedCascades) {
+  // On exp-Hawkes cascades the training-free predictor must land within a
+  // small factor of the true remaining count, in aggregate.
+  pp::ExpHawkesParams params;
+  params.lambda0 = 400.0 / kDay;
+  params.beta = 4.0 / kDay;
+  params.marks = std::make_shared<pp::LogNormalMark>(0.5, 0.7);
+  pp::SimulateOptions sim;
+  sim.horizon = 30 * kDay;
+  Rng rng(9);
+  VelocityHawkesPredictor predictor;
+  const double s = 12 * kHour;
+
+  double pred_sum = 0.0, truth_sum = 0.0;
+  int n = 0;
+  for (int rep = 0; rep < 150; ++rep) {
+    const auto events = pp::SimulateExpHawkes(params, sim, rng);
+    if (pp::CountBefore(events, s) < 10) continue;
+    stream::CascadeTracker tracker(0.0, FastConfig());
+    for (const auto& e : events) {
+      if (e.time >= s) break;
+      tracker.Observe(stream::EngagementType::kView, e.time);
+    }
+    const double pred = predictor.PredictIncrement(
+        tracker.Snapshot(s), std::numeric_limits<double>::infinity());
+    pred_sum += pred;
+    truth_sum += static_cast<double>(events.size() - pp::CountBefore(events, s));
+    ++n;
+  }
+  ASSERT_GT(n, 80);
+  EXPECT_GT(pred_sum, truth_sum / 3.0);
+  EXPECT_LT(pred_sum, truth_sum * 3.0);
+}
+
+}  // namespace
+}  // namespace horizon::core

@@ -1,0 +1,270 @@
+// horizon_tool -- command-line driver for the library.
+//
+//   horizon_tool generate --out DIR [--posts N] [--pages N] [--seed S]
+//       Generate a synthetic workload and write it as CSV.
+//
+//   horizon_tool train --data DIR --model FILE [--refs 6h,1d,4d]
+//       Train an HWK predictor on a CSV workload and serialize it.
+//
+//   horizon_tool predict --data DIR --model FILE --post ID --time AGE
+//                        --horizon DELTA
+//       Predict one post's views at AGE + DELTA.
+//
+//   horizon_tool evaluate --data DIR --model FILE [--horizon DELTA]
+//       Median APE / Kendall tau / RMSE of the model on the workload.
+//
+//   horizon_tool selftest
+//       Run generate -> train -> predict -> evaluate in a temp directory.
+//
+// Durations accept the forms "90s", "30m", "6h", "2d".
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/hawkes_predictor.h"
+#include "core/trainer.h"
+#include "datagen/io.h"
+#include "eval/metrics.h"
+#include "eval/split.h"
+#include "features/extractor.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+using namespace horizon;
+
+/// Parses "6h" / "30m" / "2d" / "90s" into seconds; nullopt on error.
+std::optional<double> ParseDuration(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0.0) return std::nullopt;
+  const std::string suffix = end;
+  if (suffix == "s" || suffix.empty()) return value;
+  if (suffix == "m") return value * kMinute;
+  if (suffix == "h") return value * kHour;
+  if (suffix == "d") return value * kDay;
+  return std::nullopt;
+}
+
+/// Parses "6h,1d,4d" into seconds.
+std::optional<std::vector<double>> ParseDurationList(const std::string& text) {
+  std::vector<double> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto d = ParseDuration(item);
+    if (!d.has_value()) return std::nullopt;
+    out.push_back(*d);
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+/// Trivial --key value argument parser.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv, int from) {
+  std::map<std::string, std::string> flags;
+  for (int i = from; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    flags[key] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Fail(const char* message) {
+  std::fprintf(stderr, "error: %s\n", message);
+  return 1;
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  const std::string out = FlagOr(flags, "out", "");
+  if (out.empty()) return Fail("generate requires --out DIR");
+  datagen::GeneratorConfig config;
+  config.num_posts = std::atoi(FlagOr(flags, "posts", "1000").c_str());
+  config.num_pages = std::atoi(FlagOr(flags, "pages", "150").c_str());
+  config.seed = static_cast<uint64_t>(std::atoll(FlagOr(flags, "seed", "1").c_str()));
+  if (config.num_posts <= 0 || config.num_pages <= 0) {
+    return Fail("--posts/--pages must be positive");
+  }
+  const auto dataset = datagen::Generator(config).Generate();
+  if (!datagen::SaveDatasetCsv(dataset, out)) {
+    return Fail("failed to write CSVs (does the directory exist?)");
+  }
+  size_t events = 0;
+  for (const auto& c : dataset.cascades) events += c.views.size();
+  std::printf("wrote %zu cascades (%zu view events) to %s\n",
+              dataset.cascades.size(), events, out.c_str());
+  return 0;
+}
+
+int CmdTrain(const std::map<std::string, std::string>& flags) {
+  const std::string data_dir = FlagOr(flags, "data", "");
+  const std::string model_path = FlagOr(flags, "model", "");
+  if (data_dir.empty() || model_path.empty()) {
+    return Fail("train requires --data DIR and --model FILE");
+  }
+  const auto refs = ParseDurationList(FlagOr(flags, "refs", "6h,1d,4d"));
+  if (!refs.has_value()) return Fail("bad --refs (expected e.g. 6h,1d,4d)");
+
+  const auto dataset = datagen::LoadDatasetCsv(data_dir);
+  if (!dataset.has_value()) return Fail("failed to load dataset CSVs");
+
+  const features::FeatureExtractor extractor{stream::TrackerConfig{}};
+  std::vector<size_t> all(dataset->cascades.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  core::ExampleSetOptions options;
+  options.reference_horizons = *refs;
+  const auto examples = core::BuildExampleSet(*dataset, all, extractor, options);
+
+  core::HawkesPredictorParams params;
+  params.reference_horizons = *refs;
+  core::HawkesPredictor model(params);
+  model.Fit(examples.x, examples.log1p_increments, examples.alpha_targets);
+
+  std::ofstream out(model_path);
+  if (!out) return Fail("cannot open --model path for writing");
+  out << model.Serialize();
+  if (!out) return Fail("failed to write model");
+  std::printf("trained HWK on %zu examples from %zu cascades; model -> %s\n",
+              examples.size(), dataset->cascades.size(), model_path.c_str());
+  return 0;
+}
+
+std::optional<core::HawkesPredictor> LoadModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  core::HawkesPredictor model;
+  if (!model.Deserialize(ss.str())) return std::nullopt;
+  return model;
+}
+
+int CmdPredict(const std::map<std::string, std::string>& flags) {
+  const std::string data_dir = FlagOr(flags, "data", "");
+  const std::string model_path = FlagOr(flags, "model", "");
+  const auto time = ParseDuration(FlagOr(flags, "time", "6h"));
+  const auto horizon = ParseDuration(FlagOr(flags, "horizon", "1d"));
+  const int post_id = std::atoi(FlagOr(flags, "post", "0").c_str());
+  if (data_dir.empty() || model_path.empty()) {
+    return Fail("predict requires --data DIR and --model FILE");
+  }
+  if (!time.has_value() || !horizon.has_value()) {
+    return Fail("bad --time/--horizon duration");
+  }
+  const auto dataset = datagen::LoadDatasetCsv(data_dir);
+  if (!dataset.has_value()) return Fail("failed to load dataset CSVs");
+  auto model = LoadModel(model_path);
+  if (!model.has_value()) return Fail("failed to load model");
+
+  const datagen::Cascade* cascade = nullptr;
+  for (const auto& c : dataset->cascades) {
+    if (c.post.id == post_id) cascade = &c;
+  }
+  if (cascade == nullptr) return Fail("unknown --post id");
+
+  const features::FeatureExtractor extractor{stream::TrackerConfig{}};
+  const auto snapshot = extractor.ReplaySnapshot(*cascade, *time);
+  const auto row =
+      extractor.Extract(dataset->PageOf(cascade->post), cascade->post, snapshot);
+  const double n_s = static_cast<double>(cascade->ViewsBefore(*time));
+  const double predicted = model->PredictCount(row.data(), n_s, *horizon);
+  const double actual = n_s + core::TrueIncrement(*cascade, *time, *horizon);
+  std::printf("post %d at age %s: N(s) = %.0f\n", post_id,
+              FormatDuration(*time).c_str(), n_s);
+  std::printf("  predicted N(s + %s) = %.0f   (actual in dataset: %.0f)\n",
+              FormatDuration(*horizon).c_str(), predicted, actual);
+  std::printf("  predicted alpha = %.3f / day\n",
+              model->PredictAlpha(row.data()) * kDay);
+  return 0;
+}
+
+int CmdEvaluate(const std::map<std::string, std::string>& flags) {
+  const std::string data_dir = FlagOr(flags, "data", "");
+  const std::string model_path = FlagOr(flags, "model", "");
+  const auto horizon = ParseDuration(FlagOr(flags, "horizon", "1d"));
+  if (data_dir.empty() || model_path.empty()) {
+    return Fail("evaluate requires --data DIR and --model FILE");
+  }
+  if (!horizon.has_value()) return Fail("bad --horizon");
+  const auto dataset = datagen::LoadDatasetCsv(data_dir);
+  if (!dataset.has_value()) return Fail("failed to load dataset CSVs");
+  auto model = LoadModel(model_path);
+  if (!model.has_value()) return Fail("failed to load model");
+
+  const features::FeatureExtractor extractor{stream::TrackerConfig{}};
+  std::vector<size_t> all(dataset->cascades.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  core::ExampleSetOptions options;
+  options.reference_horizons = {*horizon};
+  options.seed = 123;
+  const auto examples = core::BuildExampleSet(*dataset, all, extractor, options);
+
+  std::vector<double> pred, truth;
+  for (size_t i = 0; i < examples.size(); ++i) {
+    const auto& ref = examples.refs[i];
+    pred.push_back(ref.n_s + model->PredictIncrement(examples.x.Row(i), *horizon));
+    truth.push_back(ref.n_s + core::TrueIncrement(dataset->cascades[ref.cascade_index],
+                                                  ref.prediction_age, *horizon));
+  }
+  const auto metrics = eval::ComputeMetrics(pred, truth);
+  std::printf("horizon %s over %zu examples: Median APE %.3f, Kendall tau %.3f, "
+              "RMSE %.3g\n",
+              FormatDuration(*horizon).c_str(), metrics.n, metrics.median_ape,
+              metrics.kendall_tau, metrics.rmse);
+  return 0;
+}
+
+int CmdSelfTest() {
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string dir = std::string(tmp != nullptr ? tmp : "/tmp") +
+                          "/horizon_tool_selftest";
+  const std::string mkdir = "mkdir -p " + dir;
+  if (std::system(mkdir.c_str()) != 0) return Fail("mkdir failed");
+  const std::string model = dir + "/model.hwk";
+  if (CmdGenerate({{"out", dir}, {"posts", "250"}, {"pages", "40"}}) != 0) return 1;
+  if (CmdTrain({{"data", dir}, {"model", model}, {"refs", "6h,1d"}}) != 0) return 1;
+  if (CmdPredict({{"data", dir}, {"model", model}, {"post", "3"},
+                  {"time", "6h"}, {"horizon", "1d"}}) != 0) {
+    return 1;
+  }
+  if (CmdEvaluate({{"data", dir}, {"model", model}, {"horizon", "1d"}}) != 0) {
+    return 1;
+  }
+  std::printf("selftest OK\n");
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: horizon_tool <generate|train|predict|evaluate|selftest> "
+               "[--key value ...]\n(see the header of tools/horizon_tool.cc)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "predict") return CmdPredict(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "selftest") return CmdSelfTest();
+  return Usage();
+}
