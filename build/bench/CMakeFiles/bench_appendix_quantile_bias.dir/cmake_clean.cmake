@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_quantile_bias.dir/bench_appendix_quantile_bias.cc.o"
+  "CMakeFiles/bench_appendix_quantile_bias.dir/bench_appendix_quantile_bias.cc.o.d"
+  "bench_appendix_quantile_bias"
+  "bench_appendix_quantile_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_quantile_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_conformal.dir/bench_extension_conformal.cc.o"
+  "CMakeFiles/bench_extension_conformal.dir/bench_extension_conformal.cc.o.d"
+  "bench_extension_conformal"
+  "bench_extension_conformal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_conformal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_truncation.dir/bench_extension_truncation.cc.o"
+  "CMakeFiles/bench_extension_truncation.dir/bench_extension_truncation.cc.o.d"
+  "bench_extension_truncation"
+  "bench_extension_truncation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_truncation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

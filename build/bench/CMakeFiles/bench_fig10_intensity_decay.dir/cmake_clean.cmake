@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_intensity_decay.dir/bench_fig10_intensity_decay.cc.o"
+  "CMakeFiles/bench_fig10_intensity_decay.dir/bench_fig10_intensity_decay.cc.o.d"
+  "bench_fig10_intensity_decay"
+  "bench_fig10_intensity_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_intensity_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_small_large_cascades.dir/bench_fig12_small_large_cascades.cc.o"
+  "CMakeFiles/bench_fig12_small_large_cascades.dir/bench_fig12_small_large_cascades.cc.o.d"
+  "bench_fig12_small_large_cascades"
+  "bench_fig12_small_large_cascades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_small_large_cascades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_arbitrary_horizons.dir/bench_fig1_arbitrary_horizons.cc.o"
+  "CMakeFiles/bench_fig1_arbitrary_horizons.dir/bench_fig1_arbitrary_horizons.cc.o.d"
+  "bench_fig1_arbitrary_horizons"
+  "bench_fig1_arbitrary_horizons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_arbitrary_horizons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_example_cascade.dir/bench_fig3_example_cascade.cc.o"
+  "CMakeFiles/bench_fig3_example_cascade.dir/bench_fig3_example_cascade.cc.o.d"
+  "bench_fig3_example_cascade"
+  "bench_fig3_example_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_example_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_reshare_depth.dir/bench_fig5_reshare_depth.cc.o"
+  "CMakeFiles/bench_fig5_reshare_depth.dir/bench_fig5_reshare_depth.cc.o.d"
+  "bench_fig5_reshare_depth"
+  "bench_fig5_reshare_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_reshare_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

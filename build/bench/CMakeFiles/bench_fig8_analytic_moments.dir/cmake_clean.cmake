@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_analytic_moments.dir/bench_fig8_analytic_moments.cc.o"
+  "CMakeFiles/bench_fig8_analytic_moments.dir/bench_fig8_analytic_moments.cc.o.d"
+  "bench_fig8_analytic_moments"
+  "bench_fig8_analytic_moments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_analytic_moments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

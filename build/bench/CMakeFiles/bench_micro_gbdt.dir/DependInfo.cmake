@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_gbdt.cc" "bench/CMakeFiles/bench_micro_gbdt.dir/bench_micro_gbdt.cc.o" "gcc" "bench/CMakeFiles/bench_micro_gbdt.dir/bench_micro_gbdt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/horizon_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/horizon_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/horizon_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/horizon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/horizon_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/horizon_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/horizon_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/horizon_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointprocess/CMakeFiles/horizon_pointprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/horizon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

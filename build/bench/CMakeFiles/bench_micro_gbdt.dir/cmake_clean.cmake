@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_gbdt.dir/bench_micro_gbdt.cc.o"
+  "CMakeFiles/bench_micro_gbdt.dir/bench_micro_gbdt.cc.o.d"
+  "bench_micro_gbdt"
+  "bench_micro_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_generative_baselines.dir/bench_sec4_generative_baselines.cc.o"
+  "CMakeFiles/bench_sec4_generative_baselines.dir/bench_sec4_generative_baselines.cc.o.d"
+  "bench_sec4_generative_baselines"
+  "bench_sec4_generative_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_generative_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_infinite_horizon.dir/bench_table1_infinite_horizon.cc.o"
+  "CMakeFiles/bench_table1_infinite_horizon.dir/bench_table1_infinite_horizon.cc.o.d"
+  "bench_table1_infinite_horizon"
+  "bench_table1_infinite_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_infinite_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

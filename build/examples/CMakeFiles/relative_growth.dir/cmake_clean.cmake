@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relative_growth.dir/relative_growth.cpp.o"
+  "CMakeFiles/relative_growth.dir/relative_growth.cpp.o.d"
+  "relative_growth"
+  "relative_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relative_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_caching.dir/video_caching.cpp.o"
+  "CMakeFiles/video_caching.dir/video_caching.cpp.o.d"
+  "video_caching"
+  "video_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

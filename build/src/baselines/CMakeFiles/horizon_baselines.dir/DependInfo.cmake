@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/feature_models.cc" "src/baselines/CMakeFiles/horizon_baselines.dir/feature_models.cc.o" "gcc" "src/baselines/CMakeFiles/horizon_baselines.dir/feature_models.cc.o.d"
+  "/root/repo/src/baselines/hip.cc" "src/baselines/CMakeFiles/horizon_baselines.dir/hip.cc.o" "gcc" "src/baselines/CMakeFiles/horizon_baselines.dir/hip.cc.o.d"
+  "/root/repo/src/baselines/rpp.cc" "src/baselines/CMakeFiles/horizon_baselines.dir/rpp.cc.o" "gcc" "src/baselines/CMakeFiles/horizon_baselines.dir/rpp.cc.o.d"
+  "/root/repo/src/baselines/seismic.cc" "src/baselines/CMakeFiles/horizon_baselines.dir/seismic.cc.o" "gcc" "src/baselines/CMakeFiles/horizon_baselines.dir/seismic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/horizon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointprocess/CMakeFiles/horizon_pointprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/horizon_gbdt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horizon_baselines.dir/feature_models.cc.o"
+  "CMakeFiles/horizon_baselines.dir/feature_models.cc.o.d"
+  "CMakeFiles/horizon_baselines.dir/hip.cc.o"
+  "CMakeFiles/horizon_baselines.dir/hip.cc.o.d"
+  "CMakeFiles/horizon_baselines.dir/rpp.cc.o"
+  "CMakeFiles/horizon_baselines.dir/rpp.cc.o.d"
+  "CMakeFiles/horizon_baselines.dir/seismic.cc.o"
+  "CMakeFiles/horizon_baselines.dir/seismic.cc.o.d"
+  "libhorizon_baselines.a"
+  "libhorizon_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horizon_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horizon_common.dir/math_util.cc.o"
+  "CMakeFiles/horizon_common.dir/math_util.cc.o.d"
+  "CMakeFiles/horizon_common.dir/rng.cc.o"
+  "CMakeFiles/horizon_common.dir/rng.cc.o.d"
+  "CMakeFiles/horizon_common.dir/table.cc.o"
+  "CMakeFiles/horizon_common.dir/table.cc.o.d"
+  "CMakeFiles/horizon_common.dir/units.cc.o"
+  "CMakeFiles/horizon_common.dir/units.cc.o.d"
+  "libhorizon_common.a"
+  "libhorizon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horizon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

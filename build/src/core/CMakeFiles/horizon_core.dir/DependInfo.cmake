@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alpha_estimator.cc" "src/core/CMakeFiles/horizon_core.dir/alpha_estimator.cc.o" "gcc" "src/core/CMakeFiles/horizon_core.dir/alpha_estimator.cc.o.d"
+  "/root/repo/src/core/conformal.cc" "src/core/CMakeFiles/horizon_core.dir/conformal.cc.o" "gcc" "src/core/CMakeFiles/horizon_core.dir/conformal.cc.o.d"
+  "/root/repo/src/core/hawkes_predictor.cc" "src/core/CMakeFiles/horizon_core.dir/hawkes_predictor.cc.o" "gcc" "src/core/CMakeFiles/horizon_core.dir/hawkes_predictor.cc.o.d"
+  "/root/repo/src/core/relative_growth.cc" "src/core/CMakeFiles/horizon_core.dir/relative_growth.cc.o" "gcc" "src/core/CMakeFiles/horizon_core.dir/relative_growth.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/horizon_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/horizon_core.dir/trainer.cc.o.d"
+  "/root/repo/src/core/velocity_predictor.cc" "src/core/CMakeFiles/horizon_core.dir/velocity_predictor.cc.o" "gcc" "src/core/CMakeFiles/horizon_core.dir/velocity_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/horizon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/horizon_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/horizon_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/horizon_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/horizon_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointprocess/CMakeFiles/horizon_pointprocess.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horizon_core.dir/alpha_estimator.cc.o"
+  "CMakeFiles/horizon_core.dir/alpha_estimator.cc.o.d"
+  "CMakeFiles/horizon_core.dir/conformal.cc.o"
+  "CMakeFiles/horizon_core.dir/conformal.cc.o.d"
+  "CMakeFiles/horizon_core.dir/hawkes_predictor.cc.o"
+  "CMakeFiles/horizon_core.dir/hawkes_predictor.cc.o.d"
+  "CMakeFiles/horizon_core.dir/relative_growth.cc.o"
+  "CMakeFiles/horizon_core.dir/relative_growth.cc.o.d"
+  "CMakeFiles/horizon_core.dir/trainer.cc.o"
+  "CMakeFiles/horizon_core.dir/trainer.cc.o.d"
+  "CMakeFiles/horizon_core.dir/velocity_predictor.cc.o"
+  "CMakeFiles/horizon_core.dir/velocity_predictor.cc.o.d"
+  "libhorizon_core.a"
+  "libhorizon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horizon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhorizon_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horizon_datagen.dir/event_stream.cc.o"
+  "CMakeFiles/horizon_datagen.dir/event_stream.cc.o.d"
+  "CMakeFiles/horizon_datagen.dir/generator.cc.o"
+  "CMakeFiles/horizon_datagen.dir/generator.cc.o.d"
+  "CMakeFiles/horizon_datagen.dir/io.cc.o"
+  "CMakeFiles/horizon_datagen.dir/io.cc.o.d"
+  "libhorizon_datagen.a"
+  "libhorizon_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horizon_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horizon_eval.dir/experiment.cc.o"
+  "CMakeFiles/horizon_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/horizon_eval.dir/importance.cc.o"
+  "CMakeFiles/horizon_eval.dir/importance.cc.o.d"
+  "CMakeFiles/horizon_eval.dir/metrics.cc.o"
+  "CMakeFiles/horizon_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/horizon_eval.dir/split.cc.o"
+  "CMakeFiles/horizon_eval.dir/split.cc.o.d"
+  "libhorizon_eval.a"
+  "libhorizon_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horizon_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/extractor.cc" "src/features/CMakeFiles/horizon_features.dir/extractor.cc.o" "gcc" "src/features/CMakeFiles/horizon_features.dir/extractor.cc.o.d"
+  "/root/repo/src/features/schema.cc" "src/features/CMakeFiles/horizon_features.dir/schema.cc.o" "gcc" "src/features/CMakeFiles/horizon_features.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/horizon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/horizon_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/horizon_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointprocess/CMakeFiles/horizon_pointprocess.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horizon_features.dir/extractor.cc.o"
+  "CMakeFiles/horizon_features.dir/extractor.cc.o.d"
+  "CMakeFiles/horizon_features.dir/schema.cc.o"
+  "CMakeFiles/horizon_features.dir/schema.cc.o.d"
+  "libhorizon_features.a"
+  "libhorizon_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horizon_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

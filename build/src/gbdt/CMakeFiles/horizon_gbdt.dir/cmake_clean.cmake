@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horizon_gbdt.dir/dataset.cc.o"
+  "CMakeFiles/horizon_gbdt.dir/dataset.cc.o.d"
+  "CMakeFiles/horizon_gbdt.dir/gbdt.cc.o"
+  "CMakeFiles/horizon_gbdt.dir/gbdt.cc.o.d"
+  "CMakeFiles/horizon_gbdt.dir/tree.cc.o"
+  "CMakeFiles/horizon_gbdt.dir/tree.cc.o.d"
+  "libhorizon_gbdt.a"
+  "libhorizon_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horizon_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

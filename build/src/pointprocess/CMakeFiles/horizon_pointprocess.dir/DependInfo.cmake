@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pointprocess/exp_hawkes.cc" "src/pointprocess/CMakeFiles/horizon_pointprocess.dir/exp_hawkes.cc.o" "gcc" "src/pointprocess/CMakeFiles/horizon_pointprocess.dir/exp_hawkes.cc.o.d"
+  "/root/repo/src/pointprocess/exp_hawkes_mle.cc" "src/pointprocess/CMakeFiles/horizon_pointprocess.dir/exp_hawkes_mle.cc.o" "gcc" "src/pointprocess/CMakeFiles/horizon_pointprocess.dir/exp_hawkes_mle.cc.o.d"
+  "/root/repo/src/pointprocess/kernels.cc" "src/pointprocess/CMakeFiles/horizon_pointprocess.dir/kernels.cc.o" "gcc" "src/pointprocess/CMakeFiles/horizon_pointprocess.dir/kernels.cc.o.d"
+  "/root/repo/src/pointprocess/marks.cc" "src/pointprocess/CMakeFiles/horizon_pointprocess.dir/marks.cc.o" "gcc" "src/pointprocess/CMakeFiles/horizon_pointprocess.dir/marks.cc.o.d"
+  "/root/repo/src/pointprocess/rpp_process.cc" "src/pointprocess/CMakeFiles/horizon_pointprocess.dir/rpp_process.cc.o" "gcc" "src/pointprocess/CMakeFiles/horizon_pointprocess.dir/rpp_process.cc.o.d"
+  "/root/repo/src/pointprocess/transform.cc" "src/pointprocess/CMakeFiles/horizon_pointprocess.dir/transform.cc.o" "gcc" "src/pointprocess/CMakeFiles/horizon_pointprocess.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/horizon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

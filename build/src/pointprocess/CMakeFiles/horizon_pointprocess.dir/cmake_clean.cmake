@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horizon_pointprocess.dir/exp_hawkes.cc.o"
+  "CMakeFiles/horizon_pointprocess.dir/exp_hawkes.cc.o.d"
+  "CMakeFiles/horizon_pointprocess.dir/exp_hawkes_mle.cc.o"
+  "CMakeFiles/horizon_pointprocess.dir/exp_hawkes_mle.cc.o.d"
+  "CMakeFiles/horizon_pointprocess.dir/kernels.cc.o"
+  "CMakeFiles/horizon_pointprocess.dir/kernels.cc.o.d"
+  "CMakeFiles/horizon_pointprocess.dir/marks.cc.o"
+  "CMakeFiles/horizon_pointprocess.dir/marks.cc.o.d"
+  "CMakeFiles/horizon_pointprocess.dir/rpp_process.cc.o"
+  "CMakeFiles/horizon_pointprocess.dir/rpp_process.cc.o.d"
+  "CMakeFiles/horizon_pointprocess.dir/transform.cc.o"
+  "CMakeFiles/horizon_pointprocess.dir/transform.cc.o.d"
+  "libhorizon_pointprocess.a"
+  "libhorizon_pointprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horizon_pointprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horizon_serving.dir/prediction_service.cc.o"
+  "CMakeFiles/horizon_serving.dir/prediction_service.cc.o.d"
+  "libhorizon_serving.a"
+  "libhorizon_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horizon_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/cascade_tracker.cc" "src/stream/CMakeFiles/horizon_stream.dir/cascade_tracker.cc.o" "gcc" "src/stream/CMakeFiles/horizon_stream.dir/cascade_tracker.cc.o.d"
+  "/root/repo/src/stream/exponential_histogram.cc" "src/stream/CMakeFiles/horizon_stream.dir/exponential_histogram.cc.o" "gcc" "src/stream/CMakeFiles/horizon_stream.dir/exponential_histogram.cc.o.d"
+  "/root/repo/src/stream/sliding_window.cc" "src/stream/CMakeFiles/horizon_stream.dir/sliding_window.cc.o" "gcc" "src/stream/CMakeFiles/horizon_stream.dir/sliding_window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/horizon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horizon_stream.dir/cascade_tracker.cc.o"
+  "CMakeFiles/horizon_stream.dir/cascade_tracker.cc.o.d"
+  "CMakeFiles/horizon_stream.dir/exponential_histogram.cc.o"
+  "CMakeFiles/horizon_stream.dir/exponential_histogram.cc.o.d"
+  "CMakeFiles/horizon_stream.dir/sliding_window.cc.o"
+  "CMakeFiles/horizon_stream.dir/sliding_window.cc.o.d"
+  "libhorizon_stream.a"
+  "libhorizon_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horizon_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhorizon_stream.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_tracker_test.dir/cascade_tracker_test.cc.o"
+  "CMakeFiles/cascade_tracker_test.dir/cascade_tracker_test.cc.o.d"
+  "cascade_tracker_test"
+  "cascade_tracker_test.pdb"
+  "cascade_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

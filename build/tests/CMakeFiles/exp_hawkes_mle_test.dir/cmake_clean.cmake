@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_hawkes_mle_test.dir/exp_hawkes_mle_test.cc.o"
+  "CMakeFiles/exp_hawkes_mle_test.dir/exp_hawkes_mle_test.cc.o.d"
+  "exp_hawkes_mle_test"
+  "exp_hawkes_mle_test.pdb"
+  "exp_hawkes_mle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_hawkes_mle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

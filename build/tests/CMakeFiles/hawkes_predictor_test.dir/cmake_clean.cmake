@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawkes_predictor_test.dir/hawkes_predictor_test.cc.o"
+  "CMakeFiles/hawkes_predictor_test.dir/hawkes_predictor_test.cc.o.d"
+  "hawkes_predictor_test"
+  "hawkes_predictor_test.pdb"
+  "hawkes_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawkes_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

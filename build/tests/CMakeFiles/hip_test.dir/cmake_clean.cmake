@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hip_test.dir/hip_test.cc.o"
+  "CMakeFiles/hip_test.dir/hip_test.cc.o.d"
+  "hip_test"
+  "hip_test.pdb"
+  "hip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

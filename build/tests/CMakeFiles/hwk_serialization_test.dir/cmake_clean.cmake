@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwk_serialization_test.dir/hwk_serialization_test.cc.o"
+  "CMakeFiles/hwk_serialization_test.dir/hwk_serialization_test.cc.o.d"
+  "hwk_serialization_test"
+  "hwk_serialization_test.pdb"
+  "hwk_serialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwk_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

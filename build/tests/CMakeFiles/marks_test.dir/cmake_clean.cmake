@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marks_test.dir/marks_test.cc.o"
+  "CMakeFiles/marks_test.dir/marks_test.cc.o.d"
+  "marks_test"
+  "marks_test.pdb"
+  "marks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

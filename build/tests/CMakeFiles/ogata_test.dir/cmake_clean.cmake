@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ogata_test.dir/ogata_test.cc.o"
+  "CMakeFiles/ogata_test.dir/ogata_test.cc.o.d"
+  "ogata_test"
+  "ogata_test.pdb"
+  "ogata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ogata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

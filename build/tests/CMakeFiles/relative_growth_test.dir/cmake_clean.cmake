@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relative_growth_test.dir/relative_growth_test.cc.o"
+  "CMakeFiles/relative_growth_test.dir/relative_growth_test.cc.o.d"
+  "relative_growth_test"
+  "relative_growth_test.pdb"
+  "relative_growth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relative_growth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

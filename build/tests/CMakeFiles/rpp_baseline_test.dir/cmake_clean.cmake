@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpp_baseline_test.dir/rpp_baseline_test.cc.o"
+  "CMakeFiles/rpp_baseline_test.dir/rpp_baseline_test.cc.o.d"
+  "rpp_baseline_test"
+  "rpp_baseline_test.pdb"
+  "rpp_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpp_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpp_process_test.dir/rpp_process_test.cc.o"
+  "CMakeFiles/rpp_process_test.dir/rpp_process_test.cc.o.d"
+  "rpp_process_test"
+  "rpp_process_test.pdb"
+  "rpp_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpp_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

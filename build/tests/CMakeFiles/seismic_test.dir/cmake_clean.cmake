@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seismic_test.dir/seismic_test.cc.o"
+  "CMakeFiles/seismic_test.dir/seismic_test.cc.o.d"
+  "seismic_test"
+  "seismic_test.pdb"
+  "seismic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seismic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

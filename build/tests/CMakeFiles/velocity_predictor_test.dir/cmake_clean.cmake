@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/velocity_predictor_test.dir/velocity_predictor_test.cc.o"
+  "CMakeFiles/velocity_predictor_test.dir/velocity_predictor_test.cc.o.d"
+  "velocity_predictor_test"
+  "velocity_predictor_test.pdb"
+  "velocity_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/velocity_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horizon_tool.dir/horizon_tool.cc.o"
+  "CMakeFiles/horizon_tool.dir/horizon_tool.cc.o.d"
+  "horizon_tool"
+  "horizon_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horizon_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
