@@ -1,0 +1,153 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace horizon {
+
+namespace {
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("HORIZON_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = DefaultThreadCount();
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Run(std::function<void()> fn) {
+  HORIZON_DCHECK(fn != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    HORIZON_DCHECK(!stop_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool();  // leaked: outlives exit paths
+  return *pool;
+}
+
+namespace {
+
+/// Shared state of one ParallelFor invocation.  Heap-allocated because pool
+/// tasks may outlive the call (they become no-ops once all chunks are
+/// claimed; the callback itself is only touched while the caller waits).
+struct LoopState {
+  size_t n = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;                 // guards eptr and done/cv
+  std::condition_variable cv;
+  std::exception_ptr eptr;
+  size_t done = 0;
+
+  /// Claims and runs chunks until none remain.
+  void Drain() {
+    size_t completed = 0;
+    for (;;) {
+      const size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) break;
+      if (!failed.load(std::memory_order_acquire)) {
+        const size_t begin = chunk * grain;
+        const size_t end = std::min(begin + grain, n);
+        try {
+          (*fn)(begin, end);
+        } catch (...) {
+          if (!failed.exchange(true, std::memory_order_acq_rel)) {
+            std::lock_guard<std::mutex> lock(mu);
+            eptr = std::current_exception();
+          }
+        }
+      }
+      ++completed;
+    }
+    if (completed > 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      done += completed;
+      if (done == num_chunks) cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool& pool, size_t n, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = (n + grain - 1) / grain;
+  if (num_chunks == 1 || pool.num_threads() == 0) {
+    fn(0, n);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->n = n;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+  state->fn = &fn;
+
+  const size_t helpers =
+      std::min(static_cast<size_t>(pool.num_threads()), num_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    pool.Run([state] { state->Drain(); });
+  }
+  state->Drain();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done == state->num_chunks; });
+  if (state->eptr) std::rethrow_exception(state->eptr);
+}
+
+void ParallelFor(size_t n, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  ParallelFor(ThreadPool::Global(), n, grain, fn);
+}
+
+}  // namespace horizon

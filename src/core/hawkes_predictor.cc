@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 
 namespace horizon::core {
 
@@ -57,9 +58,8 @@ double HawkesPredictor::PredictAlpha(const float* row) const {
   return Clamp(std::exp(g_model_.Predict(row)), params_.alpha_min, params_.alpha_max);
 }
 
-double HawkesPredictor::CombineIncrement(const std::vector<double>& increments_at_refs,
+double HawkesPredictor::CombineIncrement(const double* increments_at_refs, size_t m,
                                          double alpha_hat, double delta) const {
-  const size_t m = increments_at_refs.size();
   // Single reference horizon: Eq. (7) directly.
   // Multiple: arithmetic or geometric aggregation (Sec. 3.2.3).  Both are
   // computed in linear space on the lambda(s)/alpha "final increment" scale
@@ -97,7 +97,7 @@ double HawkesPredictor::PredictIncrement(const float* row, double delta) const {
     // to zero.
     increments[i] = std::max(std::expm1(f_models_[i].Predict(row)), 0.0);
   }
-  return CombineIncrement(increments, alpha_hat, delta);
+  return CombineIncrement(increments.data(), increments.size(), alpha_hat, delta);
 }
 
 double HawkesPredictor::PredictCount(const float* row, double n_s, double delta) const {
@@ -106,6 +106,60 @@ double HawkesPredictor::PredictCount(const float* row, double n_s, double delta)
 
 double HawkesPredictor::PredictFinalIncrement(const float* row) const {
   return PredictIncrement(row, std::numeric_limits<double>::infinity());
+}
+
+std::vector<double> HawkesPredictor::PredictAlphaBatch(
+    const gbdt::DataMatrix& x) const {
+  HORIZON_DCHECK(trained_);
+  std::vector<double> out = g_model_.PredictBatch(x);
+  for (double& v : out) {
+    v = Clamp(std::exp(v), params_.alpha_min, params_.alpha_max);
+  }
+  return out;
+}
+
+std::vector<double> HawkesPredictor::PredictIncrementBatch(
+    const gbdt::DataMatrix& x, const std::vector<double>& deltas) const {
+  HORIZON_DCHECK(trained_);
+  HORIZON_CHECK_EQ(deltas.size(), x.num_rows());
+  const size_t n = x.num_rows();
+  const size_t m = f_models_.size();
+
+  // One flat-forest pass per model over all rows.
+  const std::vector<double> alphas = PredictAlphaBatch(x);
+  std::vector<std::vector<double>> raw(m);
+  for (size_t i = 0; i < m; ++i) raw[i] = f_models_[i].PredictBatch(x);
+
+  std::vector<double> out(n);
+  ParallelFor(n, 512, [&](size_t begin, size_t end) {
+    std::vector<double> increments(m);
+    for (size_t r = begin; r < end; ++r) {
+      HORIZON_CHECK_GE(deltas[r], 0.0);
+      if (deltas[r] == 0.0) {
+        out[r] = 0.0;
+        continue;
+      }
+      for (size_t i = 0; i < m; ++i) {
+        increments[i] = std::max(std::expm1(raw[i][r]), 0.0);
+      }
+      out[r] = CombineIncrement(increments.data(), m, alphas[r], deltas[r]);
+    }
+  });
+  return out;
+}
+
+std::vector<double> HawkesPredictor::PredictIncrementBatch(
+    const gbdt::DataMatrix& x, double delta) const {
+  return PredictIncrementBatch(x, std::vector<double>(x.num_rows(), delta));
+}
+
+std::vector<double> HawkesPredictor::PredictCountBatch(
+    const gbdt::DataMatrix& x, const std::vector<double>& n_s,
+    const std::vector<double>& deltas) const {
+  HORIZON_CHECK_EQ(n_s.size(), x.num_rows());
+  std::vector<double> out = PredictIncrementBatch(x, deltas);
+  for (size_t i = 0; i < out.size(); ++i) out[i] += n_s[i];
+  return out;
 }
 
 std::string HawkesPredictor::Serialize() const {

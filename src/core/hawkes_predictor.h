@@ -65,6 +65,29 @@ class HawkesPredictor {
   /// Predicted effective growth exponent alpha_hat (clamped).
   double PredictAlpha(const float* row) const;
 
+  // --- Batch inference -------------------------------------------------
+  // Each batch call feeds all rows through the compiled flat forests in
+  // one pass per model (parallelized over row ranges), then applies the
+  // transfer formula per row.  Results are bit-identical to the per-row
+  // calls above.
+
+  /// Predicted alpha_hat for every row of `x`.
+  std::vector<double> PredictAlphaBatch(const gbdt::DataMatrix& x) const;
+
+  /// Predicted increments, one per row; deltas.size() must equal
+  /// x.num_rows().
+  std::vector<double> PredictIncrementBatch(const gbdt::DataMatrix& x,
+                                            const std::vector<double>& deltas) const;
+
+  /// Predicted increments over a single shared horizon.
+  std::vector<double> PredictIncrementBatch(const gbdt::DataMatrix& x,
+                                            double delta) const;
+
+  /// Predicted total counts: n_s[i] + increment for row i over deltas[i].
+  std::vector<double> PredictCountBatch(const gbdt::DataMatrix& x,
+                                        const std::vector<double>& n_s,
+                                        const std::vector<double>& deltas) const;
+
   /// Predicted increment over an infinite horizon: lim_{delta->inf}.
   double PredictFinalIncrement(const float* row) const;
 
@@ -86,7 +109,7 @@ class HawkesPredictor {
  private:
   /// Combines the m reference predictions into the increment for `delta`
   /// using the transfer formula and the configured aggregation.
-  double CombineIncrement(const std::vector<double>& increments_at_refs,
+  double CombineIncrement(const double* increments_at_refs, size_t m,
                           double alpha_hat, double delta) const;
 
   HawkesPredictorParams params_;

@@ -167,15 +167,22 @@ std::vector<float> FeatureExtractor::Extract(const datagen::PageProfile& page,
                                              const datagen::PostProfile& post,
                                              const stream::TrackerSnapshot& snapshot)
     const {
-  std::vector<float> out;
-  out.reserve(schema_.size());
-  EmitAll(page, post, snapshot, tracker_config_,
-          [&out](const std::string& /*name*/, FeatureCategory /*cat*/, float value) {
-            HORIZON_DCHECK(std::isfinite(value));
-            out.push_back(value);
-          });
-  HORIZON_CHECK_EQ(out.size(), schema_.size());
+  std::vector<float> out(schema_.size());
+  ExtractInto(page, post, snapshot, out.data());
   return out;
+}
+
+void FeatureExtractor::ExtractInto(const datagen::PageProfile& page,
+                                   const datagen::PostProfile& post,
+                                   const stream::TrackerSnapshot& snapshot,
+                                   float* out) const {
+  size_t i = 0;
+  EmitAll(page, post, snapshot, tracker_config_,
+          [&](const std::string& /*name*/, FeatureCategory /*cat*/, float value) {
+            HORIZON_DCHECK(std::isfinite(value));
+            out[i++] = value;
+          });
+  HORIZON_CHECK_EQ(i, schema_.size());
 }
 
 stream::TrackerSnapshot FeatureExtractor::ReplaySnapshot(

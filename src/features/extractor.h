@@ -28,6 +28,13 @@ class FeatureExtractor {
                              const datagen::PostProfile& post,
                              const stream::TrackerSnapshot& snapshot) const;
 
+  /// Extracts into a caller-provided buffer of schema().size() floats —
+  /// the allocation-free form used by the batch/serving hot paths.
+  /// Thread-safe: the extractor is immutable after construction.
+  void ExtractInto(const datagen::PageProfile& page,
+                   const datagen::PostProfile& post,
+                   const stream::TrackerSnapshot& snapshot, float* out) const;
+
   /// Convenience: replays a generated cascade's engagement events with age
   /// < observe_age into a fresh tracker and returns its snapshot.  (Real
   /// deployments keep trackers incrementally; experiments replay.)

@@ -1,0 +1,70 @@
+// Inference-optimized compiled form of a boosted tree ensemble.
+//
+// A trained GbdtRegressor stores one pointer-chasing node vector per tree;
+// FlatForest flattens every tree into a single contiguous
+// structure-of-arrays node pool (split feature, threshold, left-child
+// index; sibling children are adjacent so only the left index is stored).
+// Traversal touches four parallel arrays that stay resident in cache, and
+// PredictBatch walks rows in blocks tree-by-tree so the node pool is
+// streamed once per block instead of once per row.
+//
+// Predictions are bit-identical to the per-row GbdtRegressor::Predict
+// path: the accumulation order (base score, then trees in boosting order,
+// each scaled by the learning rate) is preserved exactly.
+#ifndef HORIZON_GBDT_FLAT_FOREST_H_
+#define HORIZON_GBDT_FLAT_FOREST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gbdt/dataset.h"
+#include "gbdt/tree.h"
+
+namespace horizon::gbdt {
+
+/// Immutable flattened ensemble.  Cheap to copy/move; safe to share across
+/// threads (all methods are const and touch no mutable state).
+class FlatForest {
+ public:
+  FlatForest() = default;
+
+  /// Compiles an ensemble.  `trees` may be empty (constant model).
+  static FlatForest Compile(const std::vector<RegressionTree>& trees,
+                            double base_score, double learning_rate);
+
+  bool compiled() const { return compiled_; }
+  size_t num_trees() const { return roots_.size(); }
+  size_t num_nodes() const { return feature_.size(); }
+  double base_score() const { return base_score_; }
+  double learning_rate() const { return learning_rate_; }
+
+  /// Predicts one dense feature row.
+  double Predict(const float* row) const;
+
+  /// Predicts `num_rows` rows laid out contiguously with `stride` floats
+  /// between consecutive rows, writing into out[0..num_rows).  Runs on the
+  /// calling thread (block-at-a-time kernel).
+  void PredictRows(const float* rows, size_t num_rows, size_t stride,
+                   double* out) const;
+
+  /// Predicts every row of a matrix, parallelized over row ranges via the
+  /// global thread pool.
+  std::vector<double> PredictBatch(const DataMatrix& x) const;
+
+ private:
+  bool compiled_ = false;
+  double base_score_ = 0.0;
+  double learning_rate_ = 0.0;
+  // Node pool (SoA).  feature_[i] < 0 marks a leaf whose output is
+  // value_[i]; otherwise children live at left_[i] (<=) and left_[i] + 1.
+  std::vector<int32_t> feature_;
+  std::vector<float> threshold_;
+  std::vector<int32_t> left_;
+  std::vector<double> value_;
+  std::vector<int32_t> roots_;  ///< root node index of each tree
+};
+
+}  // namespace horizon::gbdt
+
+#endif  // HORIZON_GBDT_FLAT_FOREST_H_

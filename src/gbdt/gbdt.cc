@@ -6,8 +6,15 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace horizon::gbdt {
+
+namespace {
+/// Row ranges below this size are updated serially; the per-chunk dispatch
+/// cost is not worth it.
+constexpr size_t kRowGrain = 1024;
+}  // namespace
 
 GbdtRegressor::GbdtRegressor(GbdtParams params) : params_(std::move(params)) {
   HORIZON_CHECK_GE(params_.num_trees, 1);
@@ -62,7 +69,9 @@ void GbdtRegressor::FitInternal(const DataMatrix& x, const std::vector<double>& 
   if (x_valid != nullptr) valid_pred.assign(y_valid->size(), base_score_);
 
   for (int m = 0; m < params_.num_trees; ++m) {
-    for (size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - pred[i];
+    ParallelFor(y.size(), kRowGrain, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) residual[i] = y[i] - pred[i];
+    });
 
     std::vector<uint32_t> rows;
     if (params_.subsample < 1.0) {
@@ -77,9 +86,11 @@ void GbdtRegressor::FitInternal(const DataMatrix& x, const std::vector<double>& 
 
     RegressionTree tree = learner.Fit(rows, residual, &gains_);
     // Update predictions on ALL rows with the shrunken tree output.
-    for (size_t i = 0; i < y.size(); ++i) {
-      pred[i] += params_.learning_rate * tree.Predict(x.Row(i));
-    }
+    ParallelFor(y.size(), kRowGrain, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        pred[i] += params_.learning_rate * tree.Predict(x.Row(i));
+      }
+    });
     trees_.push_back(std::move(tree));
 
     if (x_valid != nullptr) {
@@ -103,23 +114,18 @@ void GbdtRegressor::FitInternal(const DataMatrix& x, const std::vector<double>& 
   if (x_valid != nullptr && best_num_trees > 0) {
     trees_.resize(best_num_trees);
   }
+  flat_ = FlatForest::Compile(trees_, base_score_, params_.learning_rate);
   trained_ = true;
 }
 
 double GbdtRegressor::Predict(const float* row) const {
   HORIZON_DCHECK(trained_);
-  double out = base_score_;
-  for (const RegressionTree& tree : trees_) {
-    out += params_.learning_rate * tree.Predict(row);
-  }
-  return out;
+  return flat_.Predict(row);
 }
 
 std::vector<double> GbdtRegressor::PredictBatch(const DataMatrix& x) const {
   HORIZON_CHECK_EQ(x.num_features(), num_features_);
-  std::vector<double> out(x.num_rows());
-  for (size_t i = 0; i < x.num_rows(); ++i) out[i] = Predict(x.Row(i));
-  return out;
+  return flat_.PredictBatch(x);
 }
 
 std::vector<double> GbdtRegressor::GainImportance() const {
@@ -173,6 +179,7 @@ bool GbdtRegressor::Deserialize(const std::string& text) {
   params_.learning_rate = lr;
   trees_ = std::move(trees);
   gains_.assign(num_features_, 0.0);
+  flat_ = FlatForest::Compile(trees_, base_score_, params_.learning_rate);
   trained_ = true;
   return true;
 }

@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "gbdt/dataset.h"
+#include "gbdt/flat_forest.h"
 #include "gbdt/tree.h"
 
 namespace horizon::gbdt {
@@ -46,10 +47,12 @@ class GbdtRegressor {
                         const DataMatrix& x_valid, const std::vector<double>& y_valid,
                         int early_stopping_rounds = 10);
 
-  /// Predicts one dense feature row (size num_features).
+  /// Predicts one dense feature row (size num_features).  Served from the
+  /// compiled FlatForest.
   double Predict(const float* row) const;
 
-  /// Predicts every row of a matrix.
+  /// Predicts every row of a matrix through the flat forest's batched,
+  /// thread-pool-parallel kernel.  Bit-identical to per-row Predict.
   std::vector<double> PredictBatch(const DataMatrix& x) const;
 
   /// Total split gain attributed to each feature during training
@@ -61,6 +64,8 @@ class GbdtRegressor {
   const GbdtParams& params() const { return params_; }
   const std::vector<RegressionTree>& trees() const { return trees_; }
   double base_score() const { return base_score_; }
+  /// The compiled inference forest (valid once trained).
+  const FlatForest& flat_forest() const { return flat_; }
 
   /// Serializes the trained model to a portable ASCII string.
   std::string Serialize() const;
@@ -79,6 +84,7 @@ class GbdtRegressor {
   double base_score_ = 0.0;
   std::vector<RegressionTree> trees_;
   std::vector<double> gains_;
+  FlatForest flat_;  ///< compiled at the end of Fit/Deserialize
 };
 
 }  // namespace horizon::gbdt

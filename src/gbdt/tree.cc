@@ -4,8 +4,15 @@
 #include <functional>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace horizon::gbdt {
+
+namespace {
+/// Below this many (row, feature) histogram updates the split search runs
+/// serially; the fan-out cost exceeds the work.
+constexpr size_t kMinParallelWork = 1u << 17;
+}  // namespace
 
 RegressionTree::RegressionTree(std::vector<TreeNode> nodes) : nodes_(std::move(nodes)) {
   HORIZON_CHECK(!nodes_.empty());
@@ -38,44 +45,68 @@ TreeLearner::TreeLearner(const BinnedDataset& binned, TreeParams params)
   HORIZON_CHECK_GE(params_.l2_reg, 0.0);
 }
 
-TreeLearner::SplitResult TreeLearner::FindBestSplit(
-    const std::vector<uint32_t>& rows, double sum,
+TreeLearner::SplitResult TreeLearner::BestSplitForFeature(
+    size_t f, const std::vector<uint32_t>& rows, double sum,
     const std::vector<double>& grad_targets) const {
   SplitResult best;
+  const int num_bins = binned_.NumBins(f);
+  if (num_bins < 2) return best;
   const double n = static_cast<double>(rows.size());
   const double lam = params_.l2_reg;
   const double parent_score = sum * sum / (n + lam);
 
-  // Histogram buffers reused across features.
   double hist_sum[256];
   uint32_t hist_cnt[256];
-  for (size_t f = 0; f < binned_.num_features(); ++f) {
-    const int num_bins = binned_.NumBins(f);
-    if (num_bins < 2) continue;
-    std::fill(hist_sum, hist_sum + num_bins, 0.0);
-    std::fill(hist_cnt, hist_cnt + num_bins, 0u);
-    for (uint32_t r : rows) {
-      const uint8_t code = binned_.Code(r, f);
-      hist_sum[code] += grad_targets[r];
-      ++hist_cnt[code];
+  std::fill(hist_sum, hist_sum + num_bins, 0.0);
+  std::fill(hist_cnt, hist_cnt + num_bins, 0u);
+  for (uint32_t r : rows) {
+    const uint8_t code = binned_.Code(r, f);
+    hist_sum[code] += grad_targets[r];
+    ++hist_cnt[code];
+  }
+  // Scan split points: left = bins [0..b], right = rest.
+  double left_sum = 0.0;
+  uint32_t left_cnt = 0;
+  for (int b = 0; b + 1 < num_bins; ++b) {
+    left_sum += hist_sum[b];
+    left_cnt += hist_cnt[b];
+    const uint32_t right_cnt = static_cast<uint32_t>(rows.size()) - left_cnt;
+    if (left_cnt < static_cast<uint32_t>(params_.min_samples_leaf)) continue;
+    if (right_cnt < static_cast<uint32_t>(params_.min_samples_leaf)) break;
+    const double right_sum = sum - left_sum;
+    const double gain = left_sum * left_sum / (left_cnt + lam) +
+                        right_sum * right_sum / (right_cnt + lam) - parent_score;
+    if (gain > best.gain) {
+      best.feature = static_cast<int>(f);
+      best.bin = b;
+      best.gain = gain;
     }
-    // Scan split points: left = bins [0..b], right = rest.
-    double left_sum = 0.0;
-    uint32_t left_cnt = 0;
-    for (int b = 0; b + 1 < num_bins; ++b) {
-      left_sum += hist_sum[b];
-      left_cnt += hist_cnt[b];
-      const uint32_t right_cnt = static_cast<uint32_t>(rows.size()) - left_cnt;
-      if (left_cnt < static_cast<uint32_t>(params_.min_samples_leaf)) continue;
-      if (right_cnt < static_cast<uint32_t>(params_.min_samples_leaf)) break;
-      const double right_sum = sum - left_sum;
-      const double gain = left_sum * left_sum / (left_cnt + lam) +
-                          right_sum * right_sum / (right_cnt + lam) - parent_score;
-      if (gain > best.gain) {
-        best.feature = static_cast<int>(f);
-        best.bin = b;
-        best.gain = gain;
+  }
+  return best;
+}
+
+TreeLearner::SplitResult TreeLearner::FindBestSplit(
+    const std::vector<uint32_t>& rows, double sum,
+    const std::vector<double>& grad_targets) const {
+  const size_t num_features = binned_.num_features();
+  SplitResult best;
+  if (rows.size() * num_features >= kMinParallelWork) {
+    // Per-feature searches are independent; run them across the pool and
+    // reduce serially so the winner (max gain, lowest feature index on
+    // ties) is deterministic regardless of scheduling.
+    std::vector<SplitResult> per_feature(num_features);
+    ParallelFor(num_features, 1, [&](size_t begin, size_t end) {
+      for (size_t f = begin; f < end; ++f) {
+        per_feature[f] = BestSplitForFeature(f, rows, sum, grad_targets);
       }
+    });
+    for (const SplitResult& r : per_feature) {
+      if (r.gain > best.gain) best = r;
+    }
+  } else {
+    for (size_t f = 0; f < num_features; ++f) {
+      const SplitResult r = BestSplitForFeature(f, rows, sum, grad_targets);
+      if (r.gain > best.gain) best = r;
     }
   }
   if (best.gain < params_.min_gain) best.feature = -1;

@@ -70,6 +70,13 @@ class TreeLearner {
     double gain = 0.0;
   };
 
+  /// Best split of one feature (histogram build + scan); thread-safe.
+  SplitResult BestSplitForFeature(size_t f, const std::vector<uint32_t>& rows,
+                                  double sum,
+                                  const std::vector<double>& grad_targets) const;
+
+  /// Best split across all features; parallelized over features via the
+  /// global thread pool when the work is large enough.  Deterministic.
   SplitResult FindBestSplit(const std::vector<uint32_t>& rows, double sum,
                             const std::vector<double>& grad_targets) const;
 

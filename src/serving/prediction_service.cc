@@ -4,9 +4,33 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "pointprocess/transform.h"
 
 namespace horizon::serving {
+
+namespace {
+
+/// SplitMix64 finalizer: item ids are often sequential, so mix before
+/// taking the shard residue to spread neighbors across shards.
+uint64_t MixId(int64_t id) {
+  uint64_t z = static_cast<uint64_t>(id) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Sorts (id, score) pairs by descending score and truncates to k.
+void SortDescendingTruncate(std::vector<std::pair<int64_t, double>>* scored,
+                            size_t k) {
+  const size_t take = std::min(k, scored->size());
+  std::partial_sort(scored->begin(), scored->begin() + static_cast<ptrdiff_t>(take),
+                    scored->end(),
+                    [](const auto& a, const auto& b) { return a.second > b.second; });
+  scored->resize(take);
+}
+
+}  // namespace
 
 PredictionService::PredictionService(const core::HawkesPredictor* model,
                                      const features::FeatureExtractor* extractor,
@@ -15,105 +39,223 @@ PredictionService::PredictionService(const core::HawkesPredictor* model,
   HORIZON_CHECK(model != nullptr);
   HORIZON_CHECK(extractor != nullptr);
   HORIZON_CHECK(model->trained());
+  HORIZON_CHECK_GE(config_.num_shards, 1);
+  shards_.reserve(static_cast<size_t>(config_.num_shards));
+  for (int i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+size_t PredictionService::ShardOf(int64_t item_id) const {
+  return static_cast<size_t>(MixId(item_id) % shards_.size());
 }
 
 bool PredictionService::RegisterItem(int64_t item_id, double creation_time,
                                      const datagen::PageProfile& page,
                                      const datagen::PostProfile& post) {
-  const auto [it, inserted] = items_.try_emplace(
-      item_id, Item{stream::CascadeTracker(creation_time, config_.tracker), page,
-                    post});
-  if (inserted) ++stats_.items_registered;
+  Shard& shard = *shards_[ShardOf(item_id)];
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    inserted = shard.items
+                   .try_emplace(item_id,
+                                Item{stream::CascadeTracker(creation_time,
+                                                            config_.tracker),
+                                     page, post})
+                   .second;
+  }
+  if (inserted) {
+    items_registered_.fetch_add(1, std::memory_order_relaxed);
+    live_items_.fetch_add(1, std::memory_order_relaxed);
+  }
   return inserted;
 }
 
 bool PredictionService::HasItem(int64_t item_id) const {
-  return items_.count(item_id) > 0;
+  const Shard& shard = *shards_[ShardOf(item_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.items.count(item_id) > 0;
 }
 
 bool PredictionService::Ingest(int64_t item_id, stream::EngagementType type,
                                double t) {
-  const auto it = items_.find(item_id);
-  if (it == items_.end()) return false;
-  it->second.tracker.Observe(type, t);
-  ++stats_.events_ingested;
+  Shard& shard = *shards_[ShardOf(item_id)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.items.find(item_id);
+    if (it == shard.items.end()) return false;
+    it->second.tracker.Observe(type, t);
+  }
+  events_ingested_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+size_t PredictionService::IngestBatch(const std::vector<IngestEvent>& events) {
+  // Group event indices by shard (stable, so per-item order is kept),
+  // then apply each shard's group under one lock acquisition.
+  std::vector<std::vector<uint32_t>> by_shard(shards_.size());
+  for (uint32_t i = 0; i < events.size(); ++i) {
+    by_shard[ShardOf(events[i].item_id)].push_back(i);
+  }
+  std::atomic<size_t> ingested{0};
+  ParallelFor(shards_.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t sh = begin; sh < end; ++sh) {
+      if (by_shard[sh].empty()) continue;
+      Shard& shard = *shards_[sh];
+      size_t applied = 0;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const uint32_t i : by_shard[sh]) {
+        const IngestEvent& e = events[i];
+        const auto it = shard.items.find(e.item_id);
+        if (it == shard.items.end()) continue;
+        it->second.tracker.Observe(e.type, e.time);
+        ++applied;
+      }
+      ingested.fetch_add(applied, std::memory_order_relaxed);
+    }
+  });
+  const size_t total = ingested.load(std::memory_order_relaxed);
+  events_ingested_.fetch_add(total, std::memory_order_relaxed);
+  return total;
 }
 
 std::optional<PredictionResult> PredictionService::Query(int64_t item_id, double s,
                                                          double delta) const {
-  const auto it = items_.find(item_id);
-  if (it == items_.end()) return std::nullopt;
-  const Item& item = it->second;
-  if (s < item.tracker.creation_time()) return std::nullopt;  // not yet live
-  const auto snapshot = item.tracker.Snapshot(s);
-  const auto row = extractor_->Extract(item.page, item.post, snapshot);
+  const Shard& shard = *shards_[ShardOf(item_id)];
+  stream::TrackerSnapshot snapshot;
+  datagen::PageProfile page;
+  datagen::PostProfile post;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.items.find(item_id);
+    if (it == shard.items.end()) return std::nullopt;
+    const Item& item = it->second;
+    if (s < item.tracker.creation_time()) return std::nullopt;  // not yet live
+    snapshot = item.tracker.Snapshot(s);
+    page = item.page;
+    post = item.post;
+  }
+  // Inference runs outside the shard lock, on the immutable snapshot.
+  const auto row = extractor_->Extract(page, post, snapshot);
   PredictionResult result;
   result.observed_views = static_cast<double>(snapshot.views().total);
   result.predicted_views =
       model_->PredictCount(row.data(), result.observed_views, delta);
   result.alpha = model_->PredictAlpha(row.data());
-  ++stats_.queries_answered;
+  queries_answered_.fetch_add(1, std::memory_order_relaxed);
   return result;
+}
+
+std::vector<std::pair<int64_t, double>> PredictionService::ShardTopK(
+    const Shard& shard, double s, double delta, size_t k) const {
+  struct Candidate {
+    int64_t id;
+    stream::TrackerSnapshot snapshot;
+    datagen::PageProfile page;
+    datagen::PostProfile post;
+  };
+  std::vector<Candidate> candidates;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    candidates.reserve(shard.items.size());
+    for (const auto& [id, item] : shard.items) {
+      if (s < item.tracker.creation_time()) continue;  // not yet live
+      candidates.push_back({id, item.tracker.Snapshot(s), item.page, item.post});
+    }
+  }
+  if (candidates.empty()) return {};
+
+  // Batch the whole shard through the flat forests in one pass.
+  gbdt::DataMatrix x(candidates.size(), extractor_->schema().size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    extractor_->ExtractInto(candidates[i].page, candidates[i].post,
+                            candidates[i].snapshot, x.MutableRow(i));
+  }
+  const std::vector<double> increments = model_->PredictIncrementBatch(x, delta);
+
+  std::vector<std::pair<int64_t, double>> scored;
+  scored.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    scored.emplace_back(candidates[i].id, increments[i]);
+  }
+  SortDescendingTruncate(&scored, k);
+  return scored;
 }
 
 std::vector<std::pair<int64_t, double>> PredictionService::TopK(double s,
                                                                 double delta,
                                                                 size_t k) const {
-  std::vector<std::pair<int64_t, double>> scored;
-  scored.reserve(items_.size());
-  for (const auto& [id, item] : items_) {
-    if (s < item.tracker.creation_time()) continue;  // not yet live
-    const auto snapshot = item.tracker.Snapshot(s);
-    const auto row = extractor_->Extract(item.page, item.post, snapshot);
-    const double increment = model_->PredictIncrement(row.data(), delta);
-    scored.emplace_back(id, increment);
+  std::vector<std::vector<std::pair<int64_t, double>>> per_shard(shards_.size());
+  ParallelFor(shards_.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t sh = begin; sh < end; ++sh) {
+      per_shard[sh] = ShardTopK(*shards_[sh], s, delta, k);
+    }
+  });
+  std::vector<std::pair<int64_t, double>> merged;
+  for (const auto& partial : per_shard) {
+    merged.insert(merged.end(), partial.begin(), partial.end());
   }
-  const size_t take = std::min(k, scored.size());
-  std::partial_sort(scored.begin(), scored.begin() + static_cast<ptrdiff_t>(take),
-                    scored.end(),
-                    [](const auto& a, const auto& b) { return a.second > b.second; });
-  scored.resize(take);
-  return scored;
+  SortDescendingTruncate(&merged, k);
+  return merged;
 }
 
 size_t PredictionService::RetireDeadItems(double now) {
-  size_t retired = 0;
-  for (auto it = items_.begin(); it != items_.end();) {
-    const Item& item = it->second;
-    if (now < item.tracker.creation_time()) {
-      ++it;  // not yet live; nothing to retire
-      continue;
+  std::atomic<size_t> retired_total{0};
+  ParallelFor(shards_.size(), 1, [&](size_t begin, size_t end) {
+    std::vector<float> row(extractor_->schema().size());
+    for (size_t sh = begin; sh < end; ++sh) {
+      Shard& shard = *shards_[sh];
+      size_t retired = 0;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.items.begin(); it != shard.items.end();) {
+        const Item& item = it->second;
+        if (now < item.tracker.creation_time()) {
+          ++it;  // not yet live; nothing to retire
+          continue;
+        }
+        const auto snapshot = item.tracker.Snapshot(now);
+        const auto& views = snapshot.views();
+        bool dead = false;
+        if (views.last_event_age >= 0.0) {
+          const double idle = snapshot.age - views.last_event_age;
+          if (idle >= config_.idle_retirement_age) dead = true;
+        } else if (snapshot.age >= config_.idle_retirement_age) {
+          dead = true;  // never received a single view
+        }
+        if (!dead && views.ewma_rate > 0.0) {
+          // Eager retirement: with the EWMA rate as the lambda(now) proxy
+          // and the model's alpha as the decay scale, the probability that
+          // the cascade produces no further views (Appendix A.14, u = 0
+          // transform) exceeds the threshold.
+          extractor_->ExtractInto(item.page, item.post, snapshot, row.data());
+          const double alpha = model_->PredictAlpha(row.data());
+          const double p_dead = pp::ProbabilityNoNewEvents(
+              views.ewma_rate, std::numeric_limits<double>::infinity(), alpha);
+          if (p_dead >= config_.death_probability_threshold) dead = true;
+        }
+        if (dead) {
+          it = shard.items.erase(it);
+          ++retired;
+        } else {
+          ++it;
+        }
+      }
+      retired_total.fetch_add(retired, std::memory_order_relaxed);
     }
-    const auto snapshot = item.tracker.Snapshot(now);
-    const auto& views = snapshot.views();
-    bool dead = false;
-    if (views.last_event_age >= 0.0) {
-      const double idle = snapshot.age - views.last_event_age;
-      if (idle >= config_.idle_retirement_age) dead = true;
-    } else if (snapshot.age >= config_.idle_retirement_age) {
-      dead = true;  // never received a single view
-    }
-    if (!dead && views.ewma_rate > 0.0) {
-      // Eager retirement: with the EWMA rate as the lambda(now) proxy and
-      // the model's alpha as the decay scale, the probability that the
-      // cascade produces no further views (Appendix A.14, u = 0 transform)
-      // exceeds the threshold.
-      const auto row = extractor_->Extract(item.page, item.post, snapshot);
-      const double alpha = model_->PredictAlpha(row.data());
-      const double p_dead = pp::ProbabilityNoNewEvents(
-          views.ewma_rate, std::numeric_limits<double>::infinity(), alpha);
-      if (p_dead >= config_.death_probability_threshold) dead = true;
-    }
-    if (dead) {
-      it = items_.erase(it);
-      ++retired;
-    } else {
-      ++it;
-    }
-  }
-  stats_.items_retired += retired;
+  });
+  const size_t retired = retired_total.load(std::memory_order_relaxed);
+  items_retired_.fetch_add(retired, std::memory_order_relaxed);
+  live_items_.fetch_sub(retired, std::memory_order_relaxed);
   return retired;
+}
+
+ServiceStats PredictionService::stats() const {
+  ServiceStats out;
+  out.items_registered = items_registered_.load(std::memory_order_relaxed);
+  out.events_ingested = events_ingested_.load(std::memory_order_relaxed);
+  out.queries_answered = queries_answered_.load(std::memory_order_relaxed);
+  out.items_retired = items_retired_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace horizon::serving

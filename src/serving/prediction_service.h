@@ -7,11 +7,21 @@
 // HawkesPredictor.  Idle items are retired either by inactivity age or by
 // the model's cascade-death probability (Appendix A.14 closed form), so
 // resident state stays proportional to the number of *live* items.
+//
+// Concurrency: the service is internally synchronized.  Item state is
+// partitioned into `num_shards` shards keyed by a mixed hash of the item
+// id; each shard has its own mutex and tracker map, so Ingest/Query from
+// different threads contend only when they hit the same shard.  Model
+// inference (feature extraction + flat-forest walks) always runs OUTSIDE
+// the shard locks, against an immutable tracker snapshot.  Counters are
+// atomics; stats() returns a coherent-enough snapshot of them.
 #ifndef HORIZON_SERVING_PREDICTION_SERVICE_H_
 #define HORIZON_SERVING_PREDICTION_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -32,6 +42,9 @@ struct ServiceConfig {
   /// Items whose probability of any further view (per the decaying
   /// intensity proxy) falls below this are retired eagerly.
   double death_probability_threshold = 0.99;
+  /// Number of item shards (>= 1).  More shards mean less lock contention
+  /// at slightly more memory; the default suits up to ~32 serving threads.
+  int num_shards = 16;
 };
 
 /// One answered query.
@@ -41,7 +54,7 @@ struct PredictionResult {
   double alpha = 0.0;             ///< predicted effective growth exponent
 };
 
-/// Aggregate service counters.
+/// Aggregate service counters (a stats() snapshot).
 struct ServiceStats {
   uint64_t items_registered = 0;
   uint64_t events_ingested = 0;
@@ -49,7 +62,16 @@ struct ServiceStats {
   uint64_t items_retired = 0;
 };
 
-/// Thread-compatible (externally synchronized) prediction service.
+/// One engagement event of an IngestBatch.
+struct IngestEvent {
+  int64_t item_id = 0;
+  stream::EngagementType type = stream::EngagementType::kView;
+  double time = 0.0;
+};
+
+/// Thread-safe sharded prediction service.  All public methods may be
+/// called concurrently from any number of threads; per-item event times
+/// must still be non-decreasing (the tracker's contract).
 class PredictionService {
  public:
   /// The model and extractor must outlive the service.  The extractor's
@@ -64,12 +86,18 @@ class PredictionService {
                     const datagen::PostProfile& post);
 
   bool HasItem(int64_t item_id) const;
-  size_t LiveItems() const { return items_.size(); }
+  size_t LiveItems() const { return live_items_.load(std::memory_order_relaxed); }
 
   /// Ingests one engagement event.  Returns false for unknown items
   /// (events for retired items are dropped, which is the intended
   /// behavior for late stragglers).
   bool Ingest(int64_t item_id, stream::EngagementType type, double t);
+
+  /// Ingests a batch of events: events are grouped by shard, each shard is
+  /// locked once, and shards are processed in parallel.  Relative order of
+  /// a given item's events is preserved.  Returns the number ingested
+  /// (unknown items are dropped, as in Ingest).
+  size_t IngestBatch(const std::vector<IngestEvent>& events);
 
   /// Predicted popularity of an item at time `s` over horizon `delta`.
   /// Returns nullopt for unknown items and for items whose creation time
@@ -79,7 +107,9 @@ class PredictionService {
 
   /// The k live items with the largest predicted view increment over
   /// `delta` as of time `s` (the moderation-queue primitive), as
-  /// (item_id, predicted increment), sorted descending.
+  /// (item_id, predicted increment), sorted descending.  Shards are
+  /// scanned in parallel (snapshots under the shard lock, batch inference
+  /// outside it) and their per-shard heaps reduced at the end.
   std::vector<std::pair<int64_t, double>> TopK(double s, double delta,
                                                size_t k) const;
 
@@ -88,7 +118,10 @@ class PredictionService {
   /// Returns the number retired.
   size_t RetireDeadItems(double now);
 
-  const ServiceStats& stats() const { return stats_; }
+  /// Coherent snapshot of the service counters.
+  ServiceStats stats() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
  private:
   struct Item {
@@ -97,12 +130,30 @@ class PredictionService {
     datagen::PostProfile post;
   };
 
+  /// One lock domain: a mutex plus the items hashed to it.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<int64_t, Item> items;
+  };
+
+  size_t ShardOf(int64_t item_id) const;
+
+  /// Per-shard TopK candidates: ids plus snapshotted feature rows.
+  std::vector<std::pair<int64_t, double>> ShardTopK(const Shard& shard, double s,
+                                                    double delta, size_t k) const;
+
   const core::HawkesPredictor* model_;
   const features::FeatureExtractor* extractor_;
   ServiceConfig config_;
-  std::unordered_map<int64_t, Item> items_;
-  // Mutable: const queries still count toward stats.
-  mutable ServiceStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<size_t> live_items_{0};
+  // Counters are independent atomics: cheap on the hot path; stats()
+  // assembles a snapshot struct from them.
+  mutable std::atomic<uint64_t> items_registered_{0};
+  mutable std::atomic<uint64_t> events_ingested_{0};
+  mutable std::atomic<uint64_t> queries_answered_{0};
+  mutable std::atomic<uint64_t> items_retired_{0};
 };
 
 }  // namespace horizon::serving

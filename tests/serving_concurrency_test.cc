@@ -1,0 +1,235 @@
+// Hammers one PredictionService from many threads and checks the counter
+// and retirement invariants.  This binary is also the ThreadSanitizer
+// target of the CI concurrency job.
+#include "serving/prediction_service.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+
+namespace horizon::serving {
+namespace {
+
+constexpr int kNumThreads = 8;
+
+// Shared fixture: a small trained model plus its extractor and dataset
+// (kept small so the TSan run stays fast).
+class ServingConcurrencyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::GeneratorConfig config;
+    config.num_pages = 20;
+    config.num_posts = 120;
+    config.base_mean_size = 60.0;
+    config.seed = 77;
+    dataset_ = new datagen::SyntheticDataset(datagen::Generator(config).Generate());
+    extractor_ = new features::FeatureExtractor(stream::TrackerConfig{});
+
+    std::vector<size_t> indices;
+    for (size_t i = 0; i < dataset_->cascades.size(); ++i) indices.push_back(i);
+    core::ExampleSetOptions options;
+    options.reference_horizons = {1 * kDay};
+    const auto examples =
+        core::BuildExampleSet(*dataset_, indices, *extractor_, options);
+
+    core::HawkesPredictorParams params;
+    params.reference_horizons = options.reference_horizons;
+    params.gbdt_count.num_trees = 15;
+    params.gbdt_alpha.num_trees = 15;
+    model_ = new core::HawkesPredictor(params);
+    model_->Fit(examples.x, examples.log1p_increments, examples.alpha_targets);
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete extractor_;
+    delete dataset_;
+  }
+
+  PredictionService MakeService(ServiceConfig config = {}) const {
+    return PredictionService(model_, extractor_, config);
+  }
+
+  const datagen::Cascade& CascadeFor(int64_t item) const {
+    return dataset_->cascades[static_cast<size_t>(item) %
+                              dataset_->cascades.size()];
+  }
+
+  static datagen::SyntheticDataset* dataset_;
+  static features::FeatureExtractor* extractor_;
+  static core::HawkesPredictor* model_;
+};
+
+datagen::SyntheticDataset* ServingConcurrencyTest::dataset_ = nullptr;
+features::FeatureExtractor* ServingConcurrencyTest::extractor_ = nullptr;
+core::HawkesPredictor* ServingConcurrencyTest::model_ = nullptr;
+
+TEST_F(ServingConcurrencyTest, EightThreadIngestQueryHammer) {
+  PredictionService service = MakeService();
+  constexpr int64_t kItems = 160;
+  for (int64_t id = 0; id < kItems; ++id) {
+    const auto& cascade = CascadeFor(id);
+    ASSERT_TRUE(service.RegisterItem(id, 0.0, dataset_->PageOf(cascade.post),
+                                     cascade.post));
+  }
+
+  // Each item is written by exactly one thread (the tracker requires
+  // non-decreasing per-item event times); reads go anywhere.
+  std::atomic<uint64_t> ingests{0};
+  std::atomic<uint64_t> queries{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kNumThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t my_ingests = 0, my_queries = 0;
+      for (int64_t id = t; id < kItems; id += kNumThreads) {
+        const auto& cascade = CascadeFor(id);
+        size_t fed = 0;
+        for (const auto& e : cascade.views) {
+          if (e.time >= 6 * kHour || fed >= 50) break;
+          if (service.Ingest(id, stream::EngagementType::kView, e.time)) {
+            ++my_ingests;
+          }
+          ++fed;
+        }
+        // Interleave reads on items owned by other threads.
+        const int64_t other = (id * 7 + 3) % kItems;
+        if (service.Query(other, 6 * kHour, 1 * kDay).has_value()) ++my_queries;
+        if (id % 20 == static_cast<int64_t>(t % 20)) {
+          const auto top = service.TopK(6 * kHour, 1 * kDay, 5);
+          EXPECT_LE(top.size(), 5u);
+        }
+      }
+      ingests.fetch_add(my_ingests);
+      queries.fetch_add(my_queries);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.items_registered, static_cast<uint64_t>(kItems));
+  EXPECT_EQ(stats.events_ingested, ingests.load());
+  // TopK answers don't count as queries; every per-item Query that
+  // returned a value must have been counted exactly once.
+  EXPECT_EQ(stats.queries_answered, queries.load());
+  EXPECT_EQ(service.LiveItems(), static_cast<size_t>(kItems));
+
+  // Retirement invariant: far in the future everything is idle-dead.
+  const size_t retired = service.RetireDeadItems(1000 * kDay);
+  EXPECT_EQ(retired, static_cast<size_t>(kItems));
+  EXPECT_EQ(service.LiveItems(), 0u);
+  EXPECT_EQ(service.stats().items_retired, static_cast<uint64_t>(kItems));
+}
+
+TEST_F(ServingConcurrencyTest, ConcurrentRegisterQueryRetire) {
+  ServiceConfig config;
+  config.idle_retirement_age = 1 * kDay;
+  config.num_shards = 4;
+  PredictionService service = MakeService(config);
+
+  std::atomic<uint64_t> registered{0};
+  std::atomic<uint64_t> retired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kNumThreads - 1; ++t) {
+    threads.emplace_back([&, t] {
+      for (int64_t i = 0; i < 40; ++i) {
+        const int64_t id = t * 1000 + i;
+        const auto& cascade = CascadeFor(id);
+        if (service.RegisterItem(id, 0.0, dataset_->PageOf(cascade.post),
+                                 cascade.post)) {
+          registered.fetch_add(1);
+        }
+        service.Ingest(id, stream::EngagementType::kView, 1.0);
+        service.Query(id, 2.0, 1 * kDay);
+        service.HasItem(id);
+      }
+    });
+  }
+  // One thread retires concurrently (at a time past every event, per the
+  // tracker's snapshot contract).  Whether or not the eager death test
+  // fires for any item, the counters must stay coherent.
+  threads.emplace_back([&] {
+    for (int rep = 0; rep < 10; ++rep) {
+      retired.fetch_add(service.RetireDeadItems(2.0));
+      std::this_thread::yield();
+    }
+  });
+  for (auto& th : threads) th.join();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.items_registered, registered.load());
+  EXPECT_EQ(stats.items_retired, retired.load());
+  EXPECT_EQ(service.LiveItems(),
+            static_cast<size_t>(registered.load() - retired.load()));
+}
+
+TEST_F(ServingConcurrencyTest, IngestBatchMatchesSerialIngest) {
+  PredictionService serial = MakeService();
+  PredictionService batched = MakeService();
+  constexpr int64_t kItems = 24;
+  std::vector<IngestEvent> events;
+  for (int64_t id = 0; id < kItems; ++id) {
+    const auto& cascade = CascadeFor(id);
+    serial.RegisterItem(id, 0.0, dataset_->PageOf(cascade.post), cascade.post);
+    batched.RegisterItem(id, 0.0, dataset_->PageOf(cascade.post), cascade.post);
+    size_t fed = 0;
+    for (const auto& e : cascade.views) {
+      if (e.time >= 6 * kHour || fed >= 80) break;
+      events.push_back({id, stream::EngagementType::kView, e.time});
+      ++fed;
+    }
+  }
+  // Unknown items are dropped, not counted.
+  events.push_back({9999, stream::EngagementType::kView, 1.0});
+
+  size_t serial_ok = 0;
+  for (const auto& e : events) {
+    if (serial.Ingest(e.item_id, e.type, e.time)) ++serial_ok;
+  }
+  const size_t batch_ok = batched.IngestBatch(events);
+  EXPECT_EQ(batch_ok, serial_ok);
+  EXPECT_EQ(batched.stats().events_ingested, serial.stats().events_ingested);
+
+  for (int64_t id = 0; id < kItems; ++id) {
+    const auto a = serial.Query(id, 6 * kHour, 1 * kDay);
+    const auto b = batched.Query(id, 6 * kHour, 1 * kDay);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_DOUBLE_EQ(a->observed_views, b->observed_views);
+    EXPECT_DOUBLE_EQ(a->predicted_views, b->predicted_views);
+    EXPECT_DOUBLE_EQ(a->alpha, b->alpha);
+  }
+}
+
+TEST_F(ServingConcurrencyTest, ParallelTopKMatchesSingleShardService) {
+  ServiceConfig many;
+  many.num_shards = 16;
+  ServiceConfig one;
+  one.num_shards = 1;
+  PredictionService sharded = MakeService(many);
+  PredictionService flat = MakeService(one);
+  for (int64_t id = 0; id < 40; ++id) {
+    const auto& cascade = CascadeFor(id);
+    sharded.RegisterItem(id, 0.0, dataset_->PageOf(cascade.post), cascade.post);
+    flat.RegisterItem(id, 0.0, dataset_->PageOf(cascade.post), cascade.post);
+    for (const auto& e : cascade.views) {
+      if (e.time >= 3 * kHour) break;
+      sharded.Ingest(id, stream::EngagementType::kView, e.time);
+      flat.Ingest(id, stream::EngagementType::kView, e.time);
+    }
+  }
+  const auto a = sharded.TopK(3 * kHour, 1 * kDay, 7);
+  const auto b = flat.TopK(3 * kHour, 1 * kDay, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first) << "rank " << i;
+    EXPECT_DOUBLE_EQ(a[i].second, b[i].second) << "rank " << i;
+  }
+}
+
+}  // namespace
+}  // namespace horizon::serving

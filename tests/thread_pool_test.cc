@@ -1,0 +1,141 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace horizon {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Run([&count] { count.fetch_add(1); });
+  }
+  // Destruction drains the queue; joining here proves no task is lost.
+  while (count.load() < 100) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  const size_t n = 10007;  // prime: exercises a ragged final chunk
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(n, 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, MatchesSerialSum) {
+  const size_t n = 5000;
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = static_cast<double>(i) * 0.5;
+  std::vector<double> out(n);
+  ParallelFor(n, 17, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) out[i] = values[i] * 2.0;
+  });
+  double total = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(n) * (n - 1) / 2.0 * 0.5 * 2.0 / 1.0);
+}
+
+TEST(ParallelForTest, ZeroIterationsNeverInvokes) {
+  bool called = false;
+  ParallelFor(0, 16, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, GrainLargerThanRangeRunsInline) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  ParallelFor(10, 100, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ParallelForTest, ZeroGrainIsTreatedAsOne) {
+  std::atomic<size_t> sum{0};
+  ParallelFor(100, 0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  EXPECT_THROW(
+      ParallelFor(1000, 10,
+                  [](size_t begin, size_t) {
+                    if (begin >= 500) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, PoolSurvivesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(ParallelFor(pool, 100, 1,
+                           [](size_t, size_t) { throw std::logic_error("x"); }),
+               std::logic_error);
+  // The pool must still execute follow-up work correctly.
+  std::atomic<int> count{0};
+  ParallelFor(pool, 100, 1, [&](size_t begin, size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelForTest, NestedInvocationCompletes) {
+  // An inner ParallelFor issued from worker context must not deadlock even
+  // when every pool thread is busy with the outer loop.
+  ThreadPool pool(2);
+  std::atomic<uint64_t> total{0};
+  ParallelFor(pool, 8, 1, [&](size_t obegin, size_t oend) {
+    for (size_t o = obegin; o < oend; ++o) {
+      ParallelFor(pool, 1000, 50, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) total.fetch_add(i);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8u * (999u * 1000u / 2));
+}
+
+TEST(ParallelForTest, ExceptionInsideNestedLoopPropagatesToOuterCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(ParallelFor(pool, 4, 1,
+                           [&](size_t, size_t) {
+                             ParallelFor(pool, 100, 10, [](size_t begin, size_t) {
+                               if (begin == 50) throw std::runtime_error("inner");
+                             });
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, ManyConcurrentLoopsFromManyThreads) {
+  // Hammer the global pool from several independent caller threads.
+  std::vector<std::thread> callers;
+  std::atomic<uint64_t> total{0};
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&total] {
+      for (int rep = 0; rep < 20; ++rep) {
+        ParallelFor(500, 13, [&](size_t begin, size_t end) {
+          total.fetch_add(static_cast<uint64_t>(end - begin));
+        });
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(total.load(), 4u * 20u * 500u);
+}
+
+}  // namespace
+}  // namespace horizon
