@@ -1,0 +1,242 @@
+#include "common/file_io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace horizon::io {
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+
+FaultInjector::FaultInjector() {
+  const char* env = std::getenv("HORIZON_FAULT_CRASH_AT");
+  if (env != nullptr && *env != '\0') {
+    ArmCrashAt(std::atoi(env));
+  }
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::ArmCrashAt(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = n >= 0;
+  crashed_ = false;
+  countdown_ = n;
+  ops_ = 0;
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+  crashed_ = false;
+  countdown_ = -1;
+  ops_ = 0;
+}
+
+int FaultInjector::ops_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+bool FaultInjector::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+bool FaultInjector::ShouldFail(FaultPoint /*point*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_) return false;
+  ++ops_;
+  if (crashed_) return true;  // the process died; nothing after it runs
+  if (--countdown_ < 0) {
+    crashed_ = true;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 framing
+
+uint32_t Crc32(std::string_view data) {
+  // Table-driven reflected CRC-32 (polynomial 0xEDB88320).
+  static const uint32_t* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string WrapCrcFrame(std::string_view payload) {
+  char header[64];
+  std::snprintf(header, sizeof(header), "hzf1 %zu %08x\n", payload.size(),
+                Crc32(payload));
+  std::string out(header);
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+std::optional<std::string> UnwrapCrcFrame(std::string_view frame) {
+  const size_t eol = frame.find('\n');
+  if (eol == std::string_view::npos) return std::nullopt;
+  std::istringstream header{std::string(frame.substr(0, eol))};
+  std::string magic;
+  size_t size = 0;
+  std::string crc_hex;
+  if (!(header >> magic >> size >> crc_hex) || magic != "hzf1") {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const unsigned long crc = std::strtoul(crc_hex.c_str(), &end, 16);
+  if (end == crc_hex.c_str() || *end != '\0') return std::nullopt;
+  const std::string_view payload = frame.substr(eol + 1);
+  if (payload.size() != size) return std::nullopt;  // torn or padded file
+  if (Crc32(payload) != static_cast<uint32_t>(crc)) return std::nullopt;
+  return std::string(payload);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic file replacement
+
+namespace {
+
+/// Writes the whole buffer, retrying on short writes / EINTR.
+bool WriteAll(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// fsyncs the directory containing `path` so a completed rename is durable.
+bool FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+bool WriteFileAtomic(const std::string& path, std::string_view contents) {
+  FaultInjector& faults = FaultInjector::Global();
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  if (faults.ShouldFail(FaultPoint::kWrite)) {
+    // Simulated crash mid-write: leave a torn prefix behind.
+    WriteAll(fd, contents.data(), contents.size() / 2);
+    ::close(fd);
+    return false;
+  }
+  if (!WriteAll(fd, contents.data(), contents.size())) {
+    ::close(fd);
+    return false;
+  }
+  if (faults.ShouldFail(FaultPoint::kFsync) || ::fsync(fd) != 0) {
+    ::close(fd);
+    return false;
+  }
+  if (::close(fd) != 0) return false;
+  if (faults.ShouldFail(FaultPoint::kRename)) return false;
+  if (::rename(tmp.c_str(), path.c_str()) != 0) return false;
+  // The rename has reached the filesystem; a crash at the directory fsync
+  // below corresponds to the "rename made it to disk" outcome, so the
+  // injected failure only aborts the protocol, it cannot undo the rename.
+  if (faults.ShouldFail(FaultPoint::kFsync)) return false;
+  return FsyncParentDir(path);
+}
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+bool EnsureDir(const std::string& path) {
+  if (path.empty()) return false;
+  std::string prefix;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    const size_t slash = path.find('/', pos);
+    prefix = slash == std::string::npos ? path : path.substr(0, slash);
+    pos = slash == std::string::npos ? path.size() + 1 : slash + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) return false;
+  }
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::vector<std::string> ListDir(const std::string& path) {
+  std::vector<std::string> out;
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return out;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") out.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool RemoveTree(const std::string& path) {
+  struct stat st{};
+  if (::lstat(path.c_str(), &st) != 0) return errno == ENOENT;
+  if (S_ISDIR(st.st_mode)) {
+    for (const std::string& name : ListDir(path)) {
+      RemoveTree(path + "/" + name);
+    }
+    return ::rmdir(path.c_str()) == 0;
+  }
+  return ::unlink(path.c_str()) == 0;
+}
+
+}  // namespace horizon::io

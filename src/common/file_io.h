@@ -1,0 +1,107 @@
+// Durable file IO for the checkpoint subsystem: CRC32-framed blobs,
+// atomic write-temp -> fsync -> rename file replacement, small directory
+// helpers, and a deterministic crash-fault injector the durability tests
+// use to prove that a checkpoint torn at ANY write/fsync/rename point is
+// never loaded and never damages the previous valid checkpoint.
+#ifndef HORIZON_COMMON_FILE_IO_H_
+#define HORIZON_COMMON_FILE_IO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace horizon::io {
+
+/// The faultable operation kinds of the durability protocol.
+enum class FaultPoint : int {
+  kWrite = 0,   ///< writing bytes into a (temp) file
+  kFsync = 1,   ///< flushing a file or directory to stable storage
+  kRename = 2,  ///< atomically publishing a temp file
+};
+
+/// Deterministic crash-fault injection for durability tests.
+///
+/// A test arms the injector with `ArmCrashAt(n)`: the n-th (0-based)
+/// faultable operation performed by the helpers below fails, and every
+/// subsequent operation fails too -- modeling a process that died at that
+/// point and never ran again.  A failing kWrite additionally leaves a torn
+/// file (a prefix of the intended bytes) behind, the worst case a real
+/// crash can produce; CRC framing must catch it.
+///
+/// The injector can also be armed from the environment for tooling runs:
+/// setting HORIZON_FAULT_CRASH_AT=<n> arms it at process start.  When not
+/// armed, the hook is a single relaxed atomic load on each operation.
+class FaultInjector {
+ public:
+  /// Process-wide injector consulted by the IO helpers.
+  static FaultInjector& Global();
+
+  /// Arms the injector: the n-th faultable operation from now on fails and
+  /// the injector enters the "crashed" state.  n < 0 disarms.
+  void ArmCrashAt(int n);
+
+  /// Disarms and clears the crashed state and operation counter.
+  void Disarm();
+
+  /// Number of faultable operations observed since the last ArmCrashAt.
+  /// Tests use this to size "crash at every point" loops.
+  int ops_seen() const;
+
+  /// True once the armed fault has fired.
+  bool crashed() const;
+
+  /// Consulted by the helpers before each faultable operation; returns
+  /// true when the operation must fail.  No-op unless armed.
+  bool ShouldFail(FaultPoint point);
+
+ private:
+  FaultInjector();
+
+  mutable std::mutex mu_;
+  bool armed_ = false;
+  bool crashed_ = false;
+  int countdown_ = -1;
+  int ops_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`.
+uint32_t Crc32(std::string_view data);
+
+/// Wraps a payload in a CRC frame:
+///   "hzf1 <payload size> <crc32 hex>\n" + payload
+/// The frame detects truncation, bit flips, and concatenation damage.
+std::string WrapCrcFrame(std::string_view payload);
+
+/// Validates and strips a CRC frame.  Returns nullopt when the header is
+/// malformed, the size disagrees with the actual byte count, or the CRC
+/// does not match -- i.e. for every torn or corrupted file.
+std::optional<std::string> UnwrapCrcFrame(std::string_view frame);
+
+/// Atomically replaces `path` with `contents`: writes `path + ".tmp"`,
+/// fsyncs it, renames it over `path`, and fsyncs the parent directory.
+/// Either the old file or the complete new file survives a crash at any
+/// step; a torn temp file is never visible under `path`.  Returns false on
+/// any IO error or injected fault.
+bool WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// Reads a whole file.  Returns nullopt when it cannot be opened or read.
+std::optional<std::string> ReadFile(const std::string& path);
+
+/// Creates a directory (and missing parents).  Returns true when the
+/// directory exists afterwards.
+bool EnsureDir(const std::string& path);
+
+/// Names of the entries of a directory (excluding "." / ".."), sorted.
+/// Empty when the directory cannot be read.
+std::vector<std::string> ListDir(const std::string& path);
+
+/// Recursively removes a file or directory tree.  Best effort; returns
+/// true when the target no longer exists.
+bool RemoveTree(const std::string& path);
+
+}  // namespace horizon::io
+
+#endif  // HORIZON_COMMON_FILE_IO_H_

@@ -31,6 +31,14 @@ class KahanSum {
   }
   double value() const { return sum_; }
 
+  /// The running compensation term; exposed (with Restore) so checkpoint
+  /// serialization can reproduce the accumulator state bit-exactly.
+  double compensation() const { return c_; }
+  void Restore(double sum, double compensation) {
+    sum_ = sum;
+    c_ = compensation;
+  }
+
  private:
   double sum_ = 0.0;
   double c_ = 0.0;

@@ -182,20 +182,34 @@ std::string HawkesPredictor::Serialize() const {
 }
 
 bool HawkesPredictor::Deserialize(const std::string& text) {
+  // Must be safe on untrusted bytes: counts and sizes are bounded before
+  // any allocation, reference horizons must be strictly increasing, and
+  // the alpha clamp range must be a valid positive interval, mirroring the
+  // constructor's contract.
+  constexpr size_t kMaxReferenceHorizons = 64;
   std::istringstream is(text);
   std::string magic, version, agg;
   size_t m = 0;
   double alpha_min = 0.0, alpha_max = 0.0;
   if (!(is >> magic >> version) || magic != "hwk" || version != "v1") return false;
   if (!(is >> m >> agg >> alpha_min >> alpha_max) || m == 0) return false;
+  if (m > kMaxReferenceHorizons) return false;
   if (agg != "geo" && agg != "arith") return false;
+  if (!std::isfinite(alpha_min) || !std::isfinite(alpha_max) || alpha_min <= 0.0 ||
+      alpha_max <= alpha_min) {
+    return false;
+  }
   std::vector<double> refs(m);
-  for (double& ref : refs) {
-    if (!(is >> ref) || ref <= 0.0) return false;
+  for (size_t i = 0; i < m; ++i) {
+    if (!(is >> refs[i]) || refs[i] <= 0.0 || !std::isfinite(refs[i])) return false;
+    if (i > 0 && refs[i] <= refs[i - 1]) return false;
   }
   auto read_model = [&is](gbdt::GbdtRegressor* model) {
+    // Model blobs beyond this size cannot come from a legitimately
+    // serialized ensemble (the node caps bound the text length).
+    constexpr size_t kMaxBlobBytes = 1u << 28;
     size_t size = 0;
-    if (!(is >> size) || size == 0) return false;
+    if (!(is >> size) || size == 0 || size > kMaxBlobBytes) return false;
     is.ignore(1);  // the newline after the size
     std::string blob(size, '\0');
     if (!is.read(blob.data(), static_cast<std::streamsize>(size))) return false;

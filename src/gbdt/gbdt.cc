@@ -155,21 +155,64 @@ std::string GbdtRegressor::Serialize() const {
 }
 
 bool GbdtRegressor::Deserialize(const std::string& text) {
+  // Deserialization must be safe on untrusted bytes (truncated, bit-flipped
+  // or garbage input): every count is bounded before allocation and every
+  // node is validated before FlatForest::Compile walks the tree, so a
+  // malformed blob returns false instead of corrupting memory or looping.
+  constexpr size_t kMaxFeatures = 1u << 20;
+  constexpr size_t kMaxTrees = 1u << 20;
+  constexpr size_t kMaxNodes = 1u << 22;
   std::istringstream is(text);
   std::string magic, version;
   if (!(is >> magic >> version) || magic != "gbdt" || version != "v1") return false;
   size_t num_features = 0, num_trees = 0;
   double base = 0.0, lr = 0.0;
   if (!(is >> num_features >> base >> lr >> num_trees)) return false;
+  if (num_features == 0 || num_features > kMaxFeatures || num_trees > kMaxTrees ||
+      !std::isfinite(base) || !std::isfinite(lr) || lr <= 0.0) {
+    return false;
+  }
   std::vector<RegressionTree> trees;
   trees.reserve(num_trees);
   for (size_t t = 0; t < num_trees; ++t) {
     size_t num_nodes = 0;
-    if (!(is >> num_nodes) || num_nodes == 0) return false;
+    if (!(is >> num_nodes) || num_nodes == 0 || num_nodes > kMaxNodes) return false;
     std::vector<TreeNode> nodes(num_nodes);
-    for (TreeNode& n : nodes) {
+    // Reachability from the root: FlatForest::Compile requires the nodes
+    // to form EXACTLY a binary tree (every node reachable once).  Children
+    // pointing forward rules out cycles; the in-degree accounting below
+    // rules out orphaned and shared nodes.
+    std::vector<char> reachable(num_nodes, 0);
+    reachable[0] = 1;
+    for (size_t i = 0; i < num_nodes; ++i) {
+      TreeNode& n = nodes[i];
       if (!(is >> n.feature >> n.threshold >> n.left >> n.right >> n.value)) {
         return false;
+      }
+      if (!std::isfinite(n.threshold) || !std::isfinite(n.value)) return false;
+      if (!reachable[i]) return false;  // orphan: no earlier parent points here
+      if (n.feature < 0) {
+        // Leaf: no children.
+        if (n.left != -1 || n.right != -1) return false;
+      } else {
+        // Internal node: the learner always emits children after their
+        // parent, so requiring strictly increasing child indices both
+        // accepts every legitimately serialized tree and guarantees that
+        // traversal and compilation terminate (no cycles).
+        if (static_cast<size_t>(n.feature) >= num_features) return false;
+        if (n.left <= static_cast<int32_t>(i) ||
+            static_cast<size_t>(n.left) >= num_nodes ||
+            n.right <= static_cast<int32_t>(i) ||
+            static_cast<size_t>(n.right) >= num_nodes || n.left == n.right) {
+          return false;
+        }
+        // Each node may have at most one parent (a tree, not a DAG).
+        if (reachable[static_cast<size_t>(n.left)] ||
+            reachable[static_cast<size_t>(n.right)]) {
+          return false;
+        }
+        reachable[static_cast<size_t>(n.left)] = 1;
+        reachable[static_cast<size_t>(n.right)] = 1;
       }
     }
     trees.emplace_back(std::move(nodes));

@@ -1,9 +1,14 @@
 #include "serving/prediction_service.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <limits>
+#include <sstream>
 
 #include "common/check.h"
+#include "common/file_io.h"
 #include "common/thread_pool.h"
 #include "pointprocess/transform.h"
 
@@ -247,6 +252,311 @@ size_t PredictionService::RetireDeadItems(double now) {
   items_retired_.fetch_add(retired, std::memory_order_relaxed);
   live_items_.fetch_sub(retired, std::memory_order_relaxed);
   return retired;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / Restore
+
+namespace {
+
+std::string CheckpointDirName(uint64_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt-%09llu",
+                static_cast<unsigned long long>(epoch));
+  return buf;
+}
+
+std::string ShardFileName(size_t shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%04zu", shard);
+  return buf;
+}
+
+std::optional<uint64_t> ParseCheckpointEpoch(const std::string& name) {
+  if (name.rfind("ckpt-", 0) != 0 || name.size() <= 5) return std::nullopt;
+  uint64_t epoch = 0;
+  for (size_t i = 5; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    epoch = epoch * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return epoch;
+}
+
+std::string Trim(const std::string& text) {
+  size_t b = 0, e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+void SerializePage(std::ostream& os, const datagen::PageProfile& p) {
+  os << p.id << " " << p.followers << " " << p.fans << " " << p.posts_last_month
+     << " " << p.page_age_days << " " << static_cast<int>(p.category) << " "
+     << p.verified << " " << p.hist_mean_views << " " << p.hist_mean_halflife
+     << " " << p.hist_share_rate << " " << p.hist_comment_rate << " " << p.quality
+     << " " << p.audience_tau << " " << p.shareability << " " << p.alpha_page
+     << "\n";
+}
+
+bool DeserializePage(std::istream& is, datagen::PageProfile* p) {
+  int category = 0;
+  if (!(is >> p->id >> p->followers >> p->fans >> p->posts_last_month >>
+        p->page_age_days >> category >> p->verified >> p->hist_mean_views >>
+        p->hist_mean_halflife >> p->hist_share_rate >> p->hist_comment_rate >>
+        p->quality >> p->audience_tau >> p->shareability >> p->alpha_page)) {
+    return false;
+  }
+  if (category < 0 || category >= datagen::kNumPageCategories) return false;
+  p->category = static_cast<datagen::PageCategory>(category);
+  return true;
+}
+
+void SerializePost(std::ostream& os, const datagen::PostProfile& p) {
+  os << p.id << " " << p.page_id << " " << static_cast<int>(p.media) << " "
+     << p.language << " " << p.num_mentions << " " << p.num_hashtags << " "
+     << p.text_length << " " << p.creation_tod << " " << p.day_of_week << " "
+     << p.in_group << " " << p.group_members << " " << p.has_question << " "
+     << p.creation_time << " " << p.lambda0 << " " << p.beta << " " << p.rho1
+     << " " << p.mark_sigma_log << "\n";
+}
+
+bool DeserializePost(std::istream& is, datagen::PostProfile* p) {
+  int media = 0;
+  if (!(is >> p->id >> p->page_id >> media >> p->language >> p->num_mentions >>
+        p->num_hashtags >> p->text_length >> p->creation_tod >> p->day_of_week >>
+        p->in_group >> p->group_members >> p->has_question >> p->creation_time >>
+        p->lambda0 >> p->beta >> p->rho1 >> p->mark_sigma_log)) {
+    return false;
+  }
+  if (media < 0 || media >= datagen::kNumMediaTypes) return false;
+  p->media = static_cast<datagen::MediaType>(media);
+  return true;
+}
+
+}  // namespace
+
+bool PredictionService::Checkpoint(const std::string& dir) const {
+  if (!io::EnsureDir(dir)) return false;
+  uint64_t epoch = 1;
+  if (const auto current = io::ReadFile(dir + "/CURRENT")) {
+    if (const auto prev = ParseCheckpointEpoch(Trim(*current))) epoch = *prev + 1;
+  }
+  const std::string name = CheckpointDirName(epoch);
+  const std::string ckpt = dir + "/" + name;
+  if (!io::EnsureDir(ckpt)) return false;
+
+  // One coherent counter snapshot up front; events ingested while the
+  // shards are being copied belong to the next checkpoint.
+  const ServiceStats counters = stats();
+  const std::string model_blob = model_->Serialize();
+
+  // Snapshot each shard under its lock (a copy of the O(1)-state items),
+  // then serialize and write the file outside the lock so ingest/query
+  // never stall behind disk IO.  Shards proceed in parallel.
+  const size_t num_shards = shards_.size();
+  std::vector<uint32_t> shard_crc(num_shards, 0);
+  std::vector<size_t> shard_bytes(num_shards, 0);
+  std::vector<size_t> shard_items(num_shards, 0);
+  std::atomic<bool> ok{true};
+  ParallelFor(num_shards, 1, [&](size_t begin, size_t end) {
+    for (size_t sh = begin; sh < end; ++sh) {
+      std::vector<std::pair<int64_t, Item>> snapshot;
+      {
+        std::lock_guard<std::mutex> lock(shards_[sh]->mu);
+        snapshot.reserve(shards_[sh]->items.size());
+        for (const auto& [id, item] : shards_[sh]->items) {
+          snapshot.emplace_back(id, item);
+        }
+      }
+      std::ostringstream os;
+      os.precision(17);
+      os << "shard v1\n" << snapshot.size() << "\n";
+      for (const auto& [id, item] : snapshot) {
+        os << id << "\n";
+        SerializePage(os, item.page);
+        SerializePost(os, item.post);
+        const std::string tracker = item.tracker.Serialize();
+        os << tracker.size() << "\n" << tracker;
+      }
+      const std::string framed = io::WrapCrcFrame(os.str());
+      shard_crc[sh] = io::Crc32(framed);
+      shard_bytes[sh] = framed.size();
+      shard_items[sh] = snapshot.size();
+      if (!io::WriteFileAtomic(ckpt + "/" + ShardFileName(sh), framed)) {
+        ok.store(false, std::memory_order_relaxed);
+      }
+    }
+  });
+  if (!ok.load(std::memory_order_relaxed)) return false;
+  if (!io::WriteFileAtomic(ckpt + "/model.hwk", io::WrapCrcFrame(model_blob))) {
+    return false;
+  }
+
+  std::ostringstream manifest;
+  manifest.precision(17);
+  manifest << "manifest v1\n";
+  manifest << "epoch " << epoch << "\n";
+  manifest << "model " << io::Crc32(model_blob) << " " << model_blob.size() << "\n";
+  const stream::TrackerConfig& tracker = config_.tracker;
+  manifest << "windows " << tracker.window_lengths.size();
+  for (double w : tracker.window_lengths) manifest << " " << w;
+  manifest << "\n";
+  manifest << "landmarks " << tracker.landmark_ages.size();
+  for (double l : tracker.landmark_ages) manifest << " " << l;
+  manifest << "\n";
+  manifest << "ewma_tau " << tracker.ewma_tau << "\n";
+  manifest << "epsilon " << tracker.epsilon << "\n";
+  manifest << "counters " << counters.items_registered << " "
+           << counters.events_ingested << " " << counters.queries_answered << " "
+           << counters.items_retired << "\n";
+  manifest << "shards " << num_shards << "\n";
+  for (size_t sh = 0; sh < num_shards; ++sh) {
+    manifest << ShardFileName(sh) << " " << shard_crc[sh] << " " << shard_bytes[sh]
+             << " " << shard_items[sh] << "\n";
+  }
+  if (!io::WriteFileAtomic(ckpt + "/MANIFEST", io::WrapCrcFrame(manifest.str()))) {
+    return false;
+  }
+  // Commit point: once CURRENT names the new directory, the checkpoint is
+  // the one Restore will load.
+  if (!io::WriteFileAtomic(dir + "/CURRENT", name + "\n")) return false;
+
+  // GC: drop checkpoints older than the committed one's predecessor
+  // (including partial directories left by crashed attempts).
+  for (const std::string& entry : io::ListDir(dir)) {
+    if (const auto e = ParseCheckpointEpoch(entry)) {
+      if (*e + 1 < epoch) io::RemoveTree(dir + "/" + entry);
+    }
+  }
+  return true;
+}
+
+bool PredictionService::Restore(const std::string& dir) {
+  const auto current = io::ReadFile(dir + "/CURRENT");
+  if (!current.has_value()) return false;
+  const std::string name = Trim(*current);
+  if (!ParseCheckpointEpoch(name).has_value()) return false;
+  const std::string ckpt = dir + "/" + name;
+
+  const auto manifest_file = io::ReadFile(ckpt + "/MANIFEST");
+  if (!manifest_file.has_value()) return false;
+  const auto manifest = io::UnwrapCrcFrame(*manifest_file);
+  if (!manifest.has_value()) return false;
+
+  std::istringstream is(*manifest);
+  std::string magic, version, key;
+  uint64_t epoch = 0;
+  uint32_t model_crc = 0;
+  size_t model_size = 0;
+  if (!(is >> magic >> version) || magic != "manifest" || version != "v1") {
+    return false;
+  }
+  if (!(is >> key >> epoch) || key != "epoch") return false;
+  if (!(is >> key >> model_crc >> model_size) || key != "model") return false;
+
+  // The restored trackers only make sense if this service interprets their
+  // state with the same window/landmark layout and EWMA constants.
+  const stream::TrackerConfig& tracker = config_.tracker;
+  size_t n = 0;
+  if (!(is >> key >> n) || key != "windows" ||
+      n != tracker.window_lengths.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    double w = 0.0;
+    if (!(is >> w) || w != tracker.window_lengths[i]) return false;
+  }
+  if (!(is >> key >> n) || key != "landmarks" ||
+      n != tracker.landmark_ages.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    double l = 0.0;
+    if (!(is >> l) || l != tracker.landmark_ages[i]) return false;
+  }
+  double ewma_tau = 0.0, epsilon = 0.0;
+  if (!(is >> key >> ewma_tau) || key != "ewma_tau" || ewma_tau != tracker.ewma_tau) {
+    return false;
+  }
+  if (!(is >> key >> epsilon) || key != "epsilon" || epsilon != tracker.epsilon) {
+    return false;
+  }
+  ServiceStats counters;
+  if (!(is >> key >> counters.items_registered >> counters.events_ingested >>
+        counters.queries_answered >> counters.items_retired) ||
+      key != "counters") {
+    return false;
+  }
+  size_t num_shard_files = 0;
+  if (!(is >> key >> num_shard_files) || key != "shards" ||
+      num_shard_files > 1u << 20) {
+    return false;
+  }
+
+  // Bit-identical predictions require the identical model.
+  const std::string model_blob = model_->Serialize();
+  if (io::Crc32(model_blob) != model_crc || model_blob.size() != model_size) {
+    return false;
+  }
+
+  // Stage every item first; the live service is only touched once the
+  // whole checkpoint has been read and verified.
+  std::vector<std::pair<int64_t, Item>> staged;
+  for (size_t f = 0; f < num_shard_files; ++f) {
+    std::string file;
+    uint32_t crc = 0;
+    size_t bytes = 0, items = 0;
+    if (!(is >> file >> crc >> bytes >> items)) return false;
+    if (file.find('/') != std::string::npos) return false;
+    const auto raw = io::ReadFile(ckpt + "/" + file);
+    if (!raw.has_value() || raw->size() != bytes || io::Crc32(*raw) != crc) {
+      return false;
+    }
+    const auto payload = io::UnwrapCrcFrame(*raw);
+    if (!payload.has_value()) return false;
+    std::istringstream ss(*payload);
+    std::string smagic, sversion;
+    size_t num_items = 0;
+    if (!(ss >> smagic >> sversion) || smagic != "shard" || sversion != "v1") {
+      return false;
+    }
+    if (!(ss >> num_items) || num_items != items) return false;
+    for (size_t i = 0; i < num_items; ++i) {
+      int64_t id = 0;
+      datagen::PageProfile page;
+      datagen::PostProfile post;
+      if (!(ss >> id)) return false;
+      if (!DeserializePage(ss, &page) || !DeserializePost(ss, &post)) return false;
+      size_t blob_size = 0;
+      if (!(ss >> blob_size) || blob_size > 1u << 24) return false;
+      ss.ignore(1);  // the newline after the size
+      std::string blob(blob_size, '\0');
+      if (!ss.read(blob.data(), static_cast<std::streamsize>(blob_size))) {
+        return false;
+      }
+      Item item{stream::CascadeTracker(0.0, tracker), page, post};
+      if (!item.tracker.Deserialize(blob)) return false;
+      staged.emplace_back(id, std::move(item));
+    }
+  }
+
+  // Swap the staged state in.  Items re-shard by id hash, so a restored
+  // service may even use a different shard count than the writer.
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->items.clear();
+  }
+  for (auto& [id, item] : staged) {
+    Shard& shard = *shards_[ShardOf(id)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.items.emplace(id, std::move(item));
+  }
+  live_items_.store(staged.size(), std::memory_order_relaxed);
+  items_registered_.store(counters.items_registered, std::memory_order_relaxed);
+  events_ingested_.store(counters.events_ingested, std::memory_order_relaxed);
+  queries_answered_.store(counters.queries_answered, std::memory_order_relaxed);
+  items_retired_.store(counters.items_retired, std::memory_order_relaxed);
+  return true;
 }
 
 ServiceStats PredictionService::stats() const {

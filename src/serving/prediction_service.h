@@ -23,6 +23,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -120,6 +121,30 @@ class PredictionService {
 
   /// Coherent snapshot of the service counters.
   ServiceStats stats() const;
+
+  // --- Crash-safe persistence -------------------------------------------
+  // Checkpoint layout under `dir`:
+  //   CURRENT            -> name of the last committed checkpoint directory
+  //   ckpt-<epoch>/      -> MANIFEST, model.hwk, shard-NNNN files
+  // Every file is CRC32-framed and written atomically (temp -> fsync ->
+  // rename); the CURRENT pointer update is the commit point.  A crash at
+  // any write/fsync/rename therefore leaves the previous checkpoint fully
+  // intact, and Restore never loads a torn file (the CRCs reject it).
+
+  /// Writes a consistent snapshot of every live tracker, the item
+  /// profiles, the model, and the service counters.  Shards are
+  /// snapshotted under their own locks and serialized/written outside
+  /// them, so concurrent Ingest/Query keep running during a checkpoint.
+  /// Returns false on any IO failure (the previous checkpoint survives).
+  bool Checkpoint(const std::string& dir) const;
+
+  /// Restores the checkpoint committed under `dir`.  Verifies the CRC of
+  /// every file, that this service uses the same model (bit-identical
+  /// serialization), and the same tracker configuration; on any mismatch
+  /// or corruption returns false WITHOUT modifying the service.  On
+  /// success replaces all live items and counters, and subsequent
+  /// predictions are bit-identical to the checkpointed service's.
+  bool Restore(const std::string& dir);
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
 

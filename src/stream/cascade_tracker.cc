@@ -1,6 +1,7 @@
 #include "stream/cascade_tracker.h"
 
 #include <cmath>
+#include <sstream>
 
 #include "common/check.h"
 
@@ -84,6 +85,58 @@ void CascadeTracker::Observe(EngagementType type, double t) {
 
 uint64_t CascadeTracker::TotalCount(EngagementType type) const {
   return streams_[static_cast<int>(type)].total;
+}
+
+std::string CascadeTracker::Serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "trk v1\n";
+  os << creation_time_ << " " << config_.window_lengths.size() << " "
+     << config_.landmark_ages.size() << "\n";
+  for (const StreamState& stream : streams_) {
+    os << stream.total << " " << stream.first_age << " " << stream.last_age << " "
+       << stream.ewma_rate << " " << stream.ewma_time << " "
+       << stream.age_sum.value() << " " << stream.age_sum.compensation() << "\n";
+    for (size_t j = 0; j < stream.landmark_counts.size(); ++j) {
+      os << stream.landmark_counts[j] << " " << (stream.landmark_done[j] ? 1 : 0)
+         << " ";
+    }
+    os << "\n";
+    stream.bank.SerializeTo(os);
+  }
+  return os.str();
+}
+
+bool CascadeTracker::Deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != "trk" || version != "v1") return false;
+  double creation_time = 0.0;
+  size_t num_windows = 0, num_landmarks = 0;
+  if (!(is >> creation_time >> num_windows >> num_landmarks)) return false;
+  if (!std::isfinite(creation_time) ||
+      num_windows != config_.window_lengths.size() ||
+      num_landmarks != config_.landmark_ages.size()) {
+    return false;
+  }
+  for (StreamState& stream : streams_) {
+    double sum = 0.0, comp = 0.0;
+    if (!(is >> stream.total >> stream.first_age >> stream.last_age >>
+          stream.ewma_rate >> stream.ewma_time >> sum >> comp)) {
+      return false;
+    }
+    stream.age_sum.Restore(sum, comp);
+    for (size_t j = 0; j < num_landmarks; ++j) {
+      int done = 0;
+      if (!(is >> stream.landmark_counts[j] >> done) || (done != 0 && done != 1)) {
+        return false;
+      }
+      stream.landmark_done[j] = done == 1;
+    }
+    if (!stream.bank.DeserializeFrom(is)) return false;
+  }
+  creation_time_ = creation_time;
+  return true;
 }
 
 TrackerSnapshot CascadeTracker::Snapshot(double s) const {

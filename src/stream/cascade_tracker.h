@@ -20,6 +20,8 @@
 #include <cstddef>
 #include <array>
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "common/math_util.h"
@@ -102,6 +104,18 @@ class CascadeTracker {
 
   double creation_time() const { return creation_time_; }
   const TrackerConfig& config() const { return config_; }
+
+  /// Serializes the full O(1) state (creation time, totals, sliding-window
+  /// histograms, landmarks, EWMA rate, running age sums) to a portable
+  /// ASCII blob.  Doubles are printed with 17 significant digits, so a
+  /// restore reproduces every quantity bit-exactly.
+  std::string Serialize() const;
+
+  /// Restores state written by Serialize into this tracker.  The tracker
+  /// must have been constructed with the same configuration (window and
+  /// landmark layout); returns false on parse failure or layout mismatch,
+  /// leaving the tracker unspecified but safe to destroy.
+  bool Deserialize(const std::string& text);
 
  private:
   struct StreamState {

@@ -1,6 +1,8 @@
 #include "stream/exponential_histogram.h"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "common/check.h"
 
@@ -58,6 +60,35 @@ uint64_t ExponentialHistogram::Count(double now) const {
   // (rounded up), which is what bounds the relative error.
   sum -= buckets_.front().size / 2;
   return sum;
+}
+
+void ExponentialHistogram::SerializeTo(std::ostream& os) const {
+  os << total_ << " " << last_t_ << " " << buckets_.size() << "\n";
+  for (const Bucket& b : buckets_) {
+    os << b.newest << " " << b.size << "\n";
+  }
+}
+
+bool ExponentialHistogram::DeserializeFrom(std::istream& is) {
+  uint64_t total = 0;
+  double last_t = 0.0;
+  size_t num_buckets = 0;
+  if (!(is >> total >> last_t >> num_buckets)) return false;
+  // A valid histogram keeps O(log(total)/eps) buckets; anything beyond this
+  // bound is corrupt input, rejected before allocating.
+  if (num_buckets > 64 * (max_per_size_ + 1)) return false;
+  std::deque<Bucket> buckets;
+  for (size_t i = 0; i < num_buckets; ++i) {
+    Bucket b{};
+    if (!(is >> b.newest >> b.size) || b.size == 0 || !std::isfinite(b.newest)) {
+      return false;
+    }
+    buckets.push_back(b);
+  }
+  total_ = total;
+  last_t_ = last_t;
+  buckets_ = std::move(buckets);
+  return true;
 }
 
 }  // namespace horizon::stream

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 
 namespace horizon::stream {
 
@@ -39,6 +40,15 @@ class ExponentialHistogram {
   size_t NumBuckets() const { return buckets_.size(); }
 
   double window_length() const { return window_; }
+
+  /// Writes the dynamic state (total, last timestamp, buckets) to `os`.
+  /// The window length and epsilon are configuration, not state: restore
+  /// into a histogram constructed with the same parameters.
+  void SerializeTo(std::ostream& os) const;
+
+  /// Restores state written by SerializeTo.  Returns false on malformed
+  /// input (histogram state is then unspecified but safe to destroy).
+  bool DeserializeFrom(std::istream& is);
 
  private:
   struct Bucket {

@@ -1,5 +1,8 @@
 #include "stream/sliding_window.h"
 
+#include <istream>
+#include <ostream>
+
 #include "common/check.h"
 
 namespace horizon::stream {
@@ -50,6 +53,20 @@ double WindowBank::window_length(size_t i) const {
 
 uint64_t WindowBank::TotalCount() const {
   return windows_.empty() ? 0 : windows_[0].TotalCount();
+}
+
+void WindowBank::SerializeTo(std::ostream& os) const {
+  os << windows_.size() << "\n";
+  for (const auto& w : windows_) w.SerializeTo(os);
+}
+
+bool WindowBank::DeserializeFrom(std::istream& is) {
+  size_t n = 0;
+  if (!(is >> n) || n != windows_.size()) return false;
+  for (auto& w : windows_) {
+    if (!w.DeserializeFrom(is)) return false;
+  }
+  return true;
 }
 
 }  // namespace horizon::stream

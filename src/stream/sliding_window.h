@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <vector>
 
 #include "stream/exponential_histogram.h"
@@ -58,6 +59,14 @@ class WindowBank {
   size_t num_windows() const { return windows_.size(); }
   double window_length(size_t i) const;
   uint64_t TotalCount() const;
+
+  /// Writes all window states to `os` (configuration excluded; restore
+  /// into a bank constructed with the same lengths and epsilon).
+  void SerializeTo(std::ostream& os) const;
+
+  /// Restores state written by SerializeTo.  Returns false on malformed
+  /// input or a window-count mismatch with this bank's configuration.
+  bool DeserializeFrom(std::istream& is);
 
  private:
   std::vector<ExponentialHistogram> windows_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/file_io.h"
+
 namespace horizon::datagen {
 namespace {
 
@@ -24,7 +26,10 @@ TEST(DatagenIoTest, LoadFailsOnMissingFiles) {
 
 TEST(DatagenIoTest, RoundTripsExactly) {
   const SyntheticDataset original = SmallDataset();
-  const std::string dir = ::testing::TempDir();
+  // A test-private directory: the suite's tests run as separate ctest
+  // entries that may execute concurrently, so they must not share files.
+  const std::string dir = ::testing::TempDir() + "datagen_io_round_trip";
+  ASSERT_TRUE(io::EnsureDir(dir));
   ASSERT_TRUE(SaveDatasetCsv(original, dir));
   const auto loaded = LoadDatasetCsv(dir);
   ASSERT_TRUE(loaded.has_value());
@@ -78,7 +83,8 @@ TEST(DatagenIoTest, RoundTripsExactly) {
 
 TEST(DatagenIoTest, LoadedDatasetBehavesLikeOriginal) {
   const SyntheticDataset original = SmallDataset();
-  const std::string dir = ::testing::TempDir();
+  const std::string dir = ::testing::TempDir() + "datagen_io_behaves";
+  ASSERT_TRUE(io::EnsureDir(dir));
   ASSERT_TRUE(SaveDatasetCsv(original, dir));
   const auto loaded = LoadDatasetCsv(dir);
   ASSERT_TRUE(loaded.has_value());

@@ -1,0 +1,94 @@
+// Golden regression test: trains the full pipeline on a fixed-seed
+// synthetic dataset and asserts that predictions at three horizons match
+// checked-in golden values to 1e-9 relative tolerance.  Any unintended
+// change to the generator, feature extractor, GBDT learner, or transfer
+// formula shows up here as a hard diff.
+//
+// The library is engineered for bit-stable results (own RNG + samplers, no
+// fast-math, deterministic thread-pool reductions), so the goldens hold
+// across thread counts and standard-library versions; 1e-9 leaves room
+// only for libm ulp differences across platforms.
+//
+// To regenerate after an INTENTIONAL behavior change:
+//   HORIZON_PRINT_GOLDEN=1 ./golden_regression_test
+// and paste the printed table over kGolden below.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/units.h"
+#include "core/hawkes_predictor.h"
+#include "core/trainer.h"
+
+namespace horizon {
+namespace {
+
+constexpr double kHorizons[] = {6 * kHour, 1 * kDay, 4 * kDay};
+constexpr size_t kGoldenRows = 8;
+
+/// Golden predicted increments: kGoldenRows rows x 3 horizons, plus the
+/// predicted alpha per row in column 3.
+/// Generated with HORIZON_PRINT_GOLDEN=1 (see file comment).
+constexpr double kGolden[kGoldenRows][4] = {
+    {23.457618506344915, 73.829626433140675, 138.91019384216429, 7.9680966033624967e-06},
+    {14.974715175877767, 47.130163872669669, 88.672261940194716, 7.9686246075053952e-06},
+    {0.44669975605975781, 0.66831129476526996, 0.67742739965856169, 4.9864089882837327e-05},
+    {8.1460043928231585, 13.100013098669438, 13.420146201015262, 4.3237988419026747e-05},
+    {0.25983220427580161, 0.64613220386786407, 0.83050683855680218, 1.7318153484531101e-05},
+    {5.0495289320286521, 14.079250231989262, 21.002951192202325, 1.2539124613872487e-05},
+    {34.619211800175449, 114.46206326344675, 243.12113378656113, 6.2264094245023995e-06},
+    {35.948031073926913, 113.70019371559501, 216.37362787094543, 7.7911682723826888e-06},
+};
+
+TEST(GoldenRegressionTest, PredictionsMatchGoldenValues) {
+  datagen::GeneratorConfig config;
+  config.num_pages = 12;
+  config.num_posts = 100;
+  config.base_mean_size = 50.0;
+  config.seed = 20260806;
+  const datagen::SyntheticDataset dataset = datagen::Generator(config).Generate();
+  const features::FeatureExtractor extractor{stream::TrackerConfig{}};
+
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < dataset.cascades.size(); ++i) indices.push_back(i);
+  core::ExampleSetOptions options;
+  options.reference_horizons = {1 * kDay};
+  const core::ExampleSet examples =
+      core::BuildExampleSet(dataset, indices, extractor, options);
+
+  core::HawkesPredictorParams params;
+  params.reference_horizons = {1 * kDay};
+  params.gbdt_count.num_trees = 30;
+  params.gbdt_alpha.num_trees = 30;
+  core::HawkesPredictor model(params);
+  model.Fit(examples.x, examples.log1p_increments, examples.alpha_targets);
+
+  ASSERT_GE(examples.x.num_rows(), kGoldenRows);
+  const bool print = std::getenv("HORIZON_PRINT_GOLDEN") != nullptr;
+  for (size_t r = 0; r < kGoldenRows; ++r) {
+    const float* row = examples.x.Row(r);
+    double actual[4];
+    for (int h = 0; h < 3; ++h) {
+      actual[h] = model.PredictIncrement(row, kHorizons[h]);
+    }
+    actual[3] = model.PredictAlpha(row);
+    if (print) {
+      std::printf("    {%.17g, %.17g, %.17g, %.17g},\n", actual[0], actual[1],
+                  actual[2], actual[3]);
+      continue;
+    }
+    for (int c = 0; c < 4; ++c) {
+      const double golden = kGolden[r][c];
+      EXPECT_NEAR(actual[c], golden, 1e-9 * std::max(std::abs(golden), 1.0))
+          << "row " << r << " column " << c
+          << " (rerun with HORIZON_PRINT_GOLDEN=1 to regenerate)";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace horizon

@@ -1,0 +1,174 @@
+// Property-based tests (seeded generator loops, no third-party fuzzing
+// dependency) for the model-layer invariants the paper's transfer formula
+// guarantees:
+//
+//   * Prop. 3.2: the conditional mean increment is nonnegative, bounded by
+//     lambda(s)/alpha, and monotone nondecreasing in the horizon.
+//   * Horizon-conversion identity: at delta = delta* the transfer formula
+//     reproduces the reference predictor's output exactly.
+//   * PredictIncrement is monotone nondecreasing in delta and bounded by
+//     PredictFinalIncrement for every feature row.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/hawkes_predictor.h"
+#include "core/trainer.h"
+#include "pointprocess/exp_hawkes.h"
+
+namespace horizon {
+namespace {
+
+constexpr int kTrials = 2000;
+
+// -- Prop. 3.2 invariants of the analytic conditional mean ----------------
+
+TEST(ConditionalMeanProperty, NonnegativeAndBoundedByFinalMass) {
+  Rng rng(0xC0FFEE01);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    // Log-uniform sweeps over many decades of intensity, growth exponent,
+    // and horizon.
+    const double lambda_s = std::exp(rng.Uniform(std::log(1e-8), std::log(1e4)));
+    const double alpha = std::exp(rng.Uniform(std::log(1e-9), std::log(1e-2)));
+    const double dt = std::exp(rng.Uniform(std::log(1.0), std::log(10.0 * 365 * kDay)));
+    const double mean = pp::ConditionalMeanIncrement(lambda_s, alpha, dt);
+    ASSERT_TRUE(std::isfinite(mean))
+        << "lambda=" << lambda_s << " alpha=" << alpha << " dt=" << dt;
+    EXPECT_GE(mean, 0.0);
+    // The expected eventual mass of the subcritical cluster.
+    const double bound = lambda_s / alpha;
+    EXPECT_LE(mean, bound * (1.0 + 1e-12))
+        << "lambda=" << lambda_s << " alpha=" << alpha << " dt=" << dt;
+  }
+}
+
+TEST(ConditionalMeanProperty, MonotoneNondecreasingInHorizon) {
+  Rng rng(0xC0FFEE02);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const double lambda_s = std::exp(rng.Uniform(std::log(1e-8), std::log(1e4)));
+    const double alpha = std::exp(rng.Uniform(std::log(1e-9), std::log(1e-2)));
+    const double dt1 = std::exp(rng.Uniform(std::log(1.0), std::log(365 * kDay)));
+    const double dt2 = dt1 * rng.Uniform(1.0, 10.0);
+    EXPECT_LE(pp::ConditionalMeanIncrement(lambda_s, alpha, dt1),
+              pp::ConditionalMeanIncrement(lambda_s, alpha, dt2) * (1.0 + 1e-12))
+        << "lambda=" << lambda_s << " alpha=" << alpha << " dt1=" << dt1
+        << " dt2=" << dt2;
+  }
+}
+
+TEST(ConditionalMeanProperty, ZeroHorizonAndZeroIntensity) {
+  Rng rng(0xC0FFEE03);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double alpha = std::exp(rng.Uniform(std::log(1e-9), std::log(1e-2)));
+    EXPECT_EQ(pp::ConditionalMeanIncrement(0.0, alpha, rng.Uniform(0.0, kDay)), 0.0);
+    EXPECT_EQ(pp::ConditionalMeanIncrement(rng.Uniform(0.0, 10.0), alpha, 0.0), 0.0);
+  }
+}
+
+// -- Transfer-formula invariants of the trained predictor -----------------
+
+/// Small single-reference-horizon model over a fixed-seed synthetic
+/// dataset; shared by all transfer-formula property tests.
+class TransferFormulaProperty : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::GeneratorConfig config;
+    config.num_pages = 10;
+    config.num_posts = 80;
+    config.base_mean_size = 40.0;
+    config.seed = 1234;
+    dataset_ = new datagen::SyntheticDataset(datagen::Generator(config).Generate());
+    extractor_ = new features::FeatureExtractor(stream::TrackerConfig{});
+
+    core::HawkesPredictorParams params;
+    params.reference_horizons = {kDeltaStar};
+    params.gbdt_count.num_trees = 20;
+    params.gbdt_alpha.num_trees = 20;
+    model_ = new core::HawkesPredictor(params);
+
+    std::vector<size_t> indices;
+    for (size_t i = 0; i < dataset_->cascades.size(); ++i) indices.push_back(i);
+    core::ExampleSetOptions options;
+    options.reference_horizons = {kDeltaStar};
+    examples_ = new core::ExampleSet(
+        core::BuildExampleSet(*dataset_, indices, *extractor_, options));
+    model_->Fit(examples_->x, examples_->log1p_increments,
+                examples_->alpha_targets);
+  }
+
+  static void TearDownTestSuite() {
+    delete examples_;
+    examples_ = nullptr;
+    delete model_;
+    model_ = nullptr;
+    delete extractor_;
+    extractor_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static constexpr double kDeltaStar = 1 * kDay;
+  static datagen::SyntheticDataset* dataset_;
+  static features::FeatureExtractor* extractor_;
+  static core::HawkesPredictor* model_;
+  static core::ExampleSet* examples_;
+};
+
+datagen::SyntheticDataset* TransferFormulaProperty::dataset_ = nullptr;
+features::FeatureExtractor* TransferFormulaProperty::extractor_ = nullptr;
+core::HawkesPredictor* TransferFormulaProperty::model_ = nullptr;
+core::ExampleSet* TransferFormulaProperty::examples_ = nullptr;
+
+TEST_F(TransferFormulaProperty, IdentityAtReferenceHorizon) {
+  // At delta = delta* the transfer ratio is exactly 1, so the combined
+  // prediction must reproduce the reference predictor's own output (up to
+  // one divide and one multiply of rounding).
+  for (size_t r = 0; r < examples_->x.num_rows(); ++r) {
+    const float* row = examples_->x.Row(r);
+    const double direct =
+        std::max(std::expm1(model_->count_model(0).Predict(row)), 0.0);
+    const double via_transfer = model_->PredictIncrement(row, kDeltaStar);
+    EXPECT_NEAR(via_transfer, direct, 1e-12 * std::max(direct, 1.0))
+        << "row " << r;
+  }
+}
+
+TEST_F(TransferFormulaProperty, MonotoneNondecreasingInDelta) {
+  Rng rng(0xFEED0001);
+  const size_t rows = examples_->x.num_rows();
+  ASSERT_GT(rows, 0u);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const float* row = examples_->x.Row(rng.UniformInt(rows));
+    const double d1 = std::exp(rng.Uniform(std::log(kMinute), std::log(30 * kDay)));
+    const double d2 = d1 * rng.Uniform(1.0, 8.0);
+    const double inc1 = model_->PredictIncrement(row, d1);
+    const double inc2 = model_->PredictIncrement(row, d2);
+    EXPECT_LE(inc1, inc2 * (1.0 + 1e-12)) << "d1=" << d1 << " d2=" << d2;
+  }
+}
+
+TEST_F(TransferFormulaProperty, BoundedByFinalIncrement) {
+  Rng rng(0xFEED0002);
+  const size_t rows = examples_->x.num_rows();
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const float* row = examples_->x.Row(rng.UniformInt(rows));
+    const double delta = std::exp(rng.Uniform(std::log(1.0), std::log(365 * kDay)));
+    const double inc = model_->PredictIncrement(row, delta);
+    const double final_inc = model_->PredictFinalIncrement(row);
+    ASSERT_TRUE(std::isfinite(inc));
+    EXPECT_GE(inc, 0.0);
+    EXPECT_LE(inc, final_inc * (1.0 + 1e-12)) << "delta=" << delta;
+  }
+}
+
+TEST_F(TransferFormulaProperty, ZeroHorizonPredictsZeroIncrement) {
+  for (size_t r = 0; r < examples_->x.num_rows(); ++r) {
+    EXPECT_EQ(model_->PredictIncrement(examples_->x.Row(r), 0.0), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace horizon

@@ -13,8 +13,21 @@
 //   horizon_tool evaluate --data DIR --model FILE [--horizon DELTA]
 //       Median APE / Kendall tau / RMSE of the model on the workload.
 //
+//   horizon_tool checkpoint --data DIR --model FILE --out CKPTDIR
+//                           [--time AGE]
+//       Build a PredictionService over the workload (events up to AGE,
+//       default 6h) and write a crash-safe checkpoint of its live state.
+//       Set HORIZON_FAULT_CRASH_AT=<n> to test the atomicity protocol by
+//       injecting a crash at the n-th write/fsync/rename.
+//
+//   horizon_tool restore --model FILE --ckpt CKPTDIR
+//                        [--post ID --time AGE --horizon DELTA]
+//       Reload a checkpointed service (CRC-verified) and answer a query
+//       from the restored state; no dataset needed.
+//
 //   horizon_tool selftest
-//       Run generate -> train -> predict -> evaluate in a temp directory.
+//       Run generate -> train -> predict -> evaluate -> checkpoint ->
+//       restore in a temp directory.
 //
 // Durations accept the forms "90s", "30m", "6h", "2d".
 #include <cstdio>
@@ -31,6 +44,7 @@
 #include "eval/metrics.h"
 #include "eval/split.h"
 #include "features/extractor.h"
+#include "serving/prediction_service.h"
 
 #include <fstream>
 #include <sstream>
@@ -228,6 +242,91 @@ int CmdEvaluate(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdCheckpoint(const std::map<std::string, std::string>& flags) {
+  const std::string data_dir = FlagOr(flags, "data", "");
+  const std::string model_path = FlagOr(flags, "model", "");
+  const std::string out = FlagOr(flags, "out", "");
+  const auto time = ParseDuration(FlagOr(flags, "time", "6h"));
+  if (data_dir.empty() || model_path.empty() || out.empty()) {
+    return Fail("checkpoint requires --data DIR, --model FILE and --out CKPTDIR");
+  }
+  if (!time.has_value()) return Fail("bad --time duration");
+  const auto dataset = datagen::LoadDatasetCsv(data_dir);
+  if (!dataset.has_value()) return Fail("failed to load dataset CSVs");
+  auto model = LoadModel(model_path);
+  if (!model.has_value()) return Fail("failed to load model");
+
+  const features::FeatureExtractor extractor{stream::TrackerConfig{}};
+  serving::PredictionService service(&*model, &extractor, serving::ServiceConfig{});
+  for (const auto& cascade : dataset->cascades) {
+    const int64_t id = cascade.post.id;
+    service.RegisterItem(id, 0.0, dataset->PageOf(cascade.post), cascade.post);
+    for (const auto& e : cascade.views) {
+      if (e.time >= *time) break;
+      service.Ingest(id, stream::EngagementType::kView, e.time);
+    }
+    for (double t : cascade.share_times) {
+      if (t >= *time) break;
+      service.Ingest(id, stream::EngagementType::kShare, t);
+    }
+    for (double t : cascade.comment_times) {
+      if (t >= *time) break;
+      service.Ingest(id, stream::EngagementType::kComment, t);
+    }
+    for (double t : cascade.reaction_times) {
+      if (t >= *time) break;
+      service.Ingest(id, stream::EngagementType::kReaction, t);
+    }
+  }
+  if (!service.Checkpoint(out)) {
+    return Fail("checkpoint failed (IO error or injected fault)");
+  }
+  const auto stats = service.stats();
+  std::printf("checkpointed %zu live items (%llu events) at age %s -> %s\n",
+              service.LiveItems(),
+              static_cast<unsigned long long>(stats.events_ingested),
+              FormatDuration(*time).c_str(), out.c_str());
+  return 0;
+}
+
+int CmdRestore(const std::map<std::string, std::string>& flags) {
+  const std::string model_path = FlagOr(flags, "model", "");
+  const std::string ckpt = FlagOr(flags, "ckpt", "");
+  if (model_path.empty() || ckpt.empty()) {
+    return Fail("restore requires --model FILE and --ckpt CKPTDIR");
+  }
+  auto model = LoadModel(model_path);
+  if (!model.has_value()) return Fail("failed to load model");
+
+  const features::FeatureExtractor extractor{stream::TrackerConfig{}};
+  serving::PredictionService service(&*model, &extractor, serving::ServiceConfig{});
+  if (!service.Restore(ckpt)) {
+    return Fail("restore failed (missing, torn, or incompatible checkpoint)");
+  }
+  const auto stats = service.stats();
+  std::printf("restored %zu live items (%llu events ingested before checkpoint)\n",
+              service.LiveItems(),
+              static_cast<unsigned long long>(stats.events_ingested));
+
+  const std::string post = FlagOr(flags, "post", "");
+  if (!post.empty()) {
+    const auto time = ParseDuration(FlagOr(flags, "time", "6h"));
+    const auto horizon = ParseDuration(FlagOr(flags, "horizon", "1d"));
+    if (!time.has_value() || !horizon.has_value()) {
+      return Fail("bad --time/--horizon duration");
+    }
+    const int64_t id = std::atoll(post.c_str());
+    const auto result = service.Query(id, *time, *horizon);
+    if (!result.has_value()) return Fail("unknown --post id in the checkpoint");
+    std::printf("post %lld at age %s: N(s) = %.0f, predicted N(s + %s) = %.0f "
+                "(alpha %.3f / day)\n",
+                static_cast<long long>(id), FormatDuration(*time).c_str(),
+                result->observed_views, FormatDuration(*horizon).c_str(),
+                result->predicted_views, result->alpha * kDay);
+  }
+  return 0;
+}
+
 int CmdSelfTest() {
   const char* tmp = std::getenv("TMPDIR");
   const std::string dir = std::string(tmp != nullptr ? tmp : "/tmp") +
@@ -244,13 +343,23 @@ int CmdSelfTest() {
   if (CmdEvaluate({{"data", dir}, {"model", model}, {"horizon", "1d"}}) != 0) {
     return 1;
   }
+  const std::string ckpt = dir + "/ckpt";
+  if (CmdCheckpoint({{"data", dir}, {"model", model}, {"out", ckpt},
+                     {"time", "6h"}}) != 0) {
+    return 1;
+  }
+  if (CmdRestore({{"model", model}, {"ckpt", ckpt}, {"post", "3"},
+                  {"time", "6h"}, {"horizon", "1d"}}) != 0) {
+    return 1;
+  }
   std::printf("selftest OK\n");
   return 0;
 }
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: horizon_tool <generate|train|predict|evaluate|selftest> "
+               "usage: horizon_tool <generate|train|predict|evaluate|"
+               "checkpoint|restore|selftest> "
                "[--key value ...]\n(see the header of tools/horizon_tool.cc)\n");
   return 2;
 }
@@ -265,6 +374,8 @@ int main(int argc, char** argv) {
   if (command == "train") return CmdTrain(flags);
   if (command == "predict") return CmdPredict(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "checkpoint") return CmdCheckpoint(flags);
+  if (command == "restore") return CmdRestore(flags);
   if (command == "selftest") return CmdSelfTest();
   return Usage();
 }
