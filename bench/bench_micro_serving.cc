@@ -8,7 +8,10 @@
 // items_per_second is the aggregate across threads.
 //
 // Unless --benchmark_out is given, results are also written to
-// BENCH_serving.json (google-benchmark JSON format).
+// BENCH_serving.json (google-benchmark JSON format).  The ingest and
+// query benchmarks also export lat_p50_us / lat_p95_us / lat_p99_us
+// counters extracted from the service's own latency histograms, so the
+// JSON carries tail latency alongside throughput.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -16,6 +19,7 @@
 #include <vector>
 
 #include "core/trainer.h"
+#include "obs/metrics.h"
 #include "serving/prediction_service.h"
 
 namespace {
@@ -81,11 +85,33 @@ serving::PredictionService* MakeLoadedService(bool feed_events) {
   return service;
 }
 
+/// Resets the named latency histogram so the percentiles published after
+/// the timed loop reflect only this benchmark's observations.
+obs::Histogram* ResetLatencyHistogram(const char* metric) {
+  obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(metric);
+  h->Reset();
+  return h;
+}
+
+/// Publishes p50/p95/p99 (microseconds) from a service latency histogram
+/// as benchmark counters; they land in the JSON report per run.
+void PublishLatencyPercentiles(benchmark::State& state, const char* metric) {
+  const obs::Histogram* h =
+      obs::MetricsRegistry::Global().GetHistogram(metric);
+  if (h->Count() == 0) return;
+  state.counters["lat_p50_us"] = h->Quantile(0.50) * 1e6;
+  state.counters["lat_p95_us"] = h->Quantile(0.95) * 1e6;
+  state.counters["lat_p99_us"] = h->Quantile(0.99) * 1e6;
+}
+
 // -- Ingest throughput: each thread streams events into its own item stripe.
 
 void BM_ServingIngest(benchmark::State& state) {
   static serving::PredictionService* service = nullptr;
-  if (state.thread_index() == 0) service = MakeLoadedService(/*feed_events=*/false);
+  if (state.thread_index() == 0) {
+    service = MakeLoadedService(/*feed_events=*/false);
+    ResetLatencyHistogram("horizon_serving_ingest_latency_seconds");
+  }
   const int threads = state.threads();
   int64_t id = state.thread_index();
   double t = 1.0;
@@ -99,6 +125,7 @@ void BM_ServingIngest(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
   if (state.thread_index() == 0) {
+    PublishLatencyPercentiles(state, "horizon_serving_ingest_latency_seconds");
     delete service;
     service = nullptr;
   }
@@ -109,7 +136,10 @@ BENCHMARK(BM_ServingIngest)->Threads(1)->Threads(2)->Threads(4)->Threads(8);
 
 void BM_ServingQuery(benchmark::State& state) {
   static serving::PredictionService* service = nullptr;
-  if (state.thread_index() == 0) service = MakeLoadedService(/*feed_events=*/true);
+  if (state.thread_index() == 0) {
+    service = MakeLoadedService(/*feed_events=*/true);
+    ResetLatencyHistogram("horizon_serving_query_latency_seconds");
+  }
   int64_t id = state.thread_index();
   for (auto _ : state) {
     benchmark::DoNotOptimize(service->Query(id, 6 * kHour, 1 * kDay));
@@ -117,11 +147,32 @@ void BM_ServingQuery(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
   if (state.thread_index() == 0) {
+    PublishLatencyPercentiles(state, "horizon_serving_query_latency_seconds");
     delete service;
     service = nullptr;
   }
 }
 BENCHMARK(BM_ServingQuery)->Threads(1)->Threads(2)->Threads(4)->Threads(8);
+
+// -- BatchQuery: one caller resolves the whole item set per call; the
+//    service batches every row through the flat forests in one pass.
+
+void BM_ServingBatchQuery(benchmark::State& state) {
+  serving::PredictionService* service = MakeLoadedService(/*feed_events=*/true);
+  serving::QueryRequest request;
+  for (int64_t id = 0; id < kItems; ++id) request.ids.push_back(id);
+  request.s = 6 * kHour;
+  request.delta = 1 * kDay;
+  ResetLatencyHistogram("horizon_serving_batch_query_latency_seconds");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service->BatchQuery(request));
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+  PublishLatencyPercentiles(state,
+                            "horizon_serving_batch_query_latency_seconds");
+  delete service;
+}
+BENCHMARK(BM_ServingBatchQuery)->Unit(benchmark::kMillisecond);
 
 // -- Mixed workload: 4 ingests then 1 query per round, per-thread stripe.
 

@@ -100,22 +100,30 @@ std::string WrapCrcFrame(std::string_view payload) {
   return out;
 }
 
-std::optional<std::string> UnwrapCrcFrame(std::string_view frame) {
+StatusOr<std::string> UnwrapCrcFrame(std::string_view frame) {
   const size_t eol = frame.find('\n');
-  if (eol == std::string_view::npos) return std::nullopt;
+  if (eol == std::string_view::npos) {
+    return Status::Corruption("CRC frame: missing header line");
+  }
   std::istringstream header{std::string(frame.substr(0, eol))};
   std::string magic;
   size_t size = 0;
   std::string crc_hex;
   if (!(header >> magic >> size >> crc_hex) || magic != "hzf1") {
-    return std::nullopt;
+    return Status::Corruption("CRC frame: malformed header");
   }
   char* end = nullptr;
   const unsigned long crc = std::strtoul(crc_hex.c_str(), &end, 16);
-  if (end == crc_hex.c_str() || *end != '\0') return std::nullopt;
+  if (end == crc_hex.c_str() || *end != '\0') {
+    return Status::Corruption("CRC frame: bad checksum field");
+  }
   const std::string_view payload = frame.substr(eol + 1);
-  if (payload.size() != size) return std::nullopt;  // torn or padded file
-  if (Crc32(payload) != static_cast<uint32_t>(crc)) return std::nullopt;
+  if (payload.size() != size) {  // torn or padded file
+    return Status::Corruption("CRC frame: payload size mismatch");
+  }
+  if (Crc32(payload) != static_cast<uint32_t>(crc)) {
+    return Status::Corruption("CRC frame: checksum mismatch");
+  }
   return std::string(payload);
 }
 
@@ -151,38 +159,52 @@ bool FsyncParentDir(const std::string& path) {
 
 }  // namespace
 
-bool WriteFileAtomic(const std::string& path, std::string_view contents) {
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
   FaultInjector& faults = FaultInjector::Global();
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return false;
+  if (fd < 0) return Status::IoError("open " + tmp + ": " + std::strerror(errno));
   if (faults.ShouldFail(FaultPoint::kWrite)) {
     // Simulated crash mid-write: leave a torn prefix behind.
     WriteAll(fd, contents.data(), contents.size() / 2);
     ::close(fd);
-    return false;
+    return Status::IoError("injected crash writing " + tmp);
   }
   if (!WriteAll(fd, contents.data(), contents.size())) {
     ::close(fd);
-    return false;
+    return Status::IoError("write " + tmp + ": " + std::strerror(errno));
   }
   if (faults.ShouldFail(FaultPoint::kFsync) || ::fsync(fd) != 0) {
     ::close(fd);
-    return false;
+    return Status::IoError("fsync " + tmp);
   }
-  if (::close(fd) != 0) return false;
-  if (faults.ShouldFail(FaultPoint::kRename)) return false;
-  if (::rename(tmp.c_str(), path.c_str()) != 0) return false;
+  if (::close(fd) != 0) {
+    return Status::IoError("close " + tmp + ": " + std::strerror(errno));
+  }
+  if (faults.ShouldFail(FaultPoint::kRename)) {
+    return Status::IoError("injected crash renaming " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename " + tmp + ": " + std::strerror(errno));
+  }
   // The rename has reached the filesystem; a crash at the directory fsync
   // below corresponds to the "rename made it to disk" outcome, so the
   // injected failure only aborts the protocol, it cannot undo the rename.
-  if (faults.ShouldFail(FaultPoint::kFsync)) return false;
-  return FsyncParentDir(path);
+  if (faults.ShouldFail(FaultPoint::kFsync)) {
+    return Status::IoError("injected crash fsyncing parent of " + path);
+  }
+  if (!FsyncParentDir(path)) {
+    return Status::IoError("fsync parent dir of " + path);
+  }
+  return Status::Ok();
 }
 
-std::optional<std::string> ReadFile(const std::string& path) {
+StatusOr<std::string> ReadFile(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return std::nullopt;
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(path + ": no such file");
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
   std::string out;
   char buf[1 << 16];
   for (;;) {
@@ -190,7 +212,7 @@ std::optional<std::string> ReadFile(const std::string& path) {
     if (n < 0) {
       if (errno == EINTR) continue;
       ::close(fd);
-      return std::nullopt;
+      return Status::IoError("read " + path + ": " + std::strerror(errno));
     }
     if (n == 0) break;
     out.append(buf, static_cast<size_t>(n));
@@ -199,8 +221,8 @@ std::optional<std::string> ReadFile(const std::string& path) {
   return out;
 }
 
-bool EnsureDir(const std::string& path) {
-  if (path.empty()) return false;
+Status EnsureDir(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("EnsureDir: empty path");
   std::string prefix;
   size_t pos = 0;
   while (pos <= path.size()) {
@@ -208,10 +230,15 @@ bool EnsureDir(const std::string& path) {
     prefix = slash == std::string::npos ? path : path.substr(0, slash);
     pos = slash == std::string::npos ? path.size() + 1 : slash + 1;
     if (prefix.empty()) continue;  // leading '/'
-    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) return false;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IoError("mkdir " + prefix + ": " + std::strerror(errno));
+    }
   }
   struct stat st{};
-  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+  if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::IoError(path + " is not a directory");
+  }
+  return Status::Ok();
 }
 
 std::vector<std::string> ListDir(const std::string& path) {

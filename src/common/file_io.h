@@ -3,15 +3,22 @@
 // helpers, and a deterministic crash-fault injector the durability tests
 // use to prove that a checkpoint torn at ANY write/fsync/rename point is
 // never loaded and never damages the previous valid checkpoint.
+//
+// Error reporting: the fallible helpers return Status / StatusOr with
+// typed codes -- kNotFound (no such file), kIoError (the OS or the fault
+// injector refused an operation), kCorruption (bytes fail CRC/size
+// validation).  Both types are contextually bool / optional compatible,
+// so pre-Status call sites keep compiling (see common/status.h).
 #ifndef HORIZON_COMMON_FILE_IO_H_
 #define HORIZON_COMMON_FILE_IO_H_
 
 #include <cstdint>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/status.h"
 
 namespace horizon::io {
 
@@ -75,24 +82,25 @@ uint32_t Crc32(std::string_view data);
 /// The frame detects truncation, bit flips, and concatenation damage.
 std::string WrapCrcFrame(std::string_view payload);
 
-/// Validates and strips a CRC frame.  Returns nullopt when the header is
-/// malformed, the size disagrees with the actual byte count, or the CRC
-/// does not match -- i.e. for every torn or corrupted file.
-std::optional<std::string> UnwrapCrcFrame(std::string_view frame);
+/// Validates and strips a CRC frame.  Returns kCorruption when the header
+/// is malformed, the size disagrees with the actual byte count, or the
+/// CRC does not match -- i.e. for every torn or corrupted file.
+StatusOr<std::string> UnwrapCrcFrame(std::string_view frame);
 
 /// Atomically replaces `path` with `contents`: writes `path + ".tmp"`,
 /// fsyncs it, renames it over `path`, and fsyncs the parent directory.
 /// Either the old file or the complete new file survives a crash at any
-/// step; a torn temp file is never visible under `path`.  Returns false on
-/// any IO error or injected fault.
-bool WriteFileAtomic(const std::string& path, std::string_view contents);
+/// step; a torn temp file is never visible under `path`.  Returns
+/// kIoError on any IO error or injected fault.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
 
-/// Reads a whole file.  Returns nullopt when it cannot be opened or read.
-std::optional<std::string> ReadFile(const std::string& path);
+/// Reads a whole file.  Returns kNotFound when it does not exist and
+/// kIoError when it exists but cannot be opened or read.
+StatusOr<std::string> ReadFile(const std::string& path);
 
-/// Creates a directory (and missing parents).  Returns true when the
-/// directory exists afterwards.
-bool EnsureDir(const std::string& path);
+/// Creates a directory (and missing parents).  OK when the directory
+/// exists afterwards, kIoError otherwise.
+Status EnsureDir(const std::string& path);
 
 /// Names of the entries of a directory (excluding "." / ".."), sorted.
 /// Empty when the directory cannot be read.

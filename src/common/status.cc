@@ -1,0 +1,30 @@
+#include "common/status.h"
+
+namespace horizon {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kNotYetLive: return "not_yet_live";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kIoError: return "io_error";
+    case StatusCode::kCorruption: return "corruption";
+    case StatusCode::kConfigMismatch: return "config_mismatch";
+    case StatusCode::kAlreadyExists: return "already_exists";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace horizon

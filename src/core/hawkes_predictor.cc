@@ -119,14 +119,15 @@ std::vector<double> HawkesPredictor::PredictAlphaBatch(
 }
 
 std::vector<double> HawkesPredictor::PredictIncrementBatch(
-    const gbdt::DataMatrix& x, const std::vector<double>& deltas) const {
+    const gbdt::DataMatrix& x, const std::vector<double>& deltas,
+    std::vector<double>* alphas_out) const {
   HORIZON_DCHECK(trained_);
   HORIZON_CHECK_EQ(deltas.size(), x.num_rows());
   const size_t n = x.num_rows();
   const size_t m = f_models_.size();
 
   // One flat-forest pass per model over all rows.
-  const std::vector<double> alphas = PredictAlphaBatch(x);
+  std::vector<double> alphas = PredictAlphaBatch(x);
   std::vector<std::vector<double>> raw(m);
   for (size_t i = 0; i < m; ++i) raw[i] = f_models_[i].PredictBatch(x);
 
@@ -145,6 +146,7 @@ std::vector<double> HawkesPredictor::PredictIncrementBatch(
       out[r] = CombineIncrement(increments.data(), m, alphas[r], deltas[r]);
     }
   });
+  if (alphas_out != nullptr) *alphas_out = std::move(alphas);
   return out;
 }
 
@@ -155,9 +157,10 @@ std::vector<double> HawkesPredictor::PredictIncrementBatch(
 
 std::vector<double> HawkesPredictor::PredictCountBatch(
     const gbdt::DataMatrix& x, const std::vector<double>& n_s,
-    const std::vector<double>& deltas) const {
+    const std::vector<double>& deltas,
+    std::vector<double>* alphas_out) const {
   HORIZON_CHECK_EQ(n_s.size(), x.num_rows());
-  std::vector<double> out = PredictIncrementBatch(x, deltas);
+  std::vector<double> out = PredictIncrementBatch(x, deltas, alphas_out);
   for (size_t i = 0; i < out.size(); ++i) out[i] += n_s[i];
   return out;
 }

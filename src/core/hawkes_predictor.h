@@ -75,18 +75,24 @@ class HawkesPredictor {
   std::vector<double> PredictAlphaBatch(const gbdt::DataMatrix& x) const;
 
   /// Predicted increments, one per row; deltas.size() must equal
-  /// x.num_rows().
-  std::vector<double> PredictIncrementBatch(const gbdt::DataMatrix& x,
-                                            const std::vector<double>& deltas) const;
+  /// x.num_rows().  When `alphas_out` is non-null it receives the per-row
+  /// alpha_hat values the transfer formula used -- the alpha forest is
+  /// walked once either way, so callers that need both should pass it
+  /// rather than calling PredictAlphaBatch separately.
+  std::vector<double> PredictIncrementBatch(
+      const gbdt::DataMatrix& x, const std::vector<double>& deltas,
+      std::vector<double>* alphas_out = nullptr) const;
 
   /// Predicted increments over a single shared horizon.
   std::vector<double> PredictIncrementBatch(const gbdt::DataMatrix& x,
                                             double delta) const;
 
   /// Predicted total counts: n_s[i] + increment for row i over deltas[i].
-  std::vector<double> PredictCountBatch(const gbdt::DataMatrix& x,
-                                        const std::vector<double>& n_s,
-                                        const std::vector<double>& deltas) const;
+  /// `alphas_out` as in PredictIncrementBatch.
+  std::vector<double> PredictCountBatch(
+      const gbdt::DataMatrix& x, const std::vector<double>& n_s,
+      const std::vector<double>& deltas,
+      std::vector<double>* alphas_out = nullptr) const;
 
   /// Predicted increment over an infinite horizon: lim_{delta->inf}.
   double PredictFinalIncrement(const float* row) const;

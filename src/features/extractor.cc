@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/units.h"
+#include "obs/metrics.h"
 
 namespace horizon::features {
 
@@ -176,6 +177,16 @@ void FeatureExtractor::ExtractInto(const datagen::PageProfile& page,
                                    const datagen::PostProfile& post,
                                    const stream::TrackerSnapshot& snapshot,
                                    float* out) const {
+  // Extraction runs in tight per-row loops (one call is ~100 ns), so the
+  // trace hook is a sampled latency probe plus a wait-free row counter.
+  static obs::Histogram* const extract_latency =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "horizon_features_extract_latency_seconds");
+  static obs::Counter* const rows_extracted =
+      obs::MetricsRegistry::Global().GetCounter(
+          "horizon_features_rows_extracted_total");
+  const obs::ScopedTimer timer(obs::SampleEvery(64, extract_latency));
+  rows_extracted->Increment();
   size_t i = 0;
   EmitAll(page, post, snapshot, tracker_config_,
           [&](const std::string& /*name*/, FeatureCategory /*cat*/, float value) {

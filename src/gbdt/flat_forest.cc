@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace horizon::gbdt {
 
@@ -112,6 +113,14 @@ void FlatForest::PredictRows(const float* rows, size_t num_rows, size_t stride,
 }
 
 std::vector<double> FlatForest::PredictBatch(const DataMatrix& x) const {
+  // Process-wide inference instruments; resolved once, wait-free after.
+  static obs::Histogram* const batch_latency =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "horizon_gbdt_batch_inference_latency_seconds");
+  static obs::Counter* const rows_scored =
+      obs::MetricsRegistry::Global().GetCounter("horizon_gbdt_rows_scored_total");
+  const obs::ScopedTimer timer(batch_latency);
+  rows_scored->Add(x.num_rows());
   std::vector<double> out(x.num_rows());
   if (x.num_rows() == 0) return out;
   const float* rows = x.Row(0);

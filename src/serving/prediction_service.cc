@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <optional>
 #include <sstream>
 
 #include "common/check.h"
@@ -25,17 +27,53 @@ uint64_t MixId(int64_t id) {
   return z ^ (z >> 31);
 }
 
-/// Sorts (id, score) pairs by descending score and truncates to k.
-void SortDescendingTruncate(std::vector<std::pair<int64_t, double>>* scored,
-                            size_t k) {
-  const size_t take = std::min(k, scored->size());
-  std::partial_sort(scored->begin(), scored->begin() + static_cast<ptrdiff_t>(take),
-                    scored->end(),
-                    [](const auto& a, const auto& b) { return a.second > b.second; });
-  scored->resize(take);
+/// Ingest latency is sampled 1-in-kIngestSampleRate: at ~1 us/op, two
+/// clock reads per op would cost more than the histogram is worth.
+constexpr uint32_t kIngestSampleRate = 64;
+
+using SteadyClock = std::chrono::steady_clock;
+
+uint64_t ElapsedNs(SteadyClock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now() -
+                                                           start)
+          .count());
+}
+
+double PredictedIncrement(const ItemPrediction& p) {
+  return p.prediction.predicted_views - p.prediction.observed_views;
 }
 
 }  // namespace
+
+Status ServiceConfig::Validate(const features::FeatureExtractor* extractor) const {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("ServiceConfig: num_shards must be >= 1");
+  }
+  if (!(idle_retirement_age > 0.0)) {
+    return Status::InvalidArgument(
+        "ServiceConfig: idle_retirement_age must be positive");
+  }
+  if (!(death_probability_threshold > 0.0) || death_probability_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "ServiceConfig: death_probability_threshold must be in (0, 1]");
+  }
+  if (tracker.window_lengths.empty() || tracker.landmark_ages.empty()) {
+    return Status::InvalidArgument(
+        "ServiceConfig: tracker needs at least one window and landmark");
+  }
+  if (extractor != nullptr) {
+    const stream::TrackerConfig& other = extractor->tracker_config();
+    if (other.window_lengths != tracker.window_lengths ||
+        other.landmark_ages != tracker.landmark_ages ||
+        other.ewma_tau != tracker.ewma_tau || other.epsilon != tracker.epsilon) {
+      return Status::ConfigMismatch(
+          "ServiceConfig: extractor was built for a different tracker "
+          "window/landmark layout");
+    }
+  }
+  return Status::Ok();
+}
 
 PredictionService::PredictionService(const core::HawkesPredictor* model,
                                      const features::FeatureExtractor* extractor,
@@ -44,20 +82,57 @@ PredictionService::PredictionService(const core::HawkesPredictor* model,
   HORIZON_CHECK(model != nullptr);
   HORIZON_CHECK(extractor != nullptr);
   HORIZON_CHECK(model->trained());
-  HORIZON_CHECK_GE(config_.num_shards, 1);
+  const Status valid = config_.Validate(extractor);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "rejected ServiceConfig: %s\n", valid.ToString().c_str());
+  }
+  HORIZON_CHECK(valid.ok());
   shards_.reserve(static_cast<size_t>(config_.num_shards));
   for (int i = 0; i < config_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+
+  registry_ = config_.metrics != nullptr ? config_.metrics
+                                         : &obs::MetricsRegistry::Global();
+  m_items_registered_ = registry_->GetCounter("horizon_serving_items_registered_total");
+  m_events_ingested_ = registry_->GetCounter("horizon_serving_events_ingested_total");
+  m_queries_ = registry_->GetCounter("horizon_serving_queries_total");
+  m_scan_results_ = registry_->GetCounter("horizon_serving_scan_results_total");
+  m_items_retired_ = registry_->GetCounter("horizon_serving_items_retired_total");
+  m_errors_[0] = nullptr;  // kOk is not an error
+  for (int c = 1; c <= 8; ++c) {
+    m_errors_[c] = registry_->GetCounter(
+        "horizon_serving_errors_" +
+        std::string(StatusCodeName(static_cast<StatusCode>(c))) + "_total");
+  }
+  m_live_items_ = registry_->GetGauge("horizon_serving_live_items");
+  m_ingest_latency_ = registry_->GetHistogram("horizon_serving_ingest_latency_seconds");
+  m_ingest_batch_latency_ =
+      registry_->GetHistogram("horizon_serving_ingest_batch_latency_seconds");
+  m_query_latency_ = registry_->GetHistogram("horizon_serving_query_latency_seconds");
+  m_batch_query_latency_ =
+      registry_->GetHistogram("horizon_serving_batch_query_latency_seconds");
+  m_topk_latency_ = registry_->GetHistogram("horizon_serving_topk_latency_seconds");
+  m_retire_latency_ = registry_->GetHistogram("horizon_serving_retire_latency_seconds");
+  m_checkpoint_latency_ =
+      registry_->GetHistogram("horizon_serving_checkpoint_latency_seconds");
+  m_restore_latency_ =
+      registry_->GetHistogram("horizon_serving_restore_latency_seconds");
+}
+
+Status PredictionService::CountError(Status status) const {
+  const int code = static_cast<int>(status.code());
+  if (code >= 1 && code <= 8) m_errors_[code]->Increment();
+  return status;
 }
 
 size_t PredictionService::ShardOf(int64_t item_id) const {
   return static_cast<size_t>(MixId(item_id) % shards_.size());
 }
 
-bool PredictionService::RegisterItem(int64_t item_id, double creation_time,
-                                     const datagen::PageProfile& page,
-                                     const datagen::PostProfile& post) {
+Status PredictionService::RegisterItem(int64_t item_id, double creation_time,
+                                       const datagen::PageProfile& page,
+                                       const datagen::PostProfile& post) {
   Shard& shard = *shards_[ShardOf(item_id)];
   bool inserted = false;
   {
@@ -69,11 +144,14 @@ bool PredictionService::RegisterItem(int64_t item_id, double creation_time,
                                      page, post})
                    .second;
   }
-  if (inserted) {
-    items_registered_.fetch_add(1, std::memory_order_relaxed);
-    live_items_.fetch_add(1, std::memory_order_relaxed);
+  if (!inserted) {
+    return CountError(Status::AlreadyExists("item id already registered"));
   }
-  return inserted;
+  items_registered_.fetch_add(1, std::memory_order_relaxed);
+  m_items_registered_->Increment();
+  m_live_items_->Set(
+      static_cast<double>(live_items_.fetch_add(1, std::memory_order_relaxed) + 1));
+  return Status::Ok();
 }
 
 bool PredictionService::HasItem(int64_t item_id) const {
@@ -82,20 +160,26 @@ bool PredictionService::HasItem(int64_t item_id) const {
   return shard.items.count(item_id) > 0;
 }
 
-bool PredictionService::Ingest(int64_t item_id, stream::EngagementType type,
-                               double t) {
+Status PredictionService::Ingest(int64_t item_id, stream::EngagementType type,
+                                 double t) {
+  const obs::ScopedTimer timer(
+      obs::SampleEvery(kIngestSampleRate, m_ingest_latency_));
   Shard& shard = *shards_[ShardOf(item_id)];
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.items.find(item_id);
-    if (it == shard.items.end()) return false;
+    if (it == shard.items.end()) {
+      return CountError(Status::NotFound("unknown item (dropped straggler?)"));
+    }
     it->second.tracker.Observe(type, t);
   }
   events_ingested_.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  m_events_ingested_->Increment();
+  return Status::Ok();
 }
 
 size_t PredictionService::IngestBatch(const std::vector<IngestEvent>& events) {
+  const obs::ScopedTimer timer(m_ingest_batch_latency_);
   // Group event indices by shard (stable, so per-item order is kept),
   // then apply each shard's group under one lock acquisition.
   std::vector<std::vector<uint32_t>> by_shard(shards_.size());
@@ -121,37 +205,84 @@ size_t PredictionService::IngestBatch(const std::vector<IngestEvent>& events) {
   });
   const size_t total = ingested.load(std::memory_order_relaxed);
   events_ingested_.fetch_add(total, std::memory_order_relaxed);
+  m_events_ingested_->Add(total);
   return total;
 }
 
-std::optional<PredictionResult> PredictionService::Query(int64_t item_id, double s,
-                                                         double delta) const {
-  const Shard& shard = *shards_[ShardOf(item_id)];
-  stream::TrackerSnapshot snapshot;
-  datagen::PageProfile page;
-  datagen::PostProfile post;
-  {
+// ---------------------------------------------------------------------------
+// Query surface
+
+StatusOr<QueryResponse> PredictionService::QueryByIds(
+    const QueryRequest& request) const {
+  struct Resolved {
+    int64_t id;
+    stream::TrackerSnapshot snapshot;
+    datagen::PageProfile page;
+    datagen::PostProfile post;
+  };
+  QueryResponse response;
+  std::vector<Resolved> resolved;
+  resolved.reserve(request.ids.size());
+  for (const int64_t id : request.ids) {
+    const Shard& shard = *shards_[ShardOf(id)];
     std::lock_guard<std::mutex> lock(shard.mu);
-    const auto it = shard.items.find(item_id);
-    if (it == shard.items.end()) return std::nullopt;
+    const auto it = shard.items.find(id);
+    if (it == shard.items.end()) {
+      response.errors.push_back(
+          {id, CountError(Status::NotFound("unknown item"))});
+      continue;
+    }
     const Item& item = it->second;
-    if (s < item.tracker.creation_time()) return std::nullopt;  // not yet live
-    snapshot = item.tracker.Snapshot(s);
-    page = item.page;
-    post = item.post;
+    if (request.s < item.tracker.creation_time()) {
+      response.errors.push_back(
+          {id, CountError(Status::NotYetLive("item goes live after s"))});
+      continue;
+    }
+    resolved.push_back(
+        {id, item.tracker.Snapshot(request.s), item.page, item.post});
   }
-  // Inference runs outside the shard lock, on the immutable snapshot.
-  const auto row = extractor_->Extract(page, post, snapshot);
-  PredictionResult result;
-  result.observed_views = static_cast<double>(snapshot.views().total);
-  result.predicted_views =
-      model_->PredictCount(row.data(), result.observed_views, delta);
-  result.alpha = model_->PredictAlpha(row.data());
-  queries_answered_.fetch_add(1, std::memory_order_relaxed);
-  return result;
+  if (resolved.empty()) return response;
+
+  // Inference runs outside the shard locks, batched over every resolved
+  // item: one flat-forest pass per model.
+  gbdt::DataMatrix x(resolved.size(), extractor_->schema().size());
+  std::vector<double> observed(resolved.size());
+  for (size_t i = 0; i < resolved.size(); ++i) {
+    extractor_->ExtractInto(resolved[i].page, resolved[i].post,
+                            resolved[i].snapshot, x.MutableRow(i));
+    observed[i] = static_cast<double>(resolved[i].snapshot.views().total);
+  }
+  const std::vector<double> deltas(resolved.size(), request.delta);
+  std::vector<double> alphas;
+  const std::vector<double> counts =
+      model_->PredictCountBatch(x, observed, deltas, &alphas);
+
+  response.results.reserve(resolved.size());
+  for (size_t i = 0; i < resolved.size(); ++i) {
+    response.results.push_back(
+        {resolved[i].id, PredictionResult{observed[i], counts[i], alphas[i]}});
+  }
+  if (request.top_k > 0 && response.results.size() > request.top_k) {
+    std::partial_sort(response.results.begin(),
+                      response.results.begin() +
+                          static_cast<ptrdiff_t>(request.top_k),
+                      response.results.end(),
+                      [](const ItemPrediction& a, const ItemPrediction& b) {
+                        return PredictedIncrement(a) > PredictedIncrement(b);
+                      });
+    response.results.resize(request.top_k);
+  } else if (request.top_k > 0) {
+    std::sort(response.results.begin(), response.results.end(),
+              [](const ItemPrediction& a, const ItemPrediction& b) {
+                return PredictedIncrement(a) > PredictedIncrement(b);
+              });
+  }
+  queries_answered_.fetch_add(response.results.size(), std::memory_order_relaxed);
+  m_queries_->Add(response.results.size());
+  return response;
 }
 
-std::vector<std::pair<int64_t, double>> PredictionService::ShardTopK(
+std::vector<PredictionService::ScanCandidate> PredictionService::ShardScanTopK(
     const Shard& shard, double s, double delta, size_t k) const {
   struct Candidate {
     int64_t id;
@@ -171,40 +302,135 @@ std::vector<std::pair<int64_t, double>> PredictionService::ShardTopK(
   if (candidates.empty()) return {};
 
   // Batch the whole shard through the flat forests in one pass.
-  gbdt::DataMatrix x(candidates.size(), extractor_->schema().size());
+  const size_t width = extractor_->schema().size();
+  gbdt::DataMatrix x(candidates.size(), width);
   for (size_t i = 0; i < candidates.size(); ++i) {
     extractor_->ExtractInto(candidates[i].page, candidates[i].post,
                             candidates[i].snapshot, x.MutableRow(i));
   }
   const std::vector<double> increments = model_->PredictIncrementBatch(x, delta);
 
-  std::vector<std::pair<int64_t, double>> scored;
-  scored.reserve(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    scored.emplace_back(candidates[i].id, increments[i]);
+  // Keep only the shard's k best; the winners carry their feature rows so
+  // the merge step can finish the full prediction without re-extracting.
+  std::vector<size_t> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const size_t take = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(take),
+                    order.end(), [&](size_t a, size_t b) {
+                      return increments[a] > increments[b];
+                    });
+  std::vector<ScanCandidate> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    const size_t idx = order[i];
+    const float* row = x.Row(idx);
+    out.push_back(
+        {candidates[idx].id,
+         static_cast<double>(candidates[idx].snapshot.views().total),
+         increments[idx], std::vector<float>(row, row + width)});
   }
-  SortDescendingTruncate(&scored, k);
-  return scored;
+  return out;
+}
+
+StatusOr<QueryResponse> PredictionService::QueryScan(
+    const QueryRequest& request) const {
+  const obs::ScopedTimer timer(m_topk_latency_);
+  const size_t k = request.top_k;
+  std::vector<std::vector<ScanCandidate>> per_shard(shards_.size());
+  ParallelFor(shards_.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t sh = begin; sh < end; ++sh) {
+      per_shard[sh] = ShardScanTopK(*shards_[sh], request.s, request.delta, k);
+    }
+  });
+  std::vector<ScanCandidate> merged;
+  for (auto& partial : per_shard) {
+    std::move(partial.begin(), partial.end(), std::back_inserter(merged));
+  }
+  const size_t take = std::min(k, merged.size());
+  std::partial_sort(merged.begin(), merged.begin() + static_cast<ptrdiff_t>(take),
+                    merged.end(), [](const ScanCandidate& a, const ScanCandidate& b) {
+                      return a.increment > b.increment;
+                    });
+  merged.resize(take);
+
+  QueryResponse response;
+  if (merged.empty()) return response;
+  // Only the global winners pay for the alpha forest.
+  gbdt::DataMatrix x(merged.size(), extractor_->schema().size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    std::copy(merged[i].row.begin(), merged[i].row.end(), x.MutableRow(i));
+  }
+  const std::vector<double> alphas = model_->PredictAlphaBatch(x);
+  response.results.reserve(merged.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    response.results.push_back(
+        {merged[i].id,
+         PredictionResult{merged[i].observed,
+                          merged[i].observed + merged[i].increment, alphas[i]}});
+  }
+  // Scan answers are deliberately NOT counted into queries_answered (the
+  // pre-BatchQuery TopK never was); they have their own counter.
+  m_scan_results_->Add(response.results.size());
+  return response;
+}
+
+StatusOr<QueryResponse> PredictionService::BatchQuery(
+    const QueryRequest& request) const {
+  const auto start = SteadyClock::now();
+  if (!std::isfinite(request.s) || !std::isfinite(request.delta) ||
+      request.delta < 0.0) {
+    return CountError(
+        Status::InvalidArgument("QueryRequest: s and delta must be finite, "
+                                "delta >= 0"));
+  }
+  if (request.ids.empty() && request.top_k == 0) {
+    return CountError(Status::InvalidArgument(
+        "QueryRequest: empty ids (scan mode) requires top_k > 0"));
+  }
+  StatusOr<QueryResponse> response =
+      request.ids.empty() ? QueryScan(request) : QueryByIds(request);
+  if (response.ok()) {
+    const uint64_t ns = ElapsedNs(start);
+    response->latency_ns = ns;
+    m_batch_query_latency_->Observe(static_cast<double>(ns) * 1e-9);
+  }
+  return response;
+}
+
+StatusOr<PredictionResult> PredictionService::Query(int64_t item_id, double s,
+                                                    double delta) const {
+  const obs::ScopedTimer timer(m_query_latency_);
+  QueryRequest request;
+  request.ids.push_back(item_id);
+  request.s = s;
+  request.delta = delta;
+  StatusOr<QueryResponse> response = BatchQuery(request);
+  if (!response.ok()) return response.status();
+  if (!response->errors.empty()) return response->errors.front().status;
+  HORIZON_CHECK(!response->results.empty());
+  return response->results.front().prediction;
 }
 
 std::vector<std::pair<int64_t, double>> PredictionService::TopK(double s,
                                                                 double delta,
                                                                 size_t k) const {
-  std::vector<std::vector<std::pair<int64_t, double>>> per_shard(shards_.size());
-  ParallelFor(shards_.size(), 1, [&](size_t begin, size_t end) {
-    for (size_t sh = begin; sh < end; ++sh) {
-      per_shard[sh] = ShardTopK(*shards_[sh], s, delta, k);
-    }
-  });
-  std::vector<std::pair<int64_t, double>> merged;
-  for (const auto& partial : per_shard) {
-    merged.insert(merged.end(), partial.begin(), partial.end());
+  if (k == 0) return {};
+  QueryRequest request;
+  request.s = s;
+  request.delta = delta;
+  request.top_k = k;
+  const StatusOr<QueryResponse> response = BatchQuery(request);
+  if (!response.ok()) return {};
+  std::vector<std::pair<int64_t, double>> out;
+  out.reserve(response->results.size());
+  for (const ItemPrediction& p : response->results) {
+    out.emplace_back(p.item_id, PredictedIncrement(p));
   }
-  SortDescendingTruncate(&merged, k);
-  return merged;
+  return out;
 }
 
 size_t PredictionService::RetireDeadItems(double now) {
+  const obs::ScopedTimer timer(m_retire_latency_);
   std::atomic<size_t> retired_total{0};
   ParallelFor(shards_.size(), 1, [&](size_t begin, size_t end) {
     std::vector<float> row(extractor_->schema().size());
@@ -250,7 +476,9 @@ size_t PredictionService::RetireDeadItems(double now) {
   });
   const size_t retired = retired_total.load(std::memory_order_relaxed);
   items_retired_.fetch_add(retired, std::memory_order_relaxed);
-  live_items_.fetch_sub(retired, std::memory_order_relaxed);
+  m_items_retired_->Add(retired);
+  m_live_items_->Set(static_cast<double>(
+      live_items_.fetch_sub(retired, std::memory_order_relaxed) - retired));
   return retired;
 }
 
@@ -335,15 +563,16 @@ bool DeserializePost(std::istream& is, datagen::PostProfile* p) {
 
 }  // namespace
 
-bool PredictionService::Checkpoint(const std::string& dir) const {
-  if (!io::EnsureDir(dir)) return false;
+Status PredictionService::Checkpoint(const std::string& dir) const {
+  const obs::ScopedTimer latency(m_checkpoint_latency_);
+  HORIZON_RETURN_IF_ERROR(io::EnsureDir(dir));
   uint64_t epoch = 1;
   if (const auto current = io::ReadFile(dir + "/CURRENT")) {
     if (const auto prev = ParseCheckpointEpoch(Trim(*current))) epoch = *prev + 1;
   }
   const std::string name = CheckpointDirName(epoch);
   const std::string ckpt = dir + "/" + name;
-  if (!io::EnsureDir(ckpt)) return false;
+  HORIZON_RETURN_IF_ERROR(io::EnsureDir(ckpt));
 
   // One coherent counter snapshot up front; events ingested while the
   // shards are being copied belong to the next checkpoint.
@@ -357,7 +586,8 @@ bool PredictionService::Checkpoint(const std::string& dir) const {
   std::vector<uint32_t> shard_crc(num_shards, 0);
   std::vector<size_t> shard_bytes(num_shards, 0);
   std::vector<size_t> shard_items(num_shards, 0);
-  std::atomic<bool> ok{true};
+  std::mutex error_mu;
+  Status shard_error;  // first failure wins
   ParallelFor(num_shards, 1, [&](size_t begin, size_t end) {
     for (size_t sh = begin; sh < end; ++sh) {
       std::vector<std::pair<int64_t, Item>> snapshot;
@@ -382,15 +612,17 @@ bool PredictionService::Checkpoint(const std::string& dir) const {
       shard_crc[sh] = io::Crc32(framed);
       shard_bytes[sh] = framed.size();
       shard_items[sh] = snapshot.size();
-      if (!io::WriteFileAtomic(ckpt + "/" + ShardFileName(sh), framed)) {
-        ok.store(false, std::memory_order_relaxed);
+      const Status wrote =
+          io::WriteFileAtomic(ckpt + "/" + ShardFileName(sh), framed);
+      if (!wrote.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (shard_error.ok()) shard_error = wrote;
       }
     }
   });
-  if (!ok.load(std::memory_order_relaxed)) return false;
-  if (!io::WriteFileAtomic(ckpt + "/model.hwk", io::WrapCrcFrame(model_blob))) {
-    return false;
-  }
+  HORIZON_RETURN_IF_ERROR(shard_error);
+  HORIZON_RETURN_IF_ERROR(
+      io::WriteFileAtomic(ckpt + "/model.hwk", io::WrapCrcFrame(model_blob)));
 
   std::ostringstream manifest;
   manifest.precision(17);
@@ -414,12 +646,11 @@ bool PredictionService::Checkpoint(const std::string& dir) const {
     manifest << ShardFileName(sh) << " " << shard_crc[sh] << " " << shard_bytes[sh]
              << " " << shard_items[sh] << "\n";
   }
-  if (!io::WriteFileAtomic(ckpt + "/MANIFEST", io::WrapCrcFrame(manifest.str()))) {
-    return false;
-  }
+  HORIZON_RETURN_IF_ERROR(
+      io::WriteFileAtomic(ckpt + "/MANIFEST", io::WrapCrcFrame(manifest.str())));
   // Commit point: once CURRENT names the new directory, the checkpoint is
   // the one Restore will load.
-  if (!io::WriteFileAtomic(dir + "/CURRENT", name + "\n")) return false;
+  HORIZON_RETURN_IF_ERROR(io::WriteFileAtomic(dir + "/CURRENT", name + "\n"));
 
   // GC: drop checkpoints older than the committed one's predecessor
   // (including partial directories left by crashed attempts).
@@ -428,20 +659,32 @@ bool PredictionService::Checkpoint(const std::string& dir) const {
       if (*e + 1 < epoch) io::RemoveTree(dir + "/" + entry);
     }
   }
-  return true;
+  return Status::Ok();
 }
 
-bool PredictionService::Restore(const std::string& dir) {
+Status PredictionService::Restore(const std::string& dir) {
+  const obs::ScopedTimer latency(m_restore_latency_);
   const auto current = io::ReadFile(dir + "/CURRENT");
-  if (!current.has_value()) return false;
+  if (!current.ok()) {
+    if (current.code() == StatusCode::kNotFound) {
+      return CountError(
+          Status::NotFound("no committed checkpoint under " + dir));
+    }
+    return CountError(current.status());
+  }
   const std::string name = Trim(*current);
-  if (!ParseCheckpointEpoch(name).has_value()) return false;
+  if (!ParseCheckpointEpoch(name).has_value()) {
+    return CountError(Status::Corruption("CURRENT names no valid checkpoint"));
+  }
   const std::string ckpt = dir + "/" + name;
 
   const auto manifest_file = io::ReadFile(ckpt + "/MANIFEST");
-  if (!manifest_file.has_value()) return false;
+  if (!manifest_file.ok()) {
+    return CountError(Status::Corruption(
+        "checkpoint manifest unreadable: " + manifest_file.status().ToString()));
+  }
   const auto manifest = io::UnwrapCrcFrame(*manifest_file);
-  if (!manifest.has_value()) return false;
+  if (!manifest.ok()) return CountError(manifest.status());
 
   std::istringstream is(*manifest);
   std::string magic, version, key;
@@ -449,54 +692,86 @@ bool PredictionService::Restore(const std::string& dir) {
   uint32_t model_crc = 0;
   size_t model_size = 0;
   if (!(is >> magic >> version) || magic != "manifest" || version != "v1") {
-    return false;
+    return CountError(Status::Corruption("manifest: bad magic/version"));
   }
-  if (!(is >> key >> epoch) || key != "epoch") return false;
-  if (!(is >> key >> model_crc >> model_size) || key != "model") return false;
+  if (!(is >> key >> epoch) || key != "epoch") {
+    return CountError(Status::Corruption("manifest: missing epoch"));
+  }
+  if (!(is >> key >> model_crc >> model_size) || key != "model") {
+    return CountError(Status::Corruption("manifest: missing model digest"));
+  }
 
   // The restored trackers only make sense if this service interprets their
   // state with the same window/landmark layout and EWMA constants.
   const stream::TrackerConfig& tracker = config_.tracker;
   size_t n = 0;
-  if (!(is >> key >> n) || key != "windows" ||
-      n != tracker.window_lengths.size()) {
-    return false;
+  if (!(is >> key >> n) || key != "windows") {
+    return CountError(Status::Corruption("manifest: missing windows"));
+  }
+  if (n != tracker.window_lengths.size()) {
+    return CountError(
+        Status::ConfigMismatch("checkpoint uses a different window layout"));
   }
   for (size_t i = 0; i < n; ++i) {
     double w = 0.0;
-    if (!(is >> w) || w != tracker.window_lengths[i]) return false;
+    if (!(is >> w)) {
+      return CountError(Status::Corruption("manifest: truncated windows"));
+    }
+    if (w != tracker.window_lengths[i]) {
+      return CountError(
+          Status::ConfigMismatch("checkpoint uses a different window layout"));
+    }
   }
-  if (!(is >> key >> n) || key != "landmarks" ||
-      n != tracker.landmark_ages.size()) {
-    return false;
+  if (!(is >> key >> n) || key != "landmarks") {
+    return CountError(Status::Corruption("manifest: missing landmarks"));
+  }
+  if (n != tracker.landmark_ages.size()) {
+    return CountError(
+        Status::ConfigMismatch("checkpoint uses a different landmark layout"));
   }
   for (size_t i = 0; i < n; ++i) {
     double l = 0.0;
-    if (!(is >> l) || l != tracker.landmark_ages[i]) return false;
+    if (!(is >> l)) {
+      return CountError(Status::Corruption("manifest: truncated landmarks"));
+    }
+    if (l != tracker.landmark_ages[i]) {
+      return CountError(
+          Status::ConfigMismatch("checkpoint uses a different landmark layout"));
+    }
   }
   double ewma_tau = 0.0, epsilon = 0.0;
-  if (!(is >> key >> ewma_tau) || key != "ewma_tau" || ewma_tau != tracker.ewma_tau) {
-    return false;
+  if (!(is >> key >> ewma_tau) || key != "ewma_tau") {
+    return CountError(Status::Corruption("manifest: missing ewma_tau"));
   }
-  if (!(is >> key >> epsilon) || key != "epsilon" || epsilon != tracker.epsilon) {
-    return false;
+  if (ewma_tau != tracker.ewma_tau) {
+    return CountError(
+        Status::ConfigMismatch("checkpoint uses a different ewma_tau"));
+  }
+  if (!(is >> key >> epsilon) || key != "epsilon") {
+    return CountError(Status::Corruption("manifest: missing epsilon"));
+  }
+  if (epsilon != tracker.epsilon) {
+    return CountError(
+        Status::ConfigMismatch("checkpoint uses a different epsilon"));
   }
   ServiceStats counters;
   if (!(is >> key >> counters.items_registered >> counters.events_ingested >>
         counters.queries_answered >> counters.items_retired) ||
       key != "counters") {
-    return false;
+    return CountError(Status::Corruption("manifest: missing counters"));
   }
   size_t num_shard_files = 0;
   if (!(is >> key >> num_shard_files) || key != "shards" ||
       num_shard_files > 1u << 20) {
-    return false;
+    return CountError(Status::Corruption("manifest: bad shard table"));
   }
 
   // Bit-identical predictions require the identical model.
   const std::string model_blob = model_->Serialize();
   if (io::Crc32(model_blob) != model_crc || model_blob.size() != model_size) {
-    return false;
+    return CountError(Status::ConfigMismatch(
+        "checkpoint was written by a different model (serialization digest "
+        "mismatch)"));
   }
 
   // Stage every item first; the live service is only touched once the
@@ -506,36 +781,51 @@ bool PredictionService::Restore(const std::string& dir) {
     std::string file;
     uint32_t crc = 0;
     size_t bytes = 0, items = 0;
-    if (!(is >> file >> crc >> bytes >> items)) return false;
-    if (file.find('/') != std::string::npos) return false;
+    if (!(is >> file >> crc >> bytes >> items)) {
+      return CountError(Status::Corruption("manifest: truncated shard table"));
+    }
+    if (file.find('/') != std::string::npos) {
+      return CountError(Status::Corruption("manifest: shard name escapes dir"));
+    }
     const auto raw = io::ReadFile(ckpt + "/" + file);
-    if (!raw.has_value() || raw->size() != bytes || io::Crc32(*raw) != crc) {
-      return false;
+    if (!raw.ok() || raw->size() != bytes || io::Crc32(*raw) != crc) {
+      return CountError(
+          Status::Corruption("shard file " + file + " missing or damaged"));
     }
     const auto payload = io::UnwrapCrcFrame(*raw);
-    if (!payload.has_value()) return false;
+    if (!payload.ok()) return CountError(payload.status());
     std::istringstream ss(*payload);
     std::string smagic, sversion;
     size_t num_items = 0;
     if (!(ss >> smagic >> sversion) || smagic != "shard" || sversion != "v1") {
-      return false;
+      return CountError(Status::Corruption("shard file: bad magic/version"));
     }
-    if (!(ss >> num_items) || num_items != items) return false;
+    if (!(ss >> num_items) || num_items != items) {
+      return CountError(Status::Corruption("shard file: item count mismatch"));
+    }
     for (size_t i = 0; i < num_items; ++i) {
       int64_t id = 0;
       datagen::PageProfile page;
       datagen::PostProfile post;
-      if (!(ss >> id)) return false;
-      if (!DeserializePage(ss, &page) || !DeserializePost(ss, &post)) return false;
+      if (!(ss >> id)) {
+        return CountError(Status::Corruption("shard file: truncated item id"));
+      }
+      if (!DeserializePage(ss, &page) || !DeserializePost(ss, &post)) {
+        return CountError(Status::Corruption("shard file: bad item profile"));
+      }
       size_t blob_size = 0;
-      if (!(ss >> blob_size) || blob_size > 1u << 24) return false;
+      if (!(ss >> blob_size) || blob_size > 1u << 24) {
+        return CountError(Status::Corruption("shard file: bad tracker size"));
+      }
       ss.ignore(1);  // the newline after the size
       std::string blob(blob_size, '\0');
       if (!ss.read(blob.data(), static_cast<std::streamsize>(blob_size))) {
-        return false;
+        return CountError(Status::Corruption("shard file: truncated tracker"));
       }
       Item item{stream::CascadeTracker(0.0, tracker), page, post};
-      if (!item.tracker.Deserialize(blob)) return false;
+      if (!item.tracker.Deserialize(blob)) {
+        return CountError(Status::Corruption("shard file: bad tracker state"));
+      }
       staged.emplace_back(id, std::move(item));
     }
   }
@@ -552,11 +842,12 @@ bool PredictionService::Restore(const std::string& dir) {
     shard.items.emplace(id, std::move(item));
   }
   live_items_.store(staged.size(), std::memory_order_relaxed);
+  m_live_items_->Set(static_cast<double>(staged.size()));
   items_registered_.store(counters.items_registered, std::memory_order_relaxed);
   events_ingested_.store(counters.events_ingested, std::memory_order_relaxed);
   queries_answered_.store(counters.queries_answered, std::memory_order_relaxed);
   items_retired_.store(counters.items_retired, std::memory_order_relaxed);
-  return true;
+  return Status::Ok();
 }
 
 ServiceStats PredictionService::stats() const {

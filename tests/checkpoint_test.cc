@@ -252,7 +252,7 @@ TEST_F(CheckpointTest, CrashAtEveryFaultPointNeverCorrupts) {
   int points_exercised = 0;
   for (int n = 0; n < 500 && !committed; ++n, ++points_exercised) {
     injector.ArmCrashAt(n);
-    const bool ok = service.Checkpoint(Dir());
+    const bool ok = service.Checkpoint(Dir()).ok();
     injector.Disarm();
 
     PredictionService restored = MakeService(config);

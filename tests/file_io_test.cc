@@ -151,7 +151,7 @@ TEST_F(FaultInjectionTest, CrashAtEveryPointPreservesOldFile) {
   bool succeeded = false;
   for (int n = 0; n < 100 && !succeeded; ++n) {
     injector.ArmCrashAt(n);
-    const bool ok = WriteFileAtomic(path, "new contents after crash");
+    const bool ok = WriteFileAtomic(path, "new contents after crash").ok();
     const int ops = injector.ops_seen();
     const bool crashed = injector.crashed();
     injector.Disarm();

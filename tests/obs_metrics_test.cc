@@ -1,0 +1,289 @@
+// Tests for obs/metrics.h: counter/gauge/histogram semantics, percentile
+// known answers on custom bucket bounds, exposition format shape, the
+// sampling hook, and -- under TSan in CI -- concurrent writer/scraper
+// hammering that must be race-free and lose no increments.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace horizon::obs {
+namespace {
+
+// Each test uses its own registry (and metric names) so the process-wide
+// Global() used by the serving stack is never polluted.
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentWritersLoseNothing) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 1.5);
+  g.Set(0.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  // Bounds are upper edges: value <= bound lands in that bucket.
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);   // bucket 0
+  h.Observe(1.0);   // bucket 0 (inclusive upper edge)
+  h.Observe(1.5);   // bucket 1
+  h.Observe(4.0);   // bucket 2
+  h.Observe(100.0); // +Inf bucket
+  const auto buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+}
+
+TEST(HistogramTest, QuantileKnownAnswers) {
+  // 100 observations spread uniformly through (0, 10] with bounds every
+  // 1.0: quantiles interpolate linearly, so p50 = 5.0 and p99 = 9.9
+  // exactly (rank r maps to r/10 within its owning bucket).
+  Histogram h({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  for (int i = 1; i <= 100; ++i) h.Observe(i / 10.0);
+  EXPECT_NEAR(h.Quantile(0.50), 5.0, 1e-9);
+  EXPECT_NEAR(h.Quantile(0.95), 9.5, 1e-9);
+  EXPECT_NEAR(h.Quantile(0.99), 9.9, 1e-9);
+  EXPECT_NEAR(h.Quantile(0.01), 0.1, 1e-9);
+  // q=1 is the maximum's bucket edge; q=0 degenerates to the lowest rank.
+  EXPECT_NEAR(h.Quantile(1.0), 10.0, 1e-9);
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+
+  // All mass in the +Inf bucket: the quantile reports the last finite
+  // bound (a floor, not an estimate).
+  Histogram overflow({1.0, 2.0});
+  overflow.Observe(50.0);
+  overflow.Observe(60.0);
+  EXPECT_DOUBLE_EQ(overflow.Quantile(0.5), 2.0);
+
+  // A single observation is every quantile.
+  Histogram one({1.0, 2.0, 4.0});
+  one.Observe(3.0);
+  const double q = one.Quantile(0.5);
+  EXPECT_GT(q, 2.0);
+  EXPECT_LE(q, 4.0);
+}
+
+TEST(HistogramTest, ResetZeroesEverything) {
+  Histogram h({1.0});
+  h.Observe(0.5);
+  h.Observe(9.0);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  for (uint64_t b : h.BucketCounts()) EXPECT_EQ(b, 0u);
+}
+
+TEST(HistogramTest, ConcurrentObserversLoseNothing) {
+  Histogram h(LatencyBuckets());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(1e-6 * ((t * kPerThread + i) % 1000 + 1));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : h.BucketCounts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.Count());
+}
+
+TEST(ScopedTimerTest, RecordsElapsedSeconds) {
+  Histogram h(LatencyBuckets());
+  {
+    ScopedTimer timer(&h);
+  }
+  ASSERT_EQ(h.Count(), 1u);
+  EXPECT_GE(h.Sum(), 0.0);
+  EXPECT_LT(h.Sum(), 1.0);  // an empty scope takes nowhere near a second
+}
+
+TEST(ScopedTimerTest, NullHistogramIsNoOp) {
+  ScopedTimer timer(nullptr);  // must not crash or observe anything
+}
+
+TEST(SampleEveryTest, FiresOncePerRatePerThread) {
+  Histogram h(LatencyBuckets());
+  constexpr uint32_t kRate = 8;
+  // The tick is thread-local, so from a fresh thread exactly 1 in kRate
+  // calls returns the histogram.
+  int fired = 0;
+  std::thread([&] {
+    for (int i = 0; i < 64; ++i) {
+      if (SampleEvery(kRate, &h) != nullptr) ++fired;
+    }
+  }).join();
+  EXPECT_EQ(fired, 64 / kRate);
+}
+
+TEST(RegistryTest, GetReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("test_counter_total");
+  Counter* c2 = registry.GetCounter("test_counter_total");
+  EXPECT_EQ(c1, c2);
+  Gauge* g1 = registry.GetGauge("test_gauge");
+  EXPECT_EQ(g1, registry.GetGauge("test_gauge"));
+  Histogram* h1 = registry.GetHistogram("test_latency_seconds");
+  EXPECT_EQ(h1, registry.GetHistogram("test_latency_seconds"));
+}
+
+TEST(RegistryTest, PrometheusExpositionShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("events_total")->Add(3);
+  registry.GetGauge("live_items")->Set(7);
+  Histogram* h = registry.GetHistogram("lat_seconds", {0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(5.0);
+  const std::string dump = registry.DumpPrometheus();
+
+  EXPECT_NE(dump.find("# TYPE events_total counter\n"), std::string::npos);
+  EXPECT_NE(dump.find("events_total 3\n"), std::string::npos);
+  EXPECT_NE(dump.find("# TYPE live_items gauge\n"), std::string::npos);
+  EXPECT_NE(dump.find("live_items 7\n"), std::string::npos);
+  EXPECT_NE(dump.find("# TYPE lat_seconds histogram\n"), std::string::npos);
+  // Cumulative buckets: 1 at 0.1, 2 at 1.0, 3 at +Inf.
+  EXPECT_NE(dump.find("lat_seconds_bucket{le=\"0.1\"} 1\n"), std::string::npos);
+  EXPECT_NE(dump.find("lat_seconds_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(dump.find("lat_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(dump.find("lat_seconds_count 3\n"), std::string::npos);
+  EXPECT_NE(dump.find("lat_seconds_sum"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonExpositionShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("events_total")->Add(2);
+  registry.GetGauge("live_items")->Set(4.5);
+  Histogram* h = registry.GetHistogram("lat_seconds", {1.0, 2.0});
+  h->Observe(0.5);
+  const std::string dump = registry.DumpJson();
+  EXPECT_NE(dump.find("\"counters\""), std::string::npos);
+  EXPECT_NE(dump.find("\"events_total\":2"), std::string::npos);
+  EXPECT_NE(dump.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(dump.find("\"live_items\":4.5"), std::string::npos);
+  EXPECT_NE(dump.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(dump.find("\"lat_seconds\""), std::string::npos);
+  EXPECT_NE(dump.find("\"p99\""), std::string::npos);
+  // Well-formed JSON object: balanced braces, starts/ends correctly.
+  EXPECT_EQ(dump.front(), '{');
+  int depth = 0;
+  for (char ch : dump) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(RegistryTest, ResetZeroesAllInstruments) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total")->Add(9);
+  registry.GetGauge("g")->Set(9);
+  registry.GetHistogram("h_seconds")->Observe(0.1);
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("c_total")->Value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("g")->Value(), 0.0);
+  EXPECT_EQ(registry.GetHistogram("h_seconds")->Count(), 0u);
+}
+
+TEST(RegistryTest, ScrapeWhileWritingStaysCoherent) {
+  // Writers hammer a counter and a histogram while a scraper repeatedly
+  // dumps both formats.  TSan-clean by construction; the scraped counter
+  // value must be monotone across scrapes, and the final dump must see
+  // every increment.
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("hammer_total");
+  Histogram* h = registry.GetHistogram("hammer_seconds");
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 50000;
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        c->Increment();
+        h->Observe(1e-5);
+      }
+    });
+  }
+  std::thread scraper([&] {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string prom = registry.DumpPrometheus();
+      const std::string json = registry.DumpJson();
+      EXPECT_FALSE(prom.empty());
+      EXPECT_FALSE(json.empty());
+      const uint64_t now = c->Value();
+      EXPECT_GE(now, last);
+      last = now;
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  EXPECT_EQ(c->Value(), kWriters * kPerWriter);
+  EXPECT_EQ(h->Count(), kWriters * kPerWriter);
+}
+
+TEST(RegistryTest, GlobalIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+TEST(LatencyBucketsTest, StrictlyIncreasingAndCoversServingRange) {
+  const auto bounds = LatencyBuckets();
+  ASSERT_GE(bounds.size(), 20u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+  EXPECT_LE(bounds.front(), 1e-6);  // sub-microsecond ingest path
+  EXPECT_GE(bounds.back(), 10.0);   // multi-second checkpoint path
+}
+
+}  // namespace
+}  // namespace horizon::obs

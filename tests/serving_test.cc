@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "common/file_io.h"
 #include "core/trainer.h"
 #include "eval/split.h"
 
@@ -192,6 +194,245 @@ TEST_F(PredictionServiceTest, RetiresNeverViewedItems) {
   service.RegisterItem(9, 0.0, dataset_->PageOf(cascade.post), cascade.post);
   EXPECT_EQ(service.RetireDeadItems(2 * kDay), 1u);
   EXPECT_EQ(service.LiveItems(), 0u);
+}
+
+// -- Typed Status surface ------------------------------------------------
+
+TEST_F(PredictionServiceTest, RegisterDuplicateIsAlreadyExists) {
+  PredictionService service = MakeService();
+  const auto& cascade = dataset_->cascades[0];
+  const auto& page = dataset_->PageOf(cascade.post);
+  ASSERT_TRUE(service.RegisterItem(1, 0.0, page, cascade.post).ok());
+  const Status dup = service.RegisterItem(1, 0.0, page, cascade.post);
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(PredictionServiceTest, IngestUnknownIsNotFound) {
+  PredictionService service = MakeService();
+  const Status s = service.Ingest(42, stream::EngagementType::kView, 1.0);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST_F(PredictionServiceTest, QueryUnknownIsNotFound) {
+  PredictionService service = MakeService();
+  const auto result = service.Query(42, 1.0, kDay);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), StatusCode::kNotFound);
+}
+
+TEST_F(PredictionServiceTest, QueryFutureItemIsNotYetLive) {
+  PredictionService service = MakeService();
+  const auto& cascade = dataset_->cascades[0];
+  service.RegisterItem(1, /*creation_time=*/10 * kDay,
+                       dataset_->PageOf(cascade.post), cascade.post);
+  const auto result = service.Query(1, 5 * kDay, kDay);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), StatusCode::kNotYetLive);
+}
+
+TEST_F(PredictionServiceTest, BatchQueryRejectsBadArguments) {
+  PredictionService service = MakeService();
+  QueryRequest negative_delta;
+  negative_delta.ids = {1};
+  negative_delta.s = kHour;
+  negative_delta.delta = -1.0;
+  EXPECT_EQ(service.BatchQuery(negative_delta).code(),
+            StatusCode::kInvalidArgument);
+
+  QueryRequest empty;  // no ids and no top_k: neither lookup nor scan
+  empty.s = kHour;
+  empty.delta = kDay;
+  EXPECT_EQ(service.BatchQuery(empty).code(), StatusCode::kInvalidArgument);
+
+  QueryRequest nan_s;
+  nan_s.ids = {1};
+  nan_s.s = std::nan("");
+  nan_s.delta = kDay;
+  EXPECT_EQ(service.BatchQuery(nan_s).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PredictionServiceTest, BatchQueryMixesResultsAndTypedErrors) {
+  PredictionService service = MakeService();
+  const double s = 6 * kHour;
+  const auto& cascade = dataset_->cascades[0];
+  const auto& page = dataset_->PageOf(cascade.post);
+  service.RegisterItem(1, 0.0, page, cascade.post);
+  service.RegisterItem(2, /*creation_time=*/10 * kDay, page, cascade.post);
+  for (const auto& e : cascade.views) {
+    if (e.time >= s) break;
+    service.Ingest(1, stream::EngagementType::kView, e.time);
+  }
+
+  QueryRequest request;
+  request.ids = {1, 2, 99};
+  request.s = s;
+  request.delta = kDay;
+  const auto response = service.BatchQuery(request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->results.size(), 1u);
+  EXPECT_EQ(response->results[0].item_id, 1);
+  EXPECT_GT(response->results[0].prediction.predicted_views, 0.0);
+
+  ASSERT_EQ(response->errors.size(), 2u);
+  StatusCode code_for_2 = StatusCode::kOk, code_for_99 = StatusCode::kOk;
+  for (const auto& e : response->errors) {
+    if (e.item_id == 2) code_for_2 = e.status.code();
+    if (e.item_id == 99) code_for_99 = e.status.code();
+  }
+  EXPECT_EQ(code_for_2, StatusCode::kNotYetLive);
+  EXPECT_EQ(code_for_99, StatusCode::kNotFound);
+}
+
+TEST_F(PredictionServiceTest, BatchQueryTopKOverIdsRanksAndTruncates) {
+  PredictionService service = MakeService();
+  const double s = 6 * kHour;
+  for (int64_t i = 0; i < 12; ++i) {
+    const auto& cascade = dataset_->cascades[static_cast<size_t>(i)];
+    service.RegisterItem(i, 0.0, dataset_->PageOf(cascade.post), cascade.post);
+    for (const auto& e : cascade.views) {
+      if (e.time >= s) break;
+      service.Ingest(i, stream::EngagementType::kView, e.time);
+    }
+  }
+  QueryRequest request;
+  for (int64_t i = 0; i < 12; ++i) request.ids.push_back(i);
+  request.s = s;
+  request.delta = kDay;
+  request.top_k = 4;
+  const auto response = service.BatchQuery(request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->results.size(), 4u);
+  for (size_t i = 1; i < response->results.size(); ++i) {
+    const auto& prev = response->results[i - 1].prediction;
+    const auto& cur = response->results[i].prediction;
+    EXPECT_GE(prev.predicted_views - prev.observed_views,
+              cur.predicted_views - cur.observed_views);
+  }
+}
+
+TEST_F(PredictionServiceTest, BatchQueryScanMatchesTopKShim) {
+  PredictionService service = MakeService();
+  const double s = 6 * kHour;
+  for (int64_t i = 0; i < 10; ++i) {
+    const auto& cascade = dataset_->cascades[static_cast<size_t>(i)];
+    service.RegisterItem(i, 0.0, dataset_->PageOf(cascade.post), cascade.post);
+    for (const auto& e : cascade.views) {
+      if (e.time >= s) break;
+      service.Ingest(i, stream::EngagementType::kView, e.time);
+    }
+  }
+  QueryRequest scan;
+  scan.s = s;
+  scan.delta = kDay;
+  scan.top_k = 3;
+  const auto response = service.BatchQuery(scan);
+  ASSERT_TRUE(response.ok());
+  const auto top = service.TopK(s, kDay, 3);
+  ASSERT_EQ(response->results.size(), top.size());
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(response->results[i].item_id, top[i].first);
+    EXPECT_DOUBLE_EQ(response->results[i].prediction.predicted_views -
+                         response->results[i].prediction.observed_views,
+                     top[i].second);
+  }
+}
+
+TEST_F(PredictionServiceTest, ValidateRejectsBadConfigs) {
+  ServiceConfig bad_shards;
+  bad_shards.num_shards = 0;
+  EXPECT_EQ(bad_shards.Validate().code(), StatusCode::kInvalidArgument);
+
+  ServiceConfig bad_age;
+  bad_age.idle_retirement_age = 0.0;
+  EXPECT_EQ(bad_age.Validate().code(), StatusCode::kInvalidArgument);
+
+  ServiceConfig bad_threshold;
+  bad_threshold.death_probability_threshold = 1.5;
+  EXPECT_EQ(bad_threshold.Validate().code(), StatusCode::kInvalidArgument);
+
+  // A tracker layout that disagrees with the extractor's is a config
+  // mismatch: features would be computed against the wrong windows.
+  ServiceConfig skewed;
+  skewed.tracker.window_lengths.push_back(99 * kDay);
+  EXPECT_EQ(skewed.Validate(extractor_).code(), StatusCode::kConfigMismatch);
+
+  EXPECT_TRUE(ServiceConfig{}.Validate(extractor_).ok());
+}
+
+TEST_F(PredictionServiceTest, RestoreReportsTypedFailures) {
+  const std::string dir =
+      ::testing::TempDir() + "horizon_serving_status_restore";
+  io::RemoveTree(dir);
+
+  // No checkpoint at all: kNotFound.
+  PredictionService service = MakeService();
+  EXPECT_EQ(service.Restore(dir).code(), StatusCode::kNotFound);
+
+  // A CURRENT pointer naming a missing/invalid checkpoint: kCorruption.
+  ASSERT_TRUE(io::EnsureDir(dir).ok());
+  ASSERT_TRUE(io::WriteFileAtomic(dir + "/CURRENT", "not-a-checkpoint\n").ok());
+  EXPECT_EQ(service.Restore(dir).code(), StatusCode::kCorruption);
+  io::RemoveTree(dir);
+}
+
+TEST_F(PredictionServiceTest, RestoreUnderDifferentLayoutIsConfigMismatch) {
+  const std::string dir =
+      ::testing::TempDir() + "horizon_serving_status_mismatch";
+  io::RemoveTree(dir);
+  {
+    PredictionService writer = MakeService();
+    const auto& cascade = dataset_->cascades[0];
+    writer.RegisterItem(1, 0.0, dataset_->PageOf(cascade.post), cascade.post);
+    writer.Ingest(1, stream::EngagementType::kView, kHour);
+    ASSERT_TRUE(writer.Checkpoint(dir).ok());
+  }
+  // A reader configured with an extra tracking window cannot adopt the
+  // checkpointed tracker state.
+  ServiceConfig skewed;
+  skewed.tracker.window_lengths.push_back(99 * kDay);
+  const features::FeatureExtractor skewed_extractor(skewed.tracker);
+  PredictionService reader(model_, &skewed_extractor, skewed);
+  EXPECT_EQ(reader.Restore(dir).code(), StatusCode::kConfigMismatch);
+  io::RemoveTree(dir);
+}
+
+TEST_F(PredictionServiceTest, ErrorCountersTrackTypedFailures) {
+  // A private registry isolates this service's instruments.
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.metrics = &registry;
+  PredictionService service = MakeService(config);
+
+  (void)service.Query(404, kHour, kDay);                       // not_found
+  (void)service.Ingest(404, stream::EngagementType::kView, 1.0);
+  QueryRequest bad;
+  bad.ids = {404};
+  bad.s = kHour;
+  bad.delta = -1.0;
+  (void)service.BatchQuery(bad);                               // invalid_argument
+
+  EXPECT_EQ(
+      registry.GetCounter("horizon_serving_errors_not_found_total")->Value(),
+      2u);
+  EXPECT_EQ(registry.GetCounter("horizon_serving_errors_invalid_argument_total")
+                ->Value(),
+            1u);
+
+  const auto& cascade = dataset_->cascades[0];
+  service.RegisterItem(7, 0.0, dataset_->PageOf(cascade.post), cascade.post);
+  service.Ingest(7, stream::EngagementType::kView, kHour);
+  (void)service.Query(7, 6 * kHour, kDay);
+  EXPECT_EQ(registry.GetCounter("horizon_serving_items_registered_total")->Value(),
+            1u);
+  EXPECT_EQ(registry.GetCounter("horizon_serving_events_ingested_total")->Value(),
+            1u);
+  EXPECT_EQ(registry.GetCounter("horizon_serving_queries_total")->Value(), 1u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("horizon_serving_live_items")->Value(),
+                   1.0);
+  // The query latency histogram saw the answered query.
+  EXPECT_GE(registry.GetHistogram("horizon_serving_query_latency_seconds")
+                ->Count(),
+            1u);
 }
 
 }  // namespace

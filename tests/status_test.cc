@@ -1,0 +1,147 @@
+// Tests for common/status.h: code taxonomy, ToString formatting, the
+// deprecated bool/optional compatibility shims, StatusOr value semantics,
+// and HORIZON_RETURN_IF_ERROR propagation.
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace horizon {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "ok");
+  EXPECT_EQ(s, Status::Ok());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    std::string_view name;
+  };
+  const std::vector<Case> cases = {
+      {Status::NotFound("a"), StatusCode::kNotFound, "not_found"},
+      {Status::NotYetLive("b"), StatusCode::kNotYetLive, "not_yet_live"},
+      {Status::InvalidArgument("c"), StatusCode::kInvalidArgument,
+       "invalid_argument"},
+      {Status::IoError("d"), StatusCode::kIoError, "io_error"},
+      {Status::Corruption("e"), StatusCode::kCorruption, "corruption"},
+      {Status::ConfigMismatch("f"), StatusCode::kConfigMismatch,
+       "config_mismatch"},
+      {Status::AlreadyExists("g"), StatusCode::kAlreadyExists,
+       "already_exists"},
+      {Status::Internal("h"), StatusCode::kInternal, "internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(StatusCodeName(c.code), c.name);
+    EXPECT_EQ(c.status.ToString(),
+              std::string(c.name) + ": " + c.status.message());
+  }
+}
+
+TEST(StatusTest, CodeValuesAreStable) {
+  // The numeric values are exported as metric labels; renumbering them
+  // silently breaks dashboards.
+  EXPECT_EQ(static_cast<int>(StatusCode::kOk), 0);
+  EXPECT_EQ(static_cast<int>(StatusCode::kNotFound), 1);
+  EXPECT_EQ(static_cast<int>(StatusCode::kNotYetLive), 2);
+  EXPECT_EQ(static_cast<int>(StatusCode::kInvalidArgument), 3);
+  EXPECT_EQ(static_cast<int>(StatusCode::kIoError), 4);
+  EXPECT_EQ(static_cast<int>(StatusCode::kCorruption), 5);
+  EXPECT_EQ(static_cast<int>(StatusCode::kConfigMismatch), 6);
+  EXPECT_EQ(static_cast<int>(StatusCode::kAlreadyExists), 7);
+  EXPECT_EQ(static_cast<int>(StatusCode::kInternal), 8);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_NE(Status::NotFound("x"), Status::NotFound("y"));
+  EXPECT_NE(Status::NotFound("x"), Status::IoError("x"));
+}
+
+TEST(StatusTest, BoolShimMatchesOk) {
+  // `if (!service.Checkpoint(dir))` must keep the pre-Status meaning.
+  EXPECT_TRUE(static_cast<bool>(Status::Ok()));
+  EXPECT_FALSE(static_cast<bool>(Status::IoError("disk on fire")));
+  if (Status::NotFound("nope")) {
+    FAIL() << "non-OK Status must be contextually false";
+  }
+}
+
+Status FailsAtStep(int failing_step, int step) {
+  if (step == failing_step) return Status::Corruption("step failed");
+  return Status::Ok();
+}
+
+Status RunThreeSteps(int failing_step) {
+  HORIZON_RETURN_IF_ERROR(FailsAtStep(failing_step, 0));
+  HORIZON_RETURN_IF_ERROR(FailsAtStep(failing_step, 1));
+  HORIZON_RETURN_IF_ERROR(FailsAtStep(failing_step, 2));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagatesFirstFailure) {
+  EXPECT_TRUE(RunThreeSteps(-1).ok());
+  for (int step = 0; step < 3; ++step) {
+    const Status s = RunThreeSteps(step);
+    EXPECT_EQ(s.code(), StatusCode::kCorruption);
+    EXPECT_EQ(s.message(), "step failed");
+  }
+}
+
+StatusOr<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(StatusOrTest, CarriesValueOrStatus) {
+  const StatusOr<int> good = ParsePositive(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 7);
+  EXPECT_EQ(good.code(), StatusCode::kOk);
+
+  const StatusOr<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.status().message(), "not positive");
+}
+
+TEST(StatusOrTest, OptionalShimsMatchOptionalSemantics) {
+  const StatusOr<std::string> good = std::string("payload");
+  EXPECT_TRUE(good.has_value());
+  EXPECT_TRUE(static_cast<bool>(good));
+  EXPECT_EQ(*good, "payload");
+  EXPECT_EQ(good->size(), 7u);
+  EXPECT_EQ(good.value_or("fallback"), "payload");
+
+  const StatusOr<std::string> bad = Status::NotFound("missing");
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.value_or("fallback"), "fallback");
+}
+
+TEST(StatusOrTest, MoveOutOfValue) {
+  StatusOr<std::vector<int>> big = std::vector<int>{1, 2, 3};
+  const std::vector<int> moved = *std::move(big);
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+TEST(StatusOrTest, WorksWithMoveOnlyTypes) {
+  StatusOr<std::unique_ptr<int>> p = std::make_unique<int>(5);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(**p, 5);
+  const std::unique_ptr<int> owned = std::move(p).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+}  // namespace
+}  // namespace horizon

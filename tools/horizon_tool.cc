@@ -29,6 +29,12 @@
 //       Run generate -> train -> predict -> evaluate -> checkpoint ->
 //       restore in a temp directory.
 //
+//   horizon_tool stats [--format prometheus|json]
+//       Exercise the serving stack on a small in-process synthetic
+//       workload (register/ingest/query/top-k/error paths), then dump
+//       the process-local metrics registry in Prometheus text
+//       exposition format (default) or as JSON.
+//
 // Durations accept the forms "90s", "30m", "6h", "2d".
 #include <cstdio>
 #include <cstdlib>
@@ -278,8 +284,11 @@ int CmdCheckpoint(const std::map<std::string, std::string>& flags) {
       service.Ingest(id, stream::EngagementType::kReaction, t);
     }
   }
-  if (!service.Checkpoint(out)) {
-    return Fail("checkpoint failed (IO error or injected fault)");
+  const Status ckpt_status = service.Checkpoint(out);
+  if (!ckpt_status.ok()) {
+    std::fprintf(stderr, "error: checkpoint failed: %s\n",
+                 ckpt_status.ToString().c_str());
+    return 1;
   }
   const auto stats = service.stats();
   std::printf("checkpointed %zu live items (%llu events) at age %s -> %s\n",
@@ -300,8 +309,11 @@ int CmdRestore(const std::map<std::string, std::string>& flags) {
 
   const features::FeatureExtractor extractor{stream::TrackerConfig{}};
   serving::PredictionService service(&*model, &extractor, serving::ServiceConfig{});
-  if (!service.Restore(ckpt)) {
-    return Fail("restore failed (missing, torn, or incompatible checkpoint)");
+  const Status restore_status = service.Restore(ckpt);
+  if (!restore_status.ok()) {
+    std::fprintf(stderr, "error: restore failed: %s\n",
+                 restore_status.ToString().c_str());
+    return 1;
   }
   const auto stats = service.stats();
   std::printf("restored %zu live items (%llu events ingested before checkpoint)\n",
@@ -316,14 +328,95 @@ int CmdRestore(const std::map<std::string, std::string>& flags) {
       return Fail("bad --time/--horizon duration");
     }
     const int64_t id = std::atoll(post.c_str());
-    const auto result = service.Query(id, *time, *horizon);
-    if (!result.has_value()) return Fail("unknown --post id in the checkpoint");
+    serving::QueryRequest request;
+    request.ids = {id};
+    request.s = *time;
+    request.delta = *horizon;
+    const auto response = service.BatchQuery(request);
+    if (!response.ok()) return Fail(response.status().ToString().c_str());
+    if (!response->errors.empty()) {
+      std::fprintf(stderr, "error: query for post %lld failed: %s\n",
+                   static_cast<long long>(id),
+                   response->errors.front().status.ToString().c_str());
+      return 1;
+    }
+    const auto& result = response->results.front().prediction;
     std::printf("post %lld at age %s: N(s) = %.0f, predicted N(s + %s) = %.0f "
                 "(alpha %.3f / day)\n",
                 static_cast<long long>(id), FormatDuration(*time).c_str(),
-                result->observed_views, FormatDuration(*horizon).c_str(),
-                result->predicted_views, result->alpha * kDay);
+                result.observed_views, FormatDuration(*horizon).c_str(),
+                result.predicted_views, result.alpha * kDay);
   }
+  return 0;
+}
+
+int CmdStats(const std::map<std::string, std::string>& flags) {
+  const std::string format = FlagOr(flags, "format", "prometheus");
+  if (format != "prometheus" && format != "json") {
+    return Fail("bad --format (expected prometheus or json)");
+  }
+
+  // The registry is process-local, so drive a small synthetic workload
+  // through the serving stack first: every exposed series below reflects
+  // real instrumented code paths, which makes this command usable as a
+  // CI smoke check on the exposition formats.
+  datagen::GeneratorConfig config;
+  config.num_posts = 120;
+  config.num_pages = 20;
+  config.seed = 7;
+  const auto dataset = datagen::Generator(config).Generate();
+
+  const features::FeatureExtractor extractor{stream::TrackerConfig{}};
+  std::vector<size_t> all(dataset.cascades.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  core::ExampleSetOptions options;
+  options.reference_horizons = {6 * kHour, kDay};
+  const auto examples = core::BuildExampleSet(dataset, all, extractor, options);
+  core::HawkesPredictorParams params;
+  params.reference_horizons = {6 * kHour, kDay};
+  core::HawkesPredictor model(params);
+  model.Fit(examples.x, examples.log1p_increments, examples.alpha_targets);
+
+  serving::PredictionService service(&model, &extractor,
+                                     serving::ServiceConfig{});
+  std::vector<int64_t> ids;
+  for (const auto& cascade : dataset.cascades) {
+    const int64_t id = cascade.post.id;
+    if (!service.RegisterItem(id, 0.0, dataset.PageOf(cascade.post),
+                              cascade.post).ok()) {
+      continue;
+    }
+    ids.push_back(id);
+    for (const auto& e : cascade.views) {
+      if (e.time >= 6 * kHour) break;
+      service.Ingest(id, stream::EngagementType::kView, e.time);
+    }
+  }
+
+  // Point queries, a scan (top-k), and deliberate error paths so the
+  // error counters are non-zero in the dump.
+  serving::QueryRequest point;
+  point.ids = ids;
+  point.s = 6 * kHour;
+  point.delta = kDay;
+  (void)service.BatchQuery(point);
+  serving::QueryRequest scan;
+  scan.s = 6 * kHour;
+  scan.delta = kDay;
+  scan.top_k = 10;
+  (void)service.BatchQuery(scan);
+  (void)service.Query(-1, 6 * kHour, kDay);               // not_found
+  (void)service.Ingest(-1, stream::EngagementType::kView, 0.0);  // not_found
+  serving::QueryRequest bad;
+  bad.ids = ids;
+  bad.s = 6 * kHour;
+  bad.delta = -1.0;
+  (void)service.BatchQuery(bad);                          // invalid_argument
+
+  const std::string dump = format == "json"
+                               ? service.metrics().DumpJson()
+                               : service.metrics().DumpPrometheus();
+  std::fputs(dump.c_str(), stdout);
   return 0;
 }
 
@@ -359,7 +452,7 @@ int CmdSelfTest() {
 int Usage() {
   std::fprintf(stderr,
                "usage: horizon_tool <generate|train|predict|evaluate|"
-               "checkpoint|restore|selftest> "
+               "checkpoint|restore|selftest|stats> "
                "[--key value ...]\n(see the header of tools/horizon_tool.cc)\n");
   return 2;
 }
@@ -377,5 +470,6 @@ int main(int argc, char** argv) {
   if (command == "checkpoint") return CmdCheckpoint(flags);
   if (command == "restore") return CmdRestore(flags);
   if (command == "selftest") return CmdSelfTest();
+  if (command == "stats") return CmdStats(flags);
   return Usage();
 }
