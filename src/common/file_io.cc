@@ -34,6 +34,16 @@ void FaultInjector::ArmCrashAt(int n) {
   std::lock_guard<std::mutex> lock(mu_);
   armed_ = n >= 0;
   crashed_ = false;
+  transient_ = false;
+  countdown_ = n;
+  ops_ = 0;
+}
+
+void FaultInjector::ArmFailOnce(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = n >= 0;
+  crashed_ = false;
+  transient_ = true;
   countdown_ = n;
   ops_ = 0;
 }
@@ -42,6 +52,7 @@ void FaultInjector::Disarm() {
   std::lock_guard<std::mutex> lock(mu_);
   armed_ = false;
   crashed_ = false;
+  transient_ = false;
   countdown_ = -1;
   ops_ = 0;
 }
@@ -62,7 +73,14 @@ bool FaultInjector::ShouldFail(FaultPoint /*point*/) {
   ++ops_;
   if (crashed_) return true;  // the process died; nothing after it runs
   if (--countdown_ < 0) {
-    crashed_ = true;
+    if (transient_) {
+      // A transient fault fires once and recovers.
+      armed_ = false;
+      transient_ = false;
+      countdown_ = -1;
+    } else {
+      crashed_ = true;
+    }
     return true;
   }
   return false;

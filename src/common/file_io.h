@@ -50,6 +50,13 @@ class FaultInjector {
   /// the injector enters the "crashed" state.  n < 0 disarms.
   void ArmCrashAt(int n);
 
+  /// Arms a transient fault: the n-th (0-based) faultable operation from
+  /// now fails ONCE and the injector then disarms itself -- modeling a
+  /// spurious IO error (EIO, full disk) rather than a dead process, so a
+  /// retry of the failed protocol can succeed.  Used by the simulation
+  /// harness's kIoError fault schedules.  n < 0 disarms.
+  void ArmFailOnce(int n);
+
   /// Disarms and clears the crashed state and operation counter.
   void Disarm();
 
@@ -70,6 +77,7 @@ class FaultInjector {
   mutable std::mutex mu_;
   bool armed_ = false;
   bool crashed_ = false;
+  bool transient_ = false;
   int countdown_ = -1;
   int ops_ = 0;
 };

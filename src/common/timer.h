@@ -1,8 +1,12 @@
-// Monotonic wall-clock timer used by the computation-cost experiments.
+// Monotonic wall-clock timer used by the computation-cost experiments,
+// plus the deterministic virtual clock the simulation harness substitutes
+// for wall time.
 #ifndef HORIZON_COMMON_TIMER_H_
 #define HORIZON_COMMON_TIMER_H_
 
 #include <chrono>
+
+#include "common/check.h"
 
 namespace horizon {
 
@@ -25,6 +29,38 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Deterministic logical clock for simulation harnesses.
+///
+/// The serving stack takes every event/prediction time as an explicit
+/// double (absolute stream seconds), so a whole-service simulation never
+/// needs to touch the wall clock: the driver owns a VirtualClock, stamps
+/// operations with Now(), and advances it explicitly.  Monotonicity is
+/// enforced, which turns a mis-ordered op schedule into a loud failure
+/// instead of a silently time-travelling tracker.
+class VirtualClock {
+ public:
+  explicit VirtualClock(double start = 0.0) : now_(start) {}
+
+  /// Current logical time in seconds.
+  double Now() const { return now_; }
+
+  /// Jumps forward to absolute time `t` (>= Now()).
+  void AdvanceTo(double t) {
+    HORIZON_CHECK_GE(t, now_);
+    now_ = t;
+  }
+
+  /// Advances by `dt` seconds (>= 0); returns the new Now().
+  double Advance(double dt) {
+    HORIZON_CHECK_GE(dt, 0.0);
+    now_ += dt;
+    return now_;
+  }
+
+ private:
+  double now_;
 };
 
 }  // namespace horizon

@@ -1,0 +1,82 @@
+#include "sim/checkers.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace horizon::sim {
+
+namespace {
+
+/// Slack for comparisons between quantities that are mathematically
+/// ordered but computed through different floating-point routes.
+constexpr double kUlpSlack = 1e-12;
+
+/// The transfer identity goes through exp/log round trips (geometric
+/// aggregation), so it holds to ~1e-15 per operation; 1e-9 relative is a
+/// comfortable margin that still catches any real formula drift.
+constexpr double kTransferTol = 1e-9;
+
+bool ApproxLe(double a, double b) {
+  return a <= b * (1.0 + kUlpSlack) + kUlpSlack;
+}
+
+}  // namespace
+
+std::string CheckPredictionInvariants(const core::HawkesPredictor& model,
+                                      const RefAnswer& answer, double delta) {
+  std::ostringstream os;
+  os.precision(17);
+  const core::HawkesPredictorParams& params = model.params();
+  if (answer.alpha < params.alpha_min || answer.alpha > params.alpha_max) {
+    os << "alpha " << answer.alpha << " outside clamp range ["
+       << params.alpha_min << ", " << params.alpha_max << "]";
+    return os.str();
+  }
+  if (!(answer.predicted >= answer.observed)) {
+    os << "predicted " << answer.predicted << " < observed " << answer.observed
+       << " (negative increment)";
+    return os.str();
+  }
+  if (delta == 0.0 && answer.increment != 0.0) {
+    os << "delta=0 increment is " << answer.increment << ", want exactly 0";
+    return os.str();
+  }
+
+  const float* row = answer.row.data();
+  const double final_inc = model.PredictFinalIncrement(row);
+  if (!(final_inc >= 0.0) || !std::isfinite(final_inc)) {
+    os << "infinite-horizon increment is " << final_inc;
+    return os.str();
+  }
+
+  // Prop. 3.2 over a horizon grid: monotone in delta, bounded by the
+  // infinite-horizon limit, and equal to the transfer formula.
+  const double grid[] = {0.0,      15 * kMinute, 1 * kHour, 6 * kHour,
+                         1 * kDay, 4 * kDay,     30 * kDay};
+  double prev = 0.0;
+  for (const double d : grid) {
+    const double inc = model.PredictIncrement(row, d);
+    if (!ApproxLe(prev, inc)) {
+      os << "increment not monotone: inc(" << d << ")=" << inc
+         << " < previous grid value " << prev;
+      return os.str();
+    }
+    if (!ApproxLe(inc, final_inc)) {
+      os << "inc(" << d << ")=" << inc << " exceeds infinite-horizon limit "
+         << final_inc;
+      return os.str();
+    }
+    const double want = final_inc * (-std::expm1(-answer.alpha * d));
+    const double tol = kTransferTol * std::max(1.0, std::abs(want));
+    if (std::abs(inc - want) > tol) {
+      os << "transfer identity violated at delta=" << d << ": inc=" << inc
+         << " but final*( -expm1(-alpha*delta) )=" << want;
+      return os.str();
+    }
+    prev = inc;
+  }
+  return std::string();
+}
+
+}  // namespace horizon::sim

@@ -1,0 +1,36 @@
+// Per-answer invariant checkers for the simulation harness.
+//
+// These check properties the PAPER guarantees rather than properties of
+// any particular implementation: Prop. 3.2 (the conditional count over a
+// horizon depends on history only through lambda(s), so the predicted
+// increment is non-negative and non-decreasing in the horizon and bounded
+// by the infinite-horizon limit) and the Sec. 3.2.2 transfer formula
+// (inc(delta) = inc(inf) * (1 - e^{-alpha delta}) -- an exact identity of
+// the model family, checkable to rounding error at every answer).
+#ifndef HORIZON_SIM_CHECKERS_H_
+#define HORIZON_SIM_CHECKERS_H_
+
+#include <string>
+
+#include "core/hawkes_predictor.h"
+#include "sim/reference_model.h"
+
+namespace horizon::sim {
+
+/// Checks every invariant on one reference answer:
+///   * alpha within the model's configured clamp range,
+///   * predicted >= observed (non-negative increment),
+///   * delta = 0 yields exactly zero increment,
+///   * PredictIncrement is monotone non-decreasing over a horizon grid,
+///   * every finite-horizon increment is bounded by the infinite-horizon
+///     increment,
+///   * the transfer identity inc(delta) = inc(inf) * (-expm1(-alpha delta))
+///     holds to ~1e-9 relative error at every grid point.
+/// Returns an empty string when all hold, else a description of the first
+/// violation.
+std::string CheckPredictionInvariants(const core::HawkesPredictor& model,
+                                      const RefAnswer& answer, double delta);
+
+}  // namespace horizon::sim
+
+#endif  // HORIZON_SIM_CHECKERS_H_

@@ -8,8 +8,18 @@
 
 #include <string>
 
+#include "env_guard.h"
+
 namespace horizon::io {
 namespace {
+
+// Keep the injector's state hermetic: a HORIZON_FAULT_CRASH_AT from the
+// invoking shell arms it at Global() construction and would tear every
+// write this suite performs.
+const ::testing::Environment* const kFaultEnvGuard =
+    ::testing::AddGlobalTestEnvironment(
+        new horizon::test::EnvVarGuard("HORIZON_FAULT_CRASH_AT",
+                                       /*disarm_fault_injector=*/true));
 
 std::string TestDir(const std::string& leaf) {
   const std::string dir = ::testing::TempDir() + "horizon_file_io_" + leaf;
@@ -225,6 +235,36 @@ TEST_F(FaultInjectionTest, OpsSeenCounts) {
   EXPECT_EQ(injector.ops_seen(), 2 * per_write);
   injector.Disarm();
   EXPECT_EQ(injector.ops_seen(), 0);
+  RemoveTree(dir);
+}
+
+TEST_F(FaultInjectionTest, FailOnceIsTransient) {
+  // Unlike ArmCrashAt, a fail-once fault models a transient IO error: the
+  // faulted operation fails, the injector self-disarms, and the very next
+  // attempt succeeds without anyone calling Disarm.
+  const std::string dir = TestDir("failonce");
+  const std::string path = dir + "/file";
+  ASSERT_TRUE(WriteFileAtomic(path, "old"));
+
+  auto& injector = FaultInjector::Global();
+  injector.ArmFailOnce(0);
+  EXPECT_FALSE(WriteFileAtomic(path, "first attempt"));
+  EXPECT_FALSE(injector.crashed());  // transient, not a crash
+  EXPECT_EQ(ReadFile(path).value_or("<missing>"), "old");
+
+  // Self-disarmed: the retry commits with no intervention.
+  EXPECT_TRUE(WriteFileAtomic(path, "second attempt"));
+  EXPECT_EQ(ReadFile(path).value_or("<missing>"), "second attempt");
+  RemoveTree(dir);
+}
+
+TEST_F(FaultInjectionTest, FailOnceBeyondWriteNeverFires) {
+  const std::string dir = TestDir("failonce_never");
+  auto& injector = FaultInjector::Global();
+  injector.ArmFailOnce(1000);  // past every op this write performs
+  EXPECT_TRUE(WriteFileAtomic(dir + "/f", "x"));
+  EXPECT_EQ(ReadFile(dir + "/f").value_or("<missing>"), "x");
+  injector.Disarm();
   RemoveTree(dir);
 }
 

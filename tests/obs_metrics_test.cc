@@ -8,6 +8,8 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -269,6 +271,125 @@ TEST(RegistryTest, ScrapeWhileWritingStaysCoherent) {
 
   EXPECT_EQ(c->Value(), kWriters * kPerWriter);
   EXPECT_EQ(h->Count(), kWriters * kPerWriter);
+}
+
+// --- Exposition well-formedness under churn ----------------------------
+
+/// Prometheus metric-name charset: [a-zA-Z_:][a-zA-Z0-9_:]*.
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (i > 0 && digit))) return false;
+  }
+  return true;
+}
+
+bool IsNumber(const std::string& text) {
+  if (text.empty()) return false;
+  if (text == "+Inf" || text == "-Inf" || text == "inf" || text == "-inf" ||
+      text == "nan") {
+    return true;
+  }
+  char* end = nullptr;
+  (void)std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+/// Asserts every line of a Prometheus text-format dump parses as either a
+/// "# TYPE <name> <kind>" comment or a "<series>[{le=\"..\"}] <value>"
+/// sample -- a torn line (interleaved writes, truncated buffer) fails.
+void ValidatePrometheusDump(const std::string& dump) {
+  ASSERT_FALSE(dump.empty());
+  ASSERT_EQ(dump.back(), '\n') << "dump must end in a newline";
+  std::istringstream lines(dump);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream is(line.substr(7));
+      std::string name, kind, extra;
+      ASSERT_TRUE(static_cast<bool>(is >> name >> kind)) << line;
+      EXPECT_TRUE(IsValidMetricName(name)) << line;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+          << line;
+      EXPECT_FALSE(static_cast<bool>(is >> extra)) << "trailing text: " << line;
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string series = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    EXPECT_TRUE(IsNumber(value)) << line;
+    const size_t brace = series.find('{');
+    if (brace != std::string::npos) {
+      // Only histogram buckets carry labels, and only `le`.
+      ASSERT_EQ(series.back(), '}') << line;
+      const std::string labels = series.substr(brace + 1,
+                                               series.size() - brace - 2);
+      EXPECT_EQ(labels.rfind("le=\"", 0), 0u) << line;
+      EXPECT_EQ(labels.back(), '"') << line;
+      series = series.substr(0, brace);
+    }
+    EXPECT_TRUE(IsValidMetricName(series)) << line;
+  }
+}
+
+TEST(RegistryTest, ScrapeUnderChurnNeverEmitsMalformedLines) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("churn_requests_total");
+  Gauge* gauge = registry.GetGauge("churn_live");
+  Histogram* hist = registry.GetHistogram("churn_latency_seconds");
+
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter->Increment();
+        gauge->Set(static_cast<double>(i % 1000));
+        hist->Observe(1e-6 * static_cast<double>((i * 7 + w) % 100000));
+        // Keep registering new series mid-scrape: the dump must stay
+        // well-formed while the instrument maps themselves grow.
+        if (i % 1024 == 0) {
+          registry.GetCounter("churn_dynamic_" + std::to_string(w) + "_total");
+        }
+        ++i;
+      }
+    });
+  }
+
+  for (int scrape = 0; scrape < 200; ++scrape) {
+    const std::string dump = registry.DumpPrometheus();
+    ValidatePrometheusDump(dump);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+
+  // One final quiescent scrape: histogram count equals the last bucket's
+  // cumulative value, so the series are consistent, not just well-formed.
+  const std::string dump = registry.DumpPrometheus();
+  ValidatePrometheusDump(dump);
+  std::istringstream lines(dump);
+  std::string line;
+  uint64_t last_bucket = 0, count = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("churn_latency_seconds_bucket{le=\"+Inf\"}", 0) == 0) {
+      last_bucket = std::stoull(line.substr(line.rfind(' ') + 1));
+    }
+    if (line.rfind("churn_latency_seconds_count ", 0) == 0) {
+      count = std::stoull(line.substr(line.rfind(' ') + 1));
+    }
+  }
+  EXPECT_EQ(last_bucket, count);
+  EXPECT_EQ(count, hist->Count());
 }
 
 TEST(RegistryTest, GlobalIsSingleton) {

@@ -337,6 +337,79 @@ TEST_F(PredictionServiceTest, BatchQueryScanMatchesTopKShim) {
   }
 }
 
+TEST_F(PredictionServiceTest, ScanOnEmptyServiceReturnsNothing) {
+  PredictionService service = MakeService();
+  QueryRequest scan;
+  scan.s = 6 * kHour;
+  scan.delta = kDay;
+  scan.top_k = 5;
+  const auto response = service.BatchQuery(scan);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->results.empty());
+  EXPECT_TRUE(response->errors.empty());
+  EXPECT_EQ(service.stats().queries_answered, 0u);
+}
+
+TEST_F(PredictionServiceTest, ScanWithKBeyondLiveItemsReturnsAll) {
+  PredictionService service = MakeService();
+  const double s = 6 * kHour;
+  for (int64_t i = 0; i < 4; ++i) {
+    const auto& cascade = dataset_->cascades[static_cast<size_t>(i)];
+    service.RegisterItem(i, 0.0, dataset_->PageOf(cascade.post), cascade.post);
+    for (const auto& e : cascade.views) {
+      if (e.time >= s) break;
+      service.Ingest(i, stream::EngagementType::kView, e.time);
+    }
+  }
+  QueryRequest scan;
+  scan.s = s;
+  scan.delta = kDay;
+  scan.top_k = 1000;  // far beyond the 4 live items
+  const auto response = service.BatchQuery(scan);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->results.size(), 4u);
+  EXPECT_TRUE(response->errors.empty());
+  // Still ranked: increments non-increasing over the full result set.
+  for (size_t i = 1; i < response->results.size(); ++i) {
+    const auto inc = [](const ItemPrediction& p) {
+      return p.prediction.predicted_views - p.prediction.observed_views;
+    };
+    EXPECT_GE(inc(response->results[i - 1]), inc(response->results[i]));
+  }
+}
+
+TEST_F(PredictionServiceTest, ScanSkipsItemsNotYetLive) {
+  PredictionService service = MakeService();
+  const double s = kHour;
+  // Every registered item goes live AFTER the scan's prediction time; the
+  // scan must skip them silently (no results, no errors) rather than
+  // reporting kNotYetLive per item.
+  for (int64_t i = 0; i < 3; ++i) {
+    const auto& cascade = dataset_->cascades[static_cast<size_t>(i)];
+    service.RegisterItem(i, s + kHour, dataset_->PageOf(cascade.post),
+                         cascade.post);
+  }
+  QueryRequest scan;
+  scan.s = s;
+  scan.delta = kDay;
+  scan.top_k = 10;
+  const auto response = service.BatchQuery(scan);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->results.empty());
+  EXPECT_TRUE(response->errors.empty());
+  // The same ids through the by-ids path DO report the typed error.
+  QueryRequest by_ids;
+  by_ids.ids = {0, 1, 2};
+  by_ids.s = s;
+  by_ids.delta = kDay;
+  const auto typed = service.BatchQuery(by_ids);
+  ASSERT_TRUE(typed.ok());
+  EXPECT_EQ(typed->errors.size(), 3u);
+  for (const auto& e : typed->errors) {
+    EXPECT_EQ(e.status.code(), StatusCode::kNotYetLive);
+  }
+}
+
 TEST_F(PredictionServiceTest, ValidateRejectsBadConfigs) {
   ServiceConfig bad_shards;
   bad_shards.num_shards = 0;
@@ -350,13 +423,37 @@ TEST_F(PredictionServiceTest, ValidateRejectsBadConfigs) {
   bad_threshold.death_probability_threshold = 1.5;
   EXPECT_EQ(bad_threshold.Validate().code(), StatusCode::kInvalidArgument);
 
+  // NaN fails the positivity check, not a comparison-order accident.
+  ServiceConfig nan_age;
+  nan_age.idle_retirement_age = std::nan("");
+  EXPECT_EQ(nan_age.Validate().code(), StatusCode::kInvalidArgument);
+
+  ServiceConfig zero_threshold;
+  zero_threshold.death_probability_threshold = 0.0;  // (0, 1] excludes 0
+  EXPECT_EQ(zero_threshold.Validate().code(), StatusCode::kInvalidArgument);
+
+  ServiceConfig no_windows;
+  no_windows.tracker.window_lengths.clear();
+  EXPECT_EQ(no_windows.Validate().code(), StatusCode::kInvalidArgument);
+
+  ServiceConfig no_landmarks;
+  no_landmarks.tracker.landmark_ages.clear();
+  EXPECT_EQ(no_landmarks.Validate().code(), StatusCode::kInvalidArgument);
+
   // A tracker layout that disagrees with the extractor's is a config
   // mismatch: features would be computed against the wrong windows.
   ServiceConfig skewed;
   skewed.tracker.window_lengths.push_back(99 * kDay);
   EXPECT_EQ(skewed.Validate(extractor_).code(), StatusCode::kConfigMismatch);
 
+  // So are EWMA constants that differ only in the decay parameters.
+  ServiceConfig skewed_tau;
+  skewed_tau.tracker.ewma_tau *= 2.0;
+  EXPECT_EQ(skewed_tau.Validate(extractor_).code(), StatusCode::kConfigMismatch);
+
   EXPECT_TRUE(ServiceConfig{}.Validate(extractor_).ok());
+  // Without an extractor only the intrinsic checks run.
+  EXPECT_TRUE(skewed.Validate().ok());
 }
 
 TEST_F(PredictionServiceTest, RestoreReportsTypedFailures) {

@@ -1,0 +1,238 @@
+// Deterministic simulation harness tests.
+//
+// The heavy lifting (building a dataset, training a model, and running a
+// seeded schedule against service + reference) lives in src/sim; this
+// file asserts the harness's own contracts:
+//   * many seeds across every fault schedule pass with zero divergences,
+//   * the same seed reproduces the identical trace and report,
+//   * each fault schedule actually exercises its fault paths (via the
+//     report's fault accounting -- a schedule that silently stops
+//     injecting faults must fail here, not quietly pass),
+//   * the trace minimizer shrinks a hand-built failing schedule to a
+//     still-failing suffix.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "env_guard.h"
+#include "sim/op_schedule.h"
+#include "sim/simulator.h"
+
+namespace horizon::sim {
+namespace {
+
+// The simulator arms the global FaultInjector itself; a stray
+// HORIZON_FAULT_CRASH_AT from the invoking shell must not pre-arm it.
+const ::testing::Environment* const kFaultEnvGuard =
+    ::testing::AddGlobalTestEnvironment(
+        new horizon::test::EnvVarGuard("HORIZON_FAULT_CRASH_AT",
+                                       /*disarm_fault_injector=*/true));
+
+class SimTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    if (context_ == nullptr) context_ = new SimContext(BuildSimContext());
+  }
+
+  /// Kept deliberately small: every seed sweep below runs dozens of full
+  /// service lifecycles, also under TSan/ASan in CI.
+  static SimConfig TestConfig(const std::string& faults, int rounds = 12) {
+    SimConfig config;
+    config.schedule.num_items = 8;
+    config.schedule.rounds = rounds;
+    config.schedule.faults = faults;
+    return config;
+  }
+
+  /// Runs `num_seeds` consecutive seeds and returns the reports, failing
+  /// the test on any divergence (with the minimized repro in the message).
+  static std::vector<SimReport> Sweep(const std::string& faults,
+                                      uint64_t first_seed, int num_seeds) {
+    Simulator simulator(context_, TestConfig(faults));
+    std::vector<SimReport> reports;
+    for (int i = 0; i < num_seeds; ++i) {
+      reports.push_back(simulator.Run(first_seed + static_cast<uint64_t>(i)));
+      const SimReport& r = reports.back();
+      EXPECT_TRUE(r.ok) << r.Summary() << "\nminimized repro:\n"
+                        << r.minimized_trace;
+    }
+    return reports;
+  }
+
+  static SimContext* context_;
+};
+
+SimContext* SimTest::context_ = nullptr;
+
+// --- Seed sweeps: >= 32 seeds for each of the fault schedules. ---------
+
+TEST_F(SimTest, CrashFaultScheduleSweep) {
+  const auto reports = Sweep("crash", 1000, 32);
+  int failures = 0, attempts = 0;
+  for (const auto& r : reports) {
+    attempts += r.checkpoints_attempted;
+    failures += r.checkpoint_failures;
+  }
+  // The schedule must actually exercise both the fault and the
+  // armed-but-never-fired paths across the sweep.
+  EXPECT_GT(attempts, 0);
+  EXPECT_GT(failures, 0) << "crash schedule never made a checkpoint fail";
+  EXPECT_LT(failures, attempts) << "crash schedule never let one succeed";
+}
+
+TEST_F(SimTest, TransientFaultScheduleSweep) {
+  const auto reports = Sweep("transient", 2000, 32);
+  int retries = 0;
+  for (const auto& r : reports) retries += r.transient_retries;
+  EXPECT_GT(retries, 0) << "transient schedule never recovered via retry";
+}
+
+TEST_F(SimTest, CorruptFaultScheduleSweep) {
+  const auto reports = Sweep("corrupt", 3000, 32);
+  int restores = 0, rejected = 0;
+  for (const auto& r : reports) {
+    restores += r.restores_attempted;
+    rejected += r.restores_failed;
+  }
+  EXPECT_GT(restores, 0);
+  EXPECT_GT(rejected, 0) << "corruption was never detected by Restore";
+}
+
+TEST_F(SimTest, NoFaultScheduleSweep) {
+  const auto reports = Sweep("none", 4000, 8);
+  for (const auto& r : reports) {
+    EXPECT_EQ(r.checkpoint_failures, 0) << r.Summary();
+    EXPECT_EQ(r.restores_failed, 0) << r.Summary();
+    // Typed per-item errors (kNotFound / kNotYetLive / kAlreadyExists /
+    // kInvalidArgument) still flow on the clean schedule.
+    EXPECT_GT(r.errors_observed, 0u) << r.Summary();
+  }
+}
+
+TEST_F(SimTest, MixedFaultScheduleSweep) { Sweep("mixed", 5000, 8); }
+
+// --- Determinism. ------------------------------------------------------
+
+TEST_F(SimTest, SameSeedYieldsIdenticalScheduleAndReport) {
+  const ScheduleConfig config = TestConfig("mixed").schedule;
+  const OpSchedule a = GenerateOpSchedule(context_->dataset, config, 77);
+  const OpSchedule b = GenerateOpSchedule(context_->dataset, config, 77);
+  EXPECT_EQ(FormatTrace(a), FormatTrace(b));
+
+  // Two independent simulators: no state may leak between runs.
+  Simulator sim_a(context_, TestConfig("mixed"));
+  Simulator sim_b(context_, TestConfig("mixed"));
+  const SimReport ra = sim_a.Run(77);
+  const SimReport rb = sim_b.Run(77);
+  EXPECT_EQ(ra.ok, rb.ok);
+  EXPECT_EQ(ra.trace, rb.trace);
+  EXPECT_EQ(ra.message, rb.message);
+  EXPECT_EQ(ra.ops_executed, rb.ops_executed);
+  EXPECT_EQ(ra.Summary(), rb.Summary());
+}
+
+TEST_F(SimTest, DifferentSeedsYieldDifferentSchedules) {
+  const ScheduleConfig config = TestConfig("mixed").schedule;
+  const OpSchedule a = GenerateOpSchedule(context_->dataset, config, 1);
+  const OpSchedule b = GenerateOpSchedule(context_->dataset, config, 2);
+  EXPECT_NE(FormatTrace(a), FormatTrace(b));
+}
+
+TEST_F(SimTest, ScheduleTimesAreMonotone) {
+  for (const char* faults : {"none", "crash", "transient", "corrupt", "mixed"}) {
+    const OpSchedule schedule =
+        GenerateOpSchedule(context_->dataset, TestConfig(faults).schedule, 9);
+    double prev = 0.0;
+    for (const Op& op : schedule.ops) {
+      EXPECT_GE(op.time, prev) << FormatOp(op) << " (faults=" << faults << ")";
+      prev = op.time;
+    }
+  }
+}
+
+// --- The minimizer. ----------------------------------------------------
+
+TEST_F(SimTest, MinimizerShrinksFailingTrace) {
+  // Hand-build a schedule whose LAST op is malformed in a way the
+  // executor treats as a failure (a scan with top_k = 0 is an invalid
+  // request, so the service rejects what the executor expects to
+  // succeed), padded with many irrelevant passing ops in front.
+  OpSchedule schedule;
+  schedule.seed = 424242;
+  schedule.config = TestConfig("none").schedule;
+  double t = 0.0;
+  for (int64_t item = 0; item < 6; ++item) {
+    Op reg;
+    reg.kind = OpKind::kRegister;
+    reg.time = t;
+    reg.item = item;
+    reg.creation_time = t;
+    schedule.ops.push_back(reg);
+    Op query;
+    query.kind = OpKind::kQuery;
+    query.time = t += 60.0;
+    query.ids = {item};
+    query.s = query.time;
+    query.delta = kHour;
+    schedule.ops.push_back(query);
+    Op check;
+    check.kind = OpKind::kCheck;
+    check.time = t += 60.0;
+    schedule.ops.push_back(check);
+  }
+  Op poison;
+  poison.kind = OpKind::kScan;
+  poison.time = t += 60.0;
+  poison.s = poison.time;
+  poison.delta = kHour;
+  poison.top_k = 0;
+  schedule.ops.push_back(poison);
+
+  Simulator simulator(context_, TestConfig("none"));
+  const SimReport report = simulator.Execute(schedule);
+  ASSERT_FALSE(report.ok);
+  ASSERT_EQ(report.failed_op, static_cast<int>(schedule.ops.size()) - 1);
+
+  const OpSchedule minimized =
+      simulator.MinimizedSchedule(schedule, report.failed_op);
+  EXPECT_LT(minimized.ops.size(), schedule.ops.size());
+  ASSERT_FALSE(minimized.ops.empty());
+  EXPECT_EQ(minimized.ops.back().kind, OpKind::kScan);
+  // The minimized trace must still reproduce the failure at its last op.
+  const SimReport again = simulator.Execute(minimized);
+  EXPECT_FALSE(again.ok);
+  EXPECT_EQ(again.failed_op, static_cast<int>(minimized.ops.size()) - 1);
+  // Nothing before the poison op matters here, so a correct greedy
+  // minimizer strips every padding op.
+  EXPECT_EQ(minimized.ops.size(), 1u);
+}
+
+// --- Schedule validity helpers. ----------------------------------------
+
+TEST_F(SimTest, FaultScheduleNames) {
+  EXPECT_TRUE(IsValidFaultSchedule("none"));
+  EXPECT_TRUE(IsValidFaultSchedule("crash"));
+  EXPECT_TRUE(IsValidFaultSchedule("transient"));
+  EXPECT_TRUE(IsValidFaultSchedule("corrupt"));
+  EXPECT_TRUE(IsValidFaultSchedule("mixed"));
+  EXPECT_FALSE(IsValidFaultSchedule(""));
+  EXPECT_FALSE(IsValidFaultSchedule("chaos"));
+}
+
+TEST_F(SimTest, TracesNameEveryOpKind) {
+  // A long mixed schedule should exercise the whole op vocabulary; the
+  // trace is the repro artifact, so every kind must render by name.
+  const OpSchedule schedule = GenerateOpSchedule(
+      context_->dataset, TestConfig("mixed", /*rounds=*/24).schedule, 31);
+  const std::string trace = FormatTrace(schedule);
+  for (const char* name :
+       {"register", "ingest", "query", "scan", "check", "restore"}) {
+    EXPECT_NE(trace.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace horizon::sim

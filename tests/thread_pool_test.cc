@@ -9,8 +9,18 @@
 
 #include <gtest/gtest.h>
 
+#include "env_guard.h"
+
 namespace horizon {
 namespace {
+
+// The global pool reads HORIZON_THREADS once at construction; unset it so
+// a value from the invoking shell cannot change what these tests exercise
+// (the checkpoint_test_threadsN ctest variants set it deliberately -- for
+// their own process, not this one).
+const ::testing::Environment* const kThreadsEnvGuard =
+    ::testing::AddGlobalTestEnvironment(
+        new horizon::test::EnvVarGuard("HORIZON_THREADS"));
 
 TEST(ThreadPoolTest, RunsSubmittedTasks) {
   ThreadPool pool(3);

@@ -35,6 +35,17 @@
 //       the process-local metrics registry in Prometheus text
 //       exposition format (default) or as JSON.
 //
+//   horizon_tool sim --seed N [--seeds K] [--steps M] [--faults F]
+//                    [--items I] [--verbose 1]
+//       Deterministic simulation: drive a sharded PredictionService and a
+//       single-threaded reference model through the seeded op schedule
+//       (--steps rounds, fault schedule F in
+//       none|crash|transient|corrupt|mixed) and compare them after every
+//       op.  --seeds K runs seeds N..N+K-1.  On divergence prints the
+//       failing seed, the divergence, and a minimized repro trace, and
+//       exits 1.  Rerunning with the same flags reproduces the run
+//       exactly.
+//
 // Durations accept the forms "90s", "30m", "6h", "2d".
 #include <cstdio>
 #include <cstdlib>
@@ -51,6 +62,7 @@
 #include "eval/split.h"
 #include "features/extractor.h"
 #include "serving/prediction_service.h"
+#include "sim/simulator.h"
 
 #include <fstream>
 #include <sstream>
@@ -420,6 +432,55 @@ int CmdStats(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdSim(const std::map<std::string, std::string>& flags) {
+  const uint64_t seed =
+      static_cast<uint64_t>(std::atoll(FlagOr(flags, "seed", "1").c_str()));
+  const int num_seeds = std::atoi(FlagOr(flags, "seeds", "1").c_str());
+  const int steps = std::atoi(FlagOr(flags, "steps", "24").c_str());
+  const int items = std::atoi(FlagOr(flags, "items", "10").c_str());
+  const std::string faults = FlagOr(flags, "faults", "mixed");
+  const bool verbose = FlagOr(flags, "verbose", "0") != "0";
+  if (num_seeds <= 0) return Fail("--seeds must be positive");
+  if (steps <= 0) return Fail("--steps must be positive");
+  if (items <= 0) return Fail("--items must be positive");
+  if (!sim::IsValidFaultSchedule(faults)) {
+    return Fail("bad --faults (expected none|crash|transient|corrupt|mixed)");
+  }
+
+  std::printf("building sim context (dataset + model)...\n");
+  const sim::SimContext context = sim::BuildSimContext();
+  sim::SimConfig config;
+  config.schedule.rounds = steps;
+  config.schedule.num_items = items;
+  config.schedule.faults = faults;
+  const char* tmp = std::getenv("TMPDIR");
+  config.scratch_dir = tmp != nullptr ? tmp : "/tmp";
+  sim::Simulator simulator(&context, config);
+
+  int failures = 0;
+  for (int i = 0; i < num_seeds; ++i) {
+    const sim::SimReport report = simulator.Run(seed + static_cast<uint64_t>(i));
+    std::printf("%s\n", report.Summary().c_str());
+    if (verbose && report.ok) std::fputs(report.trace.c_str(), stdout);
+    if (!report.ok) {
+      ++failures;
+      std::printf("reproduce with: horizon_tool sim --seed %llu --steps %d "
+                  "--items %d --faults %s\n",
+                  static_cast<unsigned long long>(report.seed), steps, items,
+                  faults.c_str());
+      std::printf("--- minimized repro trace ---\n%s",
+                  report.minimized_trace.empty() ? report.trace.c_str()
+                                                 : report.minimized_trace.c_str());
+    }
+  }
+  if (failures > 0) {
+    std::printf("%d of %d seed(s) FAILED\n", failures, num_seeds);
+    return 1;
+  }
+  std::printf("all %d seed(s) passed\n", num_seeds);
+  return 0;
+}
+
 int CmdSelfTest() {
   const char* tmp = std::getenv("TMPDIR");
   const std::string dir = std::string(tmp != nullptr ? tmp : "/tmp") +
@@ -452,7 +513,7 @@ int CmdSelfTest() {
 int Usage() {
   std::fprintf(stderr,
                "usage: horizon_tool <generate|train|predict|evaluate|"
-               "checkpoint|restore|selftest|stats> "
+               "checkpoint|restore|selftest|stats|sim> "
                "[--key value ...]\n(see the header of tools/horizon_tool.cc)\n");
   return 2;
 }
@@ -471,5 +532,6 @@ int main(int argc, char** argv) {
   if (command == "restore") return CmdRestore(flags);
   if (command == "selftest") return CmdSelfTest();
   if (command == "stats") return CmdStats(flags);
+  if (command == "sim") return CmdSim(flags);
   return Usage();
 }
