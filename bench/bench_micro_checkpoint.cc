@@ -75,11 +75,13 @@ serving::PredictionService* MakeLoadedService(int64_t items) {
   for (int64_t id = 0; id < items; ++id) {
     const auto& cascade =
         env.dataset.cascades[static_cast<size_t>(id) % env.dataset.cascades.size()];
-    service->RegisterItem(id, 0.0, env.dataset.PageOf(cascade.post), cascade.post);
+    // Setup over generated data; ids are unique so registration cannot fail.
+    (void)service->RegisterItem(id, 0.0, env.dataset.PageOf(cascade.post),
+                                cascade.post);
     size_t fed = 0;
     for (const auto& e : cascade.views) {
       if (e.time >= 6 * kHour || fed >= 50) break;
-      service->Ingest(id, stream::EngagementType::kView, e.time);
+      (void)service->Ingest(id, stream::EngagementType::kView, e.time);
       ++fed;
     }
   }

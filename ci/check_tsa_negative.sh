@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Proves the Thread-Safety Analysis wiring actually rejects an unlocked
+# access to a guarded field:
+#   pass 1: ci/tsa_negative.cc compiles cleanly (annotations are valid);
+#   pass 2: with -DHORIZON_TSA_NEGATIVE_TEST the same file MUST fail with
+#           a -Wthread-safety diagnostic.
+# Requires clang++ (gcc has no thread-safety analysis).
+set -u
+cd "$(dirname "$0")/.."
+
+CXX="${CXX:-clang++}"
+if ! "$CXX" --version 2>/dev/null | grep -qi clang; then
+  echo "check_tsa_negative: $CXX is not clang; skipping (analysis is clang-only)" >&2
+  exit 0
+fi
+
+FLAGS=(-std=c++20 -fsyntax-only -Isrc -Wthread-safety -Werror=thread-safety)
+
+if ! "$CXX" "${FLAGS[@]}" ci/tsa_negative.cc; then
+  echo "FAIL: tsa_negative.cc must compile cleanly without the define" >&2
+  exit 1
+fi
+
+if out=$("$CXX" "${FLAGS[@]}" -DHORIZON_TSA_NEGATIVE_TEST ci/tsa_negative.cc 2>&1); then
+  echo "FAIL: the deliberately unlocked access compiled -- thread-safety" >&2
+  echo "      analysis is not guarding HORIZON_GUARDED_BY fields" >&2
+  exit 1
+fi
+if ! grep -q "thread-safety" <<<"$out"; then
+  echo "FAIL: compile failed, but not with a -Wthread-safety diagnostic:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+echo "OK: unlocked guarded access fails the clang build as intended"

@@ -1,0 +1,44 @@
+// Compile-fail probe for the Thread-Safety Analysis wiring.
+//
+// Built twice by ci/check_tsa_negative.sh with clang:
+//   1. without -DHORIZON_TSA_NEGATIVE_TEST: must compile cleanly under
+//      -Wthread-safety -Werror=thread-safety (the locked path is fine);
+//   2. with    -DHORIZON_TSA_NEGATIVE_TEST: adds a deliberately unlocked
+//      access to a HORIZON_GUARDED_BY field, and the build MUST fail.
+// If (2) ever compiles, the annotation layer has silently stopped
+// guarding anything (e.g. annotations.h degraded to no-ops under clang),
+// which is exactly the regression this check exists to catch.
+//
+// Not part of any CMake target: gcc builds never see this file.
+#include "common/annotations.h"
+
+namespace {
+
+class GuardedCounter {
+ public:
+  void Increment() {
+    horizon::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int UnlockedRead() {
+#ifdef HORIZON_TSA_NEGATIVE_TEST
+    return value_;  // BAD: guarded read without mu_ -- must not compile
+#else
+    horizon::MutexLock lock(mu_);
+    return value_;
+#endif
+  }
+
+ private:
+  horizon::Mutex mu_;
+  int value_ HORIZON_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  GuardedCounter counter;
+  counter.Increment();
+  return counter.UnlockedRead() == 1 ? 0 : 1;
+}

@@ -54,8 +54,10 @@ int main() {
   serving::PredictionService service(&model, &extractor, service_config);
   for (size_t i = 0; i < live.cascades.size(); ++i) {
     const auto& cascade = live.cascades[i];
-    service.RegisterItem(static_cast<int64_t>(i), cascade.post.creation_time,
-                         live.PageOf(cascade.post), cascade.post);
+    // Ids are unique by construction; registration cannot fail here.
+    (void)service.RegisterItem(static_cast<int64_t>(i),
+                               cascade.post.creation_time,
+                               live.PageOf(cascade.post), cascade.post);
   }
 
   Timer timer;
@@ -71,7 +73,9 @@ int main() {
       std::printf("\n");
       next_board += 12 * kHour;
     }
-    service.Ingest(event.post_id, event.type, event.time);
+    // Events for already-retired items are dropped by design (late
+    // stragglers); the demo keeps streaming.
+    (void)service.Ingest(event.post_id, event.type, event.time);
     ++processed;
   }
   const double elapsed = timer.ElapsedSeconds();

@@ -1,0 +1,142 @@
+// Clang Thread-Safety-Analysis annotations and the annotated lock
+// primitives every mutex in src/ must use.
+//
+// The serving stack's correctness claims (Prop 3.2's O(1)-state
+// recurrence updated under the right shard lock, checkpoint snapshots
+// taken under shard locks, the wait-free metrics registry's registration
+// map) are enforced *statically*: building with clang emits
+// -Wthread-safety diagnostics (the CI static-analysis job promotes them
+// with -Werror=thread-safety), so dropping a lock on a guarded field is
+// a compile error, not a TSan coin flip.  Under gcc (which has no
+// thread-safety analysis) every macro expands to nothing and the
+// wrappers degrade to plain std::mutex semantics at zero cost.
+//
+// Conventions (see DESIGN.md section 11 "Static analysis & lock
+// discipline" for the full catalog):
+//   * Every mutex-protected field carries HORIZON_GUARDED_BY(mu_).
+//   * Locks are taken with horizon::MutexLock (RAII), never with
+//     std::lock_guard / std::unique_lock on a raw std::mutex --
+//     tools/horizon_lint.py rejects the raw forms in src/.
+//   * Condition waits go through horizon::CondVar::Wait(mu), which
+//     REQUIRES the mutex and preserves the "held" state across the wait
+//     from the analysis' point of view.
+//   * Functions that must be called with a lock held are annotated
+//     HORIZON_REQUIRES(mu); functions that must NOT hold it,
+//     HORIZON_EXCLUDES(mu).
+#ifndef HORIZON_COMMON_ANNOTATIONS_H_
+#define HORIZON_COMMON_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define HORIZON_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HORIZON_THREAD_ANNOTATION(x)  // no-op: gcc has no -Wthread-safety
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define HORIZON_CAPABILITY(x) HORIZON_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define HORIZON_SCOPED_CAPABILITY HORIZON_THREAD_ANNOTATION(scoped_lockable)
+
+/// The annotated field may only be read or written while holding `x`.
+#define HORIZON_GUARDED_BY(x) HORIZON_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointee of the annotated pointer is guarded by `x`.
+#define HORIZON_PT_GUARDED_BY(x) HORIZON_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while holding the listed capabilities.
+#define HORIZON_REQUIRES(...) \
+  HORIZON_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities (held on return).
+#define HORIZON_ACQUIRE(...) \
+  HORIZON_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (must be held on entry).
+#define HORIZON_RELEASE(...) \
+  HORIZON_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability when it returns `value`.
+#define HORIZON_TRY_ACQUIRE(...) \
+  HORIZON_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The function must NOT be called while holding the listed capabilities
+/// (deadlock prevention: it acquires them itself).
+#define HORIZON_EXCLUDES(...) \
+  HORIZON_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the capability guarding its result.
+#define HORIZON_RETURN_CAPABILITY(x) \
+  HORIZON_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's lock discipline cannot be expressed in
+/// the annotation language.  Use sparingly and justify in a comment.
+#define HORIZON_NO_THREAD_SAFETY_ANALYSIS \
+  HORIZON_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace horizon {
+
+class CondVar;
+
+/// std::mutex with capability annotations.  All mutexes in src/ use this
+/// wrapper so clang can prove lock discipline at compile time.
+class HORIZON_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HORIZON_ACQUIRE() { mu_.lock(); }
+  void Unlock() HORIZON_RELEASE() { mu_.unlock(); }
+  bool TryLock() HORIZON_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // CondVar::Wait needs the raw handle
+
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex -- the only sanctioned way to hold one.
+class HORIZON_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HORIZON_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() HORIZON_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex.  Wait() atomically releases and
+/// reacquires the mutex, so from the caller's (and the analysis')
+/// perspective the lock is held across the call -- hence REQUIRES.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (spurious wakeups possible: wait in a loop
+  /// that rechecks the guarded predicate).
+  void Wait(Mutex& mu) HORIZON_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's scope still owns the mutex
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace horizon
+
+#endif  // HORIZON_COMMON_ANNOTATIONS_H_

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -26,12 +27,15 @@ FaultInjector::FaultInjector() {
 }
 
 FaultInjector& FaultInjector::Global() {
+  // horizon-lint: allow(naked-new) -- intentionally leaked singleton: the
+  // injector is consulted from IO helpers that may run during static
+  // destruction.
   static FaultInjector* injector = new FaultInjector();
   return *injector;
 }
 
 void FaultInjector::ArmCrashAt(int n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_ = n >= 0;
   crashed_ = false;
   transient_ = false;
@@ -40,7 +44,7 @@ void FaultInjector::ArmCrashAt(int n) {
 }
 
 void FaultInjector::ArmFailOnce(int n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_ = n >= 0;
   crashed_ = false;
   transient_ = true;
@@ -49,7 +53,7 @@ void FaultInjector::ArmFailOnce(int n) {
 }
 
 void FaultInjector::Disarm() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_ = false;
   crashed_ = false;
   transient_ = false;
@@ -58,17 +62,17 @@ void FaultInjector::Disarm() {
 }
 
 int FaultInjector::ops_seen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ops_;
 }
 
 bool FaultInjector::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return crashed_;
 }
 
 bool FaultInjector::ShouldFail(FaultPoint /*point*/) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!armed_) return false;
   ++ops_;
   if (crashed_) return true;  // the process died; nothing after it runs
@@ -91,8 +95,8 @@ bool FaultInjector::ShouldFail(FaultPoint /*point*/) {
 
 uint32_t Crc32(std::string_view data) {
   // Table-driven reflected CRC-32 (polynomial 0xEDB88320).
-  static const uint32_t* table = [] {
-    auto* t = new uint32_t[256];
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) {

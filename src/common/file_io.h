@@ -13,11 +13,11 @@
 #define HORIZON_COMMON_FILE_IO_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 
 namespace horizon::io {
@@ -74,12 +74,12 @@ class FaultInjector {
  private:
   FaultInjector();
 
-  mutable std::mutex mu_;
-  bool armed_ = false;
-  bool crashed_ = false;
-  bool transient_ = false;
-  int countdown_ = -1;
-  int ops_ = 0;
+  mutable Mutex mu_;
+  bool armed_ HORIZON_GUARDED_BY(mu_) = false;
+  bool crashed_ HORIZON_GUARDED_BY(mu_) = false;
+  bool transient_ HORIZON_GUARDED_BY(mu_) = false;
+  int countdown_ HORIZON_GUARDED_BY(mu_) = -1;
+  int ops_ HORIZON_GUARDED_BY(mu_) = 0;
 };
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`.

@@ -40,7 +40,11 @@ std::string_view StatusCodeName(StatusCode code);
 
 /// A code plus an optional message.  OK statuses carry no message and are
 /// cheap to copy.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures; call sites
+/// that are genuinely best-effort must say so with `(void)` and a comment
+/// explaining why ignoring the failure is correct.
+class [[nodiscard]] Status {
  public:
   /// Default-constructed Status is OK.
   Status() : code_(StatusCode::kOk) {}
@@ -80,7 +84,7 @@ class Status {
 /// Either a T or a non-OK Status.  The accessor surface is a superset of
 /// std::optional<T> so that callers of the pre-Status APIs keep compiling.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from a value: `return result;`.
   StatusOr(T value) : value_(std::move(value)) {}

@@ -34,29 +34,29 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Run(std::function<void()> fn) {
   HORIZON_DCHECK(fn != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     HORIZON_DCHECK(!stop_);
     queue_.push_back(std::move(fn));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ set and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -66,7 +66,9 @@ void ThreadPool::WorkerLoop() {
 }
 
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool* pool = new ThreadPool();  // leaked: outlives exit paths
+  // horizon-lint: allow(naked-new) -- intentionally leaked singleton: the
+  // pool must outlive static destructors of clients enqueued at exit.
+  static ThreadPool* pool = new ThreadPool();
   return *pool;
 }
 
@@ -82,10 +84,10 @@ struct LoopState {
   const std::function<void(size_t, size_t)>* fn = nullptr;
   std::atomic<size_t> next_chunk{0};
   std::atomic<bool> failed{false};
-  std::mutex mu;                 // guards eptr and done/cv
-  std::condition_variable cv;
-  std::exception_ptr eptr;
-  size_t done = 0;
+  Mutex mu;
+  CondVar cv;
+  std::exception_ptr eptr HORIZON_GUARDED_BY(mu);
+  size_t done HORIZON_GUARDED_BY(mu) = 0;
 
   /// Claims and runs chunks until none remain.
   void Drain() {
@@ -100,7 +102,7 @@ struct LoopState {
           (*fn)(begin, end);
         } catch (...) {
           if (!failed.exchange(true, std::memory_order_acq_rel)) {
-            std::lock_guard<std::mutex> lock(mu);
+            MutexLock lock(mu);
             eptr = std::current_exception();
           }
         }
@@ -108,9 +110,9 @@ struct LoopState {
       ++completed;
     }
     if (completed > 0) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       done += completed;
-      if (done == num_chunks) cv.notify_all();
+      if (done == num_chunks) cv.NotifyAll();
     }
   }
 };
@@ -140,8 +142,8 @@ void ParallelFor(ThreadPool& pool, size_t n, size_t grain,
   }
   state->Drain();
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] { return state->done == state->num_chunks; });
+  MutexLock lock(state->mu);
+  while (state->done != state->num_chunks) state->cv.Wait(state->mu);
   if (state->eptr) std::rethrow_exception(state->eptr);
 }
 

@@ -8,13 +8,13 @@
 #ifndef HORIZON_COMMON_THREAD_POOL_H_
 #define HORIZON_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace horizon {
 
@@ -31,7 +31,7 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task.  Must not be called after destruction has begun.
-  void Run(std::function<void()> fn);
+  void Run(std::function<void()> fn) HORIZON_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
@@ -42,10 +42,10 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ HORIZON_GUARDED_BY(mu_);
+  bool stop_ HORIZON_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -125,13 +125,16 @@ void Histogram::Reset() {
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
+  // horizon-lint: allow(naked-new) -- intentionally leaked singleton:
+  // instruments hand out stable pointers that hot paths may dereference
+  // during static destruction.
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   HORIZON_CHECK(ValidMetricName(name));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
@@ -139,7 +142,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   HORIZON_CHECK(ValidMetricName(name));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -152,7 +155,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
   HORIZON_CHECK(ValidMetricName(name));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(std::move(bounds));
@@ -163,7 +166,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::string MetricsRegistry::DumpPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   for (const auto& [name, counter] : counters_) {
     os << "# TYPE " << name << " counter\n";
@@ -191,7 +194,7 @@ std::string MetricsRegistry::DumpPrometheus() const {
 }
 
 std::string MetricsRegistry::DumpJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   os << "{";
   os << "\"counters\":{";
@@ -224,7 +227,7 @@ std::string MetricsRegistry::DumpJson() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Set(0.0);
   for (auto& [name, hist] : histograms_) hist->Reset();

@@ -31,9 +31,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace horizon::obs {
 
@@ -186,10 +187,15 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The map (registration index) is guarded; the instruments themselves
+  // are lock-free and are touched through stable pointers outside mu_.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      HORIZON_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      HORIZON_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      HORIZON_GUARDED_BY(mu_);
 };
 
 }  // namespace horizon::obs

@@ -136,7 +136,7 @@ Status PredictionService::RegisterItem(int64_t item_id, double creation_time,
   Shard& shard = *shards_[ShardOf(item_id)];
   bool inserted = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     inserted = shard.items
                    .try_emplace(item_id,
                                 Item{stream::CascadeTracker(creation_time,
@@ -156,7 +156,7 @@ Status PredictionService::RegisterItem(int64_t item_id, double creation_time,
 
 bool PredictionService::HasItem(int64_t item_id) const {
   const Shard& shard = *shards_[ShardOf(item_id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   return shard.items.count(item_id) > 0;
 }
 
@@ -166,7 +166,7 @@ Status PredictionService::Ingest(int64_t item_id, stream::EngagementType type,
       obs::SampleEvery(kIngestSampleRate, m_ingest_latency_));
   Shard& shard = *shards_[ShardOf(item_id)];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     const auto it = shard.items.find(item_id);
     if (it == shard.items.end()) {
       return CountError(Status::NotFound("unknown item (dropped straggler?)"));
@@ -192,7 +192,7 @@ size_t PredictionService::IngestBatch(const std::vector<IngestEvent>& events) {
       if (by_shard[sh].empty()) continue;
       Shard& shard = *shards_[sh];
       size_t applied = 0;
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       for (const uint32_t i : by_shard[sh]) {
         const IngestEvent& e = events[i];
         const auto it = shard.items.find(e.item_id);
@@ -225,7 +225,7 @@ StatusOr<QueryResponse> PredictionService::QueryByIds(
   resolved.reserve(request.ids.size());
   for (const int64_t id : request.ids) {
     const Shard& shard = *shards_[ShardOf(id)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     const auto it = shard.items.find(id);
     if (it == shard.items.end()) {
       response.errors.push_back(
@@ -292,7 +292,7 @@ std::vector<PredictionService::ScanCandidate> PredictionService::ShardScanTopK(
   };
   std::vector<Candidate> candidates;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     candidates.reserve(shard.items.size());
     for (const auto& [id, item] : shard.items) {
       if (s < item.tracker.creation_time()) continue;  // not yet live
@@ -437,7 +437,7 @@ size_t PredictionService::RetireDeadItems(double now) {
     for (size_t sh = begin; sh < end; ++sh) {
       Shard& shard = *shards_[sh];
       size_t retired = 0;
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       for (auto it = shard.items.begin(); it != shard.items.end();) {
         const Item& item = it->second;
         if (now < item.tracker.creation_time()) {
@@ -586,15 +586,16 @@ Status PredictionService::Checkpoint(const std::string& dir) const {
   std::vector<uint32_t> shard_crc(num_shards, 0);
   std::vector<size_t> shard_bytes(num_shards, 0);
   std::vector<size_t> shard_items(num_shards, 0);
-  std::mutex error_mu;
+  Mutex error_mu;
   Status shard_error;  // first failure wins
   ParallelFor(num_shards, 1, [&](size_t begin, size_t end) {
     for (size_t sh = begin; sh < end; ++sh) {
+      const Shard& shard = *shards_[sh];
       std::vector<std::pair<int64_t, Item>> snapshot;
       {
-        std::lock_guard<std::mutex> lock(shards_[sh]->mu);
-        snapshot.reserve(shards_[sh]->items.size());
-        for (const auto& [id, item] : shards_[sh]->items) {
+        MutexLock lock(shard.mu);
+        snapshot.reserve(shard.items.size());
+        for (const auto& [id, item] : shard.items) {
           snapshot.emplace_back(id, item);
         }
       }
@@ -615,7 +616,7 @@ Status PredictionService::Checkpoint(const std::string& dir) const {
       const Status wrote =
           io::WriteFileAtomic(ckpt + "/" + ShardFileName(sh), framed);
       if (!wrote.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
+        MutexLock lock(error_mu);
         if (shard_error.ok()) shard_error = wrote;
       }
     }
@@ -833,12 +834,12 @@ Status PredictionService::Restore(const std::string& dir) {
   // Swap the staged state in.  Items re-shard by id hash, so a restored
   // service may even use a different shard count than the writer.
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->items.clear();
   }
   for (auto& [id, item] : staged) {
     Shard& shard = *shards_[ShardOf(id)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.items.emplace(id, std::move(item));
   }
   live_items_.store(staged.size(), std::memory_order_relaxed);

@@ -42,12 +42,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "core/hawkes_predictor.h"
 #include "datagen/profiles.h"
@@ -172,6 +172,8 @@ class PredictionService {
   /// locked once, and shards are processed in parallel.  Relative order of
   /// a given item's events is preserved.  Returns the number ingested
   /// (unknown items are dropped, as in Ingest).
+  // horizon-lint: allow(serving-status) -- best-effort batch op: returns
+  // the applied count; per-item kNotFound is the intended straggler-drop.
   size_t IngestBatch(const std::vector<IngestEvent>& events);
 
   /// The unified query entry point.  Request-level problems (non-finite
@@ -194,6 +196,8 @@ class PredictionService {
   /// Retires items that are idle (no event for idle_retirement_age) or
   /// whose death probability exceeds the configured threshold at `now`.
   /// Returns the number retired.
+  // horizon-lint: allow(serving-status) -- infallible maintenance sweep:
+  // the retired count is the result, there is no failure to report.
   size_t RetireDeadItems(double now);
 
   /// Coherent snapshot of the service counters.
@@ -237,10 +241,12 @@ class PredictionService {
     datagen::PostProfile post;
   };
 
-  /// One lock domain: a mutex plus the items hashed to it.
+  /// One lock domain: a mutex plus the items hashed to it.  `items` may
+  /// only be touched under `mu`; model inference always happens outside
+  /// it, against snapshots copied under the lock.
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<int64_t, Item> items;
+    mutable Mutex mu;
+    std::unordered_map<int64_t, Item> items HORIZON_GUARDED_BY(mu);
   };
 
   /// Scan-mode candidate surviving a per-shard top-k cut: enough state to

@@ -1,0 +1,172 @@
+// Tests for src/common/annotations.h: the annotated Mutex / MutexLock /
+// CondVar wrappers must behave like the std primitives they wrap, and the
+// annotation macros must compile away to nothing on non-clang compilers.
+// (This binary building at all under gcc IS half the test; the clang
+// -Werror=thread-safety CI job and ci/check_tsa_negative.sh cover the
+// other half -- that the annotations actually reject unlocked access.)
+#include "common/annotations.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace horizon {
+namespace {
+
+// The macros must expand to valid (possibly empty) attribute positions on
+// any compiler this repo supports.  A type exercising every macro:
+class AnnotatedEverything {
+ public:
+  void Locked() HORIZON_REQUIRES(mu_) { ++guarded_; }
+  void Lock() HORIZON_ACQUIRE(mu_) { mu_.Lock(); }
+  void Unlock() HORIZON_RELEASE(mu_) { mu_.Unlock(); }
+  bool TryLock() HORIZON_TRY_ACQUIRE(true, mu_) { return mu_.TryLock(); }
+  void Outside() HORIZON_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++guarded_;
+  }
+  Mutex& mutex() HORIZON_RETURN_CAPABILITY(mu_) { return mu_; }
+  int Unchecked() HORIZON_NO_THREAD_SAFETY_ANALYSIS { return guarded_; }
+
+ private:
+  Mutex mu_;
+  int guarded_ HORIZON_GUARDED_BY(mu_) = 0;
+  int* ptr_guarded_ HORIZON_PT_GUARDED_BY(mu_) = nullptr;
+};
+
+// Exercises every macro position with real lock traffic.  A free function
+// rather than inline TEST body so the acquire/release pairing is visible
+// to the analysis without gtest macro expansion in between.
+int DriveAnnotatedEverything() {
+  AnnotatedEverything a;
+  a.Outside();
+  a.Lock();
+  a.Locked();
+  a.Unlock();
+  if (a.TryLock()) {
+    a.mutex().Unlock();
+  }
+  return a.Unchecked();
+}
+
+TEST(AnnotationsTest, MacrosCompileAsNoOpOnThisCompiler) {
+  EXPECT_EQ(DriveAnnotatedEverything(), 2);
+#if !defined(__clang__)
+  // On gcc the attribute macro must vanish entirely.
+  static_assert(sizeof(Mutex) == sizeof(std::mutex),
+                "annotated Mutex must add no state over std::mutex");
+#endif
+}
+
+TEST(AnnotationsTest, MutexProvidesExclusion) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+// Deliberately juggles raw TryLock/Unlock across threads; the analysis
+// cannot follow a try-lock result through std::thread, so opt this one
+// helper out (the behavior itself is what the test checks).
+int ProbeTryLockContention() HORIZON_NO_THREAD_SAFETY_ANALYSIS {
+  Mutex mu;
+  if (!mu.TryLock()) return -1;  // uncontended try-lock must succeed
+  // Held by this thread: another thread must fail to acquire.
+  std::atomic<int> observed{-1};
+  std::thread probe([&]() HORIZON_NO_THREAD_SAFETY_ANALYSIS {
+    if (mu.TryLock()) {
+      mu.Unlock();
+      observed = 1;
+    } else {
+      observed = 0;
+    }
+  });
+  probe.join();
+  mu.Unlock();
+  return observed.load();
+}
+
+TEST(AnnotationsTest, TryLockReportsContention) {
+  EXPECT_EQ(ProbeTryLockContention(), 0);
+}
+
+TEST(AnnotationsTest, CondVarWaitAndNotifyOne) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int seen = 0;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    seen = 1;
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(AnnotationsTest, CondVarNotifyAllReleasesAllWaiters) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int woke = 0;
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) cv.Wait(mu);
+      ++woke;
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (auto& th : waiters) th.join();
+  EXPECT_EQ(woke, kWaiters);
+}
+
+// Wait must reacquire the mutex before returning: a waiter that resumes
+// holds the lock, so its increment cannot race the notifier's.
+TEST(AnnotationsTest, WaitReacquiresMutexBeforeReturning) {
+  Mutex mu;
+  CondVar cv;
+  int stage = 0;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (stage != 1) cv.Wait(mu);
+    stage = 2;
+  });
+  {
+    MutexLock lock(mu);
+    stage = 1;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  MutexLock lock(mu);
+  EXPECT_EQ(stage, 2);
+}
+
+}  // namespace
+}  // namespace horizon

@@ -101,19 +101,19 @@ class CheckpointTest : public ::testing::Test {
                                         cascade.post));
       for (const auto& e : cascade.views) {
         if (e.time >= age) break;
-        service->Ingest(id, stream::EngagementType::kView, e.time);
+        ASSERT_TRUE(service->Ingest(id, stream::EngagementType::kView, e.time).ok());
       }
       for (double t : cascade.share_times) {
         if (t >= age) break;
-        service->Ingest(id, stream::EngagementType::kShare, t);
+        ASSERT_TRUE(service->Ingest(id, stream::EngagementType::kShare, t).ok());
       }
       for (double t : cascade.comment_times) {
         if (t >= age) break;
-        service->Ingest(id, stream::EngagementType::kComment, t);
+        ASSERT_TRUE(service->Ingest(id, stream::EngagementType::kComment, t).ok());
       }
       for (double t : cascade.reaction_times) {
         if (t >= age) break;
-        service->Ingest(id, stream::EngagementType::kReaction, t);
+        ASSERT_TRUE(service->Ingest(id, stream::EngagementType::kReaction, t).ok());
       }
     }
   }
@@ -226,7 +226,7 @@ TEST_F(CheckpointTest, SecondCheckpointSupersedesFirst) {
   ASSERT_TRUE(service.Checkpoint(Dir()));
   // More traffic, then a second checkpoint into the same directory.
   for (int64_t id = 0; id < kItems; ++id) {
-    service.Ingest(id, stream::EngagementType::kView, 7 * kHour);
+    ASSERT_TRUE(service.Ingest(id, stream::EngagementType::kView, 7 * kHour).ok());
   }
   ASSERT_TRUE(service.Checkpoint(Dir()));
 
@@ -250,8 +250,8 @@ TEST_F(CheckpointTest, CrashAtEveryFaultPointNeverCorrupts) {
 
   // Advance the service state so the next checkpoint differs.
   for (int64_t id = 0; id < kSmallItems; ++id) {
-    service.Ingest(id, stream::EngagementType::kView, 7 * kHour);
-    service.Ingest(id, stream::EngagementType::kComment, 7 * kHour);
+    ASSERT_TRUE(service.Ingest(id, stream::EngagementType::kView, 7 * kHour).ok());
+    ASSERT_TRUE(service.Ingest(id, stream::EngagementType::kComment, 7 * kHour).ok());
   }
   const auto predictions_b = Snapshot(service, kSmallItems, 7 * kHour, 1 * kDay);
   const uint64_t events_b = service.stats().events_ingested;

@@ -1,0 +1,11 @@
+// Known-bad fixture for horizon_lint rule `bad-allow`: an allow-comment
+// with no justification is itself a finding.  NOT compiled; consumed by
+// `horizon_lint.py --self-test` only.
+struct Thing {
+  int x = 0;
+};
+
+Thing* Make() {
+  // horizon-lint: allow(naked-new)
+  return new Thing();  // the allow above lacks a justification
+}

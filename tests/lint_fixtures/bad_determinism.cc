@@ -1,0 +1,20 @@
+// Known-bad fixture for horizon_lint rule `determinism`: every line
+// below must fire when this file is placed under src/sim or src/datagen.
+// NOT compiled; consumed by `horizon_lint.py --self-test` only.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int BadSeed() {
+  std::random_device rd;  // bad: nondeterministic entropy source
+  std::srand(rd());       // bad: srand
+  return std::rand();     // bad: rand
+}
+
+long BadNow() {
+  const long wall = time(nullptr);  // bad: wall clock
+  const auto tick = std::chrono::steady_clock::now();  // bad: chrono clock
+  (void)tick;
+  return wall;
+}

@@ -1,0 +1,19 @@
+// Known-bad fixture for horizon_lint rule `naked-new`.  NOT compiled;
+// consumed by `horizon_lint.py --self-test` only.
+struct Widget {
+  int x = 0;
+};
+
+Widget* Make() {
+  return new Widget();  // bad: naked new
+}
+
+void Destroy(Widget* w) {
+  delete w;  // bad: naked delete
+}
+
+int* MakeArray() {
+  int* a = new int[16];  // bad: naked array new
+  delete[] a;            // bad: naked array delete
+  return nullptr;
+}

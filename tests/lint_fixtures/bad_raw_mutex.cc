@@ -1,0 +1,21 @@
+// Known-bad fixture for horizon_lint rule `raw-mutex`: raw standard
+// primitives bypassing the annotated horizon::Mutex wrapper.  NOT
+// compiled; consumed by `horizon_lint.py --self-test` only.
+#include <condition_variable>
+#include <mutex>
+
+struct Racy {
+  std::mutex mu;                // bad: raw std::mutex
+  std::condition_variable cv;   // bad: raw condition_variable
+  int value = 0;
+
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu);  // bad: raw lock_guard
+    ++value;
+  }
+
+  void WaitPositive() {
+    std::unique_lock<std::mutex> lock(mu);  // bad: raw unique_lock
+    cv.wait(lock, [this] { return value > 0; });
+  }
+};

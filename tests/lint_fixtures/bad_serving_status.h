@@ -1,0 +1,26 @@
+// Known-bad fixture for horizon_lint rule `serving-status`: public
+// mutating entry points of a serving class that report failure out of
+// band (bool / void) instead of returning Status/StatusOr.  NOT
+// compiled; consumed by `horizon_lint.py --self-test` only.
+#ifndef HORIZON_TESTS_LINT_FIXTURES_BAD_SERVING_STATUS_H_
+#define HORIZON_TESTS_LINT_FIXTURES_BAD_SERVING_STATUS_H_
+
+#include <cstdint>
+
+namespace horizon::serving {
+
+class LeakyService {
+ public:
+  bool RegisterThing(int64_t id);    // bad: fallible, returns bool
+  void IngestThing(int64_t id);      // bad: fallible, returns void
+  int RemoveThing(int64_t id);       // bad: fallible, returns int
+
+  bool has_thing(int64_t id) const;  // ok: const accessor
+
+ private:
+  int64_t count_ = 0;
+};
+
+}  // namespace horizon::serving
+
+#endif  // HORIZON_TESTS_LINT_FIXTURES_BAD_SERVING_STATUS_H_

@@ -99,23 +99,23 @@ TEST_F(PredictionServiceTest, QueryMatchesOfflineReplay) {
   PredictionService service = MakeService();
   const auto& cascade = dataset_->cascades[3];
   const auto& page = dataset_->PageOf(cascade.post);
-  service.RegisterItem(7, 0.0, page, cascade.post);
+  ASSERT_TRUE(service.RegisterItem(7, 0.0, page, cascade.post).ok());
   const double s = 12 * kHour;
   for (const auto& e : cascade.views) {
     if (e.time >= s) break;
-    service.Ingest(7, stream::EngagementType::kView, e.time);
+    ASSERT_TRUE(service.Ingest(7, stream::EngagementType::kView, e.time).ok());
   }
   for (double t : cascade.share_times) {
     if (t >= s) break;
-    service.Ingest(7, stream::EngagementType::kShare, t);
+    ASSERT_TRUE(service.Ingest(7, stream::EngagementType::kShare, t).ok());
   }
   for (double t : cascade.comment_times) {
     if (t >= s) break;
-    service.Ingest(7, stream::EngagementType::kComment, t);
+    ASSERT_TRUE(service.Ingest(7, stream::EngagementType::kComment, t).ok());
   }
   for (double t : cascade.reaction_times) {
     if (t >= s) break;
-    service.Ingest(7, stream::EngagementType::kReaction, t);
+    ASSERT_TRUE(service.Ingest(7, stream::EngagementType::kReaction, t).ok());
   }
   const auto online = service.Query(7, s, 2 * kDay);
   ASSERT_TRUE(online.has_value());
@@ -132,10 +132,10 @@ TEST_F(PredictionServiceTest, TopKRanksByPredictedIncrement) {
   const double s = 6 * kHour;
   for (int64_t i = 0; i < 20; ++i) {
     const auto& cascade = dataset_->cascades[static_cast<size_t>(i)];
-    service.RegisterItem(i, 0.0, dataset_->PageOf(cascade.post), cascade.post);
+    ASSERT_TRUE(service.RegisterItem(i, 0.0, dataset_->PageOf(cascade.post), cascade.post).ok());
     for (const auto& e : cascade.views) {
       if (e.time >= s) break;
-      service.Ingest(i, stream::EngagementType::kView, e.time);
+      ASSERT_TRUE(service.Ingest(i, stream::EngagementType::kView, e.time).ok());
     }
   }
   const auto top = service.TopK(s, 1 * kDay, 5);
@@ -158,11 +158,11 @@ TEST_F(PredictionServiceTest, RetiresIdleItems) {
   PredictionService service = MakeService(config);
   const auto& cascade = dataset_->cascades[0];
   const auto& page = dataset_->PageOf(cascade.post);
-  service.RegisterItem(1, 0.0, page, cascade.post);   // will go idle
-  service.RegisterItem(2, 0.0, page, cascade.post);   // stays active
-  service.Ingest(1, stream::EngagementType::kView, 1 * kHour);
-  service.Ingest(2, stream::EngagementType::kView, 1 * kHour);
-  service.Ingest(2, stream::EngagementType::kView, 5 * kDay - kHour);
+  ASSERT_TRUE(service.RegisterItem(1, 0.0, page, cascade.post).ok());   // will go idle
+  ASSERT_TRUE(service.RegisterItem(2, 0.0, page, cascade.post).ok());   // stays active
+  ASSERT_TRUE(service.Ingest(1, stream::EngagementType::kView, 1 * kHour).ok());
+  ASSERT_TRUE(service.Ingest(2, stream::EngagementType::kView, 1 * kHour).ok());
+  ASSERT_TRUE(service.Ingest(2, stream::EngagementType::kView, 5 * kDay - kHour).ok());
 
   const size_t retired = service.RetireDeadItems(5 * kDay);
   EXPECT_EQ(retired, 1u);
@@ -177,7 +177,7 @@ TEST_F(PredictionServiceTest, NotYetLiveItemsAreInvisible) {
   PredictionService service = MakeService();
   const auto& cascade = dataset_->cascades[0];
   const auto& page = dataset_->PageOf(cascade.post);
-  service.RegisterItem(1, /*creation_time=*/10 * kDay, page, cascade.post);
+  ASSERT_TRUE(service.RegisterItem(1, /*creation_time=*/10 * kDay, page, cascade.post).ok());
   EXPECT_FALSE(service.Query(1, 5 * kDay, kDay).has_value());
   EXPECT_TRUE(service.TopK(5 * kDay, kDay, 3).empty());
   EXPECT_EQ(service.RetireDeadItems(5 * kDay), 0u);
@@ -191,7 +191,7 @@ TEST_F(PredictionServiceTest, RetiresNeverViewedItems) {
   config.idle_retirement_age = 1 * kDay;
   PredictionService service = MakeService(config);
   const auto& cascade = dataset_->cascades[0];
-  service.RegisterItem(9, 0.0, dataset_->PageOf(cascade.post), cascade.post);
+  ASSERT_TRUE(service.RegisterItem(9, 0.0, dataset_->PageOf(cascade.post), cascade.post).ok());
   EXPECT_EQ(service.RetireDeadItems(2 * kDay), 1u);
   EXPECT_EQ(service.LiveItems(), 0u);
 }
@@ -223,8 +223,8 @@ TEST_F(PredictionServiceTest, QueryUnknownIsNotFound) {
 TEST_F(PredictionServiceTest, QueryFutureItemIsNotYetLive) {
   PredictionService service = MakeService();
   const auto& cascade = dataset_->cascades[0];
-  service.RegisterItem(1, /*creation_time=*/10 * kDay,
-                       dataset_->PageOf(cascade.post), cascade.post);
+  ASSERT_TRUE(service.RegisterItem(1, /*creation_time=*/10 * kDay,
+                       dataset_->PageOf(cascade.post), cascade.post).ok());
   const auto result = service.Query(1, 5 * kDay, kDay);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.code(), StatusCode::kNotYetLive);
@@ -256,11 +256,11 @@ TEST_F(PredictionServiceTest, BatchQueryMixesResultsAndTypedErrors) {
   const double s = 6 * kHour;
   const auto& cascade = dataset_->cascades[0];
   const auto& page = dataset_->PageOf(cascade.post);
-  service.RegisterItem(1, 0.0, page, cascade.post);
-  service.RegisterItem(2, /*creation_time=*/10 * kDay, page, cascade.post);
+  ASSERT_TRUE(service.RegisterItem(1, 0.0, page, cascade.post).ok());
+  ASSERT_TRUE(service.RegisterItem(2, /*creation_time=*/10 * kDay, page, cascade.post).ok());
   for (const auto& e : cascade.views) {
     if (e.time >= s) break;
-    service.Ingest(1, stream::EngagementType::kView, e.time);
+    ASSERT_TRUE(service.Ingest(1, stream::EngagementType::kView, e.time).ok());
   }
 
   QueryRequest request;
@@ -288,10 +288,10 @@ TEST_F(PredictionServiceTest, BatchQueryTopKOverIdsRanksAndTruncates) {
   const double s = 6 * kHour;
   for (int64_t i = 0; i < 12; ++i) {
     const auto& cascade = dataset_->cascades[static_cast<size_t>(i)];
-    service.RegisterItem(i, 0.0, dataset_->PageOf(cascade.post), cascade.post);
+    ASSERT_TRUE(service.RegisterItem(i, 0.0, dataset_->PageOf(cascade.post), cascade.post).ok());
     for (const auto& e : cascade.views) {
       if (e.time >= s) break;
-      service.Ingest(i, stream::EngagementType::kView, e.time);
+      ASSERT_TRUE(service.Ingest(i, stream::EngagementType::kView, e.time).ok());
     }
   }
   QueryRequest request;
@@ -315,10 +315,10 @@ TEST_F(PredictionServiceTest, BatchQueryScanMatchesTopKShim) {
   const double s = 6 * kHour;
   for (int64_t i = 0; i < 10; ++i) {
     const auto& cascade = dataset_->cascades[static_cast<size_t>(i)];
-    service.RegisterItem(i, 0.0, dataset_->PageOf(cascade.post), cascade.post);
+    ASSERT_TRUE(service.RegisterItem(i, 0.0, dataset_->PageOf(cascade.post), cascade.post).ok());
     for (const auto& e : cascade.views) {
       if (e.time >= s) break;
-      service.Ingest(i, stream::EngagementType::kView, e.time);
+      ASSERT_TRUE(service.Ingest(i, stream::EngagementType::kView, e.time).ok());
     }
   }
   QueryRequest scan;
@@ -355,10 +355,10 @@ TEST_F(PredictionServiceTest, ScanWithKBeyondLiveItemsReturnsAll) {
   const double s = 6 * kHour;
   for (int64_t i = 0; i < 4; ++i) {
     const auto& cascade = dataset_->cascades[static_cast<size_t>(i)];
-    service.RegisterItem(i, 0.0, dataset_->PageOf(cascade.post), cascade.post);
+    ASSERT_TRUE(service.RegisterItem(i, 0.0, dataset_->PageOf(cascade.post), cascade.post).ok());
     for (const auto& e : cascade.views) {
       if (e.time >= s) break;
-      service.Ingest(i, stream::EngagementType::kView, e.time);
+      ASSERT_TRUE(service.Ingest(i, stream::EngagementType::kView, e.time).ok());
     }
   }
   QueryRequest scan;
@@ -386,8 +386,8 @@ TEST_F(PredictionServiceTest, ScanSkipsItemsNotYetLive) {
   // reporting kNotYetLive per item.
   for (int64_t i = 0; i < 3; ++i) {
     const auto& cascade = dataset_->cascades[static_cast<size_t>(i)];
-    service.RegisterItem(i, s + kHour, dataset_->PageOf(cascade.post),
-                         cascade.post);
+    ASSERT_TRUE(service.RegisterItem(i, s + kHour, dataset_->PageOf(cascade.post),
+                         cascade.post).ok());
   }
   QueryRequest scan;
   scan.s = s;
@@ -479,8 +479,8 @@ TEST_F(PredictionServiceTest, RestoreUnderDifferentLayoutIsConfigMismatch) {
   {
     PredictionService writer = MakeService();
     const auto& cascade = dataset_->cascades[0];
-    writer.RegisterItem(1, 0.0, dataset_->PageOf(cascade.post), cascade.post);
-    writer.Ingest(1, stream::EngagementType::kView, kHour);
+    ASSERT_TRUE(writer.RegisterItem(1, 0.0, dataset_->PageOf(cascade.post), cascade.post).ok());
+    ASSERT_TRUE(writer.Ingest(1, stream::EngagementType::kView, kHour).ok());
     ASSERT_TRUE(writer.Checkpoint(dir).ok());
   }
   // A reader configured with an extra tracking window cannot adopt the
@@ -516,8 +516,8 @@ TEST_F(PredictionServiceTest, ErrorCountersTrackTypedFailures) {
             1u);
 
   const auto& cascade = dataset_->cascades[0];
-  service.RegisterItem(7, 0.0, dataset_->PageOf(cascade.post), cascade.post);
-  service.Ingest(7, stream::EngagementType::kView, kHour);
+  ASSERT_TRUE(service.RegisterItem(7, 0.0, dataset_->PageOf(cascade.post), cascade.post).ok());
+  ASSERT_TRUE(service.Ingest(7, stream::EngagementType::kView, kHour).ok());
   (void)service.Query(7, 6 * kHour, kDay);
   EXPECT_EQ(registry.GetCounter("horizon_serving_items_registered_total")->Value(),
             1u);

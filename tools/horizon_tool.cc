@@ -278,22 +278,24 @@ int CmdCheckpoint(const std::map<std::string, std::string>& flags) {
   serving::PredictionService service(&*model, &extractor, serving::ServiceConfig{});
   for (const auto& cascade : dataset->cascades) {
     const int64_t id = cascade.post.id;
-    service.RegisterItem(id, 0.0, dataset->PageOf(cascade.post), cascade.post);
+    // Dataset post ids are unique; a duplicate would only skip the item.
+    (void)service.RegisterItem(id, 0.0, dataset->PageOf(cascade.post),
+                               cascade.post);
     for (const auto& e : cascade.views) {
       if (e.time >= *time) break;
-      service.Ingest(id, stream::EngagementType::kView, e.time);
+      (void)service.Ingest(id, stream::EngagementType::kView, e.time);  // events of a just-registered item cannot miss
     }
     for (double t : cascade.share_times) {
       if (t >= *time) break;
-      service.Ingest(id, stream::EngagementType::kShare, t);
+      (void)service.Ingest(id, stream::EngagementType::kShare, t);  // events of a just-registered item cannot miss
     }
     for (double t : cascade.comment_times) {
       if (t >= *time) break;
-      service.Ingest(id, stream::EngagementType::kComment, t);
+      (void)service.Ingest(id, stream::EngagementType::kComment, t);  // events of a just-registered item cannot miss
     }
     for (double t : cascade.reaction_times) {
       if (t >= *time) break;
-      service.Ingest(id, stream::EngagementType::kReaction, t);
+      (void)service.Ingest(id, stream::EngagementType::kReaction, t);  // events of a just-registered item cannot miss
     }
   }
   const Status ckpt_status = service.Checkpoint(out);
@@ -401,7 +403,7 @@ int CmdStats(const std::map<std::string, std::string>& flags) {
     ids.push_back(id);
     for (const auto& e : cascade.views) {
       if (e.time >= 6 * kHour) break;
-      service.Ingest(id, stream::EngagementType::kView, e.time);
+      (void)service.Ingest(id, stream::EngagementType::kView, e.time);  // events of a just-registered item cannot miss
     }
   }
 
