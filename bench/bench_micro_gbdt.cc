@@ -1,12 +1,31 @@
-// Micro-benchmark (google-benchmark): GBDT single-row inference latency vs
-// ensemble size/depth -- the constant "few GBDT inferences" cost of the
-// proposed predictor (Fig. 2's flat curve) -- plus training throughput.
+// Micro-benchmark (google-benchmark): GBDT inference and training cost.
+//
+// The headline trajectory is batch predictions/s across the inference
+// paths introduced by the vectorized hot-path rework:
+//
+//   BM_GbdtBatchFlatScalar     FlatForest::PredictRows (the pre-rework
+//                              depth-first scalar baseline)
+//   BM_GbdtBatchBlocked/<k>    BlockForest::PredictStrided under kernel
+//                              flavor <k> (scalar | sse | avx2)
+//   BM_GbdtBatchQuantized/<k>  QuantizedForest::PredictCodes (uint16
+//                              rank-space codes, integer compares)
+//
+// All batch benchmarks run single-threaded on pre-materialized inputs so
+// the numbers compare kernels, not the thread pool.  Kernel flavors the
+// running CPU cannot execute are skipped.  Unless --benchmark_out is
+// given, results are written to BENCH_gbdt.json (google-benchmark JSON
+// format); the acceptance bar is blocked-AVX2 (or the widest available
+// flavor) >= 5x the flat scalar baseline on the same model and batch.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "gbdt/gbdt.h"
+#include "gbdt/simd_dispatch.h"
 
 namespace {
 
@@ -28,6 +47,124 @@ DataMatrix MakeData(size_t rows, size_t features, std::vector<double>* y) {
   }
   return x;
 }
+
+// Shared trained model + batch for every inference benchmark, built once:
+// training is orders of magnitude slower than a single batch pass, and
+// identical inputs are what make the flavors comparable.
+constexpr size_t kBatchRows = 16384;
+constexpr size_t kNumFeatures = 100;
+
+struct InferenceSetup {
+  GbdtRegressor model;
+  DataMatrix x{0, 0};
+  ExampleBatch soa;                // column-major copy of x
+  std::vector<uint16_t> codes;     // quantized SoA copy of x
+  std::vector<double> out;
+
+  InferenceSetup() : model([] {
+    GbdtParams params;
+    params.num_trees = 80;
+    params.tree.max_depth = 5;
+    return params;
+  }()) {
+    std::vector<double> y;
+    x = MakeData(kBatchRows, kNumFeatures, &y);
+    model.Fit(x, y);
+    soa = ExampleBatch(kBatchRows, kNumFeatures);
+    for (size_t r = 0; r < kBatchRows; ++r) {
+      for (size_t f = 0; f < kNumFeatures; ++f) soa.Set(r, f, x.Get(r, f));
+    }
+    codes = model.quantized_forest().Quantize(soa);
+    out.resize(kBatchRows);
+  }
+};
+
+InferenceSetup& Setup() {
+  static InferenceSetup* setup = new InferenceSetup();
+  return *setup;
+}
+
+// Pins HORIZON_SIMD to `flavor` for the duration of one benchmark run.
+// Returns false (benchmark should skip) when the CPU cannot execute it.
+bool PinKernel(SimdKernel flavor) {
+  for (SimdKernel k : SupportedKernels()) {
+    if (k == flavor) {
+      ::setenv("HORIZON_SIMD", SimdKernelName(flavor), /*overwrite=*/1);
+      RefreshKernelFromEnv();
+      return true;
+    }
+  }
+  return false;
+}
+
+void UnpinKernel() {
+  ::unsetenv("HORIZON_SIMD");
+  RefreshKernelFromEnv();
+}
+
+void BM_GbdtBatchFlatScalar(benchmark::State& state) {
+  InferenceSetup& s = Setup();
+  for (auto _ : state) {
+    s.model.flat_forest().PredictRows(s.x.Row(0), kBatchRows, kNumFeatures,
+                                      s.out.data());
+    benchmark::DoNotOptimize(s.out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kBatchRows));
+}
+BENCHMARK(BM_GbdtBatchFlatScalar)->Unit(benchmark::kMillisecond);
+
+void BM_GbdtBatchBlocked(benchmark::State& state) {
+  const auto flavor = static_cast<SimdKernel>(state.range(0));
+  if (!PinKernel(flavor)) {
+    state.SkipWithError("kernel flavor unsupported on this CPU");
+    return;
+  }
+  InferenceSetup& s = Setup();
+  // Column-major SoA input: row_stride 1, feature stride = num_rows --
+  // the layout serving feeds the kernels.
+  for (auto _ : state) {
+    s.model.block_forest().PredictStrided(s.soa.data(), kBatchRows,
+                                          /*row_stride=*/1,
+                                          /*feat_stride=*/kBatchRows,
+                                          s.out.data());
+    benchmark::DoNotOptimize(s.out.data());
+  }
+  UnpinKernel();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kBatchRows));
+  state.SetLabel(SimdKernelName(flavor));
+}
+BENCHMARK(BM_GbdtBatchBlocked)
+    ->Arg(static_cast<int>(SimdKernel::kScalar))
+    ->Arg(static_cast<int>(SimdKernel::kSse))
+    ->Arg(static_cast<int>(SimdKernel::kAvx2))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GbdtBatchQuantized(benchmark::State& state) {
+  const auto flavor = static_cast<SimdKernel>(state.range(0));
+  if (!PinKernel(flavor)) {
+    state.SkipWithError("kernel flavor unsupported on this CPU");
+    return;
+  }
+  InferenceSetup& s = Setup();
+  for (auto _ : state) {
+    s.model.quantized_forest().PredictCodes(s.codes.data(), kBatchRows,
+                                            /*row_stride=*/1,
+                                            /*feat_stride=*/kBatchRows,
+                                            s.out.data());
+    benchmark::DoNotOptimize(s.out.data());
+  }
+  UnpinKernel();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kBatchRows));
+  state.SetLabel(SimdKernelName(flavor));
+}
+BENCHMARK(BM_GbdtBatchQuantized)
+    ->Arg(static_cast<int>(SimdKernel::kScalar))
+    ->Arg(static_cast<int>(SimdKernel::kSse))
+    ->Arg(static_cast<int>(SimdKernel::kAvx2))
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GbdtPredictSingleRow(benchmark::State& state) {
   std::vector<double> y;
@@ -75,4 +212,24 @@ BENCHMARK(BM_BinnedDatasetCreate)->Arg(10000)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Default to emitting BENCH_gbdt.json unless the caller already directs
+  // the report elsewhere.
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  static char out_flag[] = "--benchmark_out=BENCH_gbdt.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int argc_adj = static_cast<int>(args.size());
+  benchmark::Initialize(&argc_adj, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc_adj, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -108,8 +108,9 @@ double HawkesPredictor::PredictFinalIncrement(const float* row) const {
   return PredictIncrement(row, std::numeric_limits<double>::infinity());
 }
 
-std::vector<double> HawkesPredictor::PredictAlphaBatch(
-    const gbdt::DataMatrix& x) const {
+template <typename Matrix>
+std::vector<double> HawkesPredictor::PredictAlphaBatchImpl(
+    const Matrix& x) const {
   HORIZON_DCHECK(trained_);
   std::vector<double> out = g_model_.PredictBatch(x);
   for (double& v : out) {
@@ -118,16 +119,17 @@ std::vector<double> HawkesPredictor::PredictAlphaBatch(
   return out;
 }
 
-std::vector<double> HawkesPredictor::PredictIncrementBatch(
-    const gbdt::DataMatrix& x, const std::vector<double>& deltas,
+template <typename Matrix>
+std::vector<double> HawkesPredictor::PredictIncrementBatchImpl(
+    const Matrix& x, const std::vector<double>& deltas,
     std::vector<double>* alphas_out) const {
   HORIZON_DCHECK(trained_);
   HORIZON_CHECK_EQ(deltas.size(), x.num_rows());
   const size_t n = x.num_rows();
   const size_t m = f_models_.size();
 
-  // One flat-forest pass per model over all rows.
-  std::vector<double> alphas = PredictAlphaBatch(x);
+  // One vectorized-forest pass per model over all rows.
+  std::vector<double> alphas = PredictAlphaBatchImpl(x);
   std::vector<std::vector<double>> raw(m);
   for (size_t i = 0; i < m; ++i) raw[i] = f_models_[i].PredictBatch(x);
 
@@ -150,9 +152,38 @@ std::vector<double> HawkesPredictor::PredictIncrementBatch(
   return out;
 }
 
+std::vector<double> HawkesPredictor::PredictAlphaBatch(
+    const gbdt::DataMatrix& x) const {
+  return PredictAlphaBatchImpl(x);
+}
+
+std::vector<double> HawkesPredictor::PredictAlphaBatch(
+    const gbdt::ExampleBatch& x) const {
+  return PredictAlphaBatchImpl(x);
+}
+
+std::vector<double> HawkesPredictor::PredictIncrementBatch(
+    const gbdt::DataMatrix& x, const std::vector<double>& deltas,
+    std::vector<double>* alphas_out) const {
+  return PredictIncrementBatchImpl(x, deltas, alphas_out);
+}
+
+std::vector<double> HawkesPredictor::PredictIncrementBatch(
+    const gbdt::ExampleBatch& x, const std::vector<double>& deltas,
+    std::vector<double>* alphas_out) const {
+  return PredictIncrementBatchImpl(x, deltas, alphas_out);
+}
+
 std::vector<double> HawkesPredictor::PredictIncrementBatch(
     const gbdt::DataMatrix& x, double delta) const {
-  return PredictIncrementBatch(x, std::vector<double>(x.num_rows(), delta));
+  return PredictIncrementBatchImpl(x, std::vector<double>(x.num_rows(), delta),
+                                   nullptr);
+}
+
+std::vector<double> HawkesPredictor::PredictIncrementBatch(
+    const gbdt::ExampleBatch& x, double delta) const {
+  return PredictIncrementBatchImpl(x, std::vector<double>(x.num_rows(), delta),
+                                   nullptr);
 }
 
 std::vector<double> HawkesPredictor::PredictCountBatch(
@@ -160,7 +191,17 @@ std::vector<double> HawkesPredictor::PredictCountBatch(
     const std::vector<double>& deltas,
     std::vector<double>* alphas_out) const {
   HORIZON_CHECK_EQ(n_s.size(), x.num_rows());
-  std::vector<double> out = PredictIncrementBatch(x, deltas, alphas_out);
+  std::vector<double> out = PredictIncrementBatchImpl(x, deltas, alphas_out);
+  for (size_t i = 0; i < out.size(); ++i) out[i] += n_s[i];
+  return out;
+}
+
+std::vector<double> HawkesPredictor::PredictCountBatch(
+    const gbdt::ExampleBatch& x, const std::vector<double>& n_s,
+    const std::vector<double>& deltas,
+    std::vector<double>* alphas_out) const {
+  HORIZON_CHECK_EQ(n_s.size(), x.num_rows());
+  std::vector<double> out = PredictIncrementBatchImpl(x, deltas, alphas_out);
   for (size_t i = 0; i < out.size(); ++i) out[i] += n_s[i];
   return out;
 }
@@ -177,6 +218,23 @@ std::string HawkesPredictor::Serialize() const {
   os << "\n";
   auto append_model = [&os](const gbdt::GbdtRegressor& model) {
     const std::string blob = model.Serialize();
+    os << blob.size() << "\n" << blob;
+  };
+  for (const auto& f : f_models_) append_model(f);
+  append_model(g_model_);
+  return os.str();
+}
+
+std::string HawkesPredictor::SerializeQuantized() const {
+  HORIZON_CHECK(trained_);
+  std::ostringstream os;
+  os << "qhwk v1\n" << f_models_.size() << "\n";
+  const auto append_model = [&os](const gbdt::GbdtRegressor& model) {
+    // Over-deep ensembles have no quantized form; an empty section keeps
+    // the framing aligned (and byte-stable) either way.
+    const std::string blob = model.quantized_forest().compiled()
+                                 ? model.quantized_forest().Serialize()
+                                 : std::string();
     os << blob.size() << "\n" << blob;
   };
   for (const auto& f : f_models_) append_model(f);

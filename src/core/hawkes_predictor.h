@@ -66,13 +66,17 @@ class HawkesPredictor {
   double PredictAlpha(const float* row) const;
 
   // --- Batch inference -------------------------------------------------
-  // Each batch call feeds all rows through the compiled flat forests in
-  // one pass per model (parallelized over row ranges), then applies the
-  // transfer formula per row.  Results are bit-identical to the per-row
-  // calls above.
+  // Each batch call feeds all rows through the compiled vectorized
+  // forests (runtime-dispatched scalar/SSE/AVX2 blocked kernels) in one
+  // pass per model, then applies the transfer formula per row.  Results
+  // are bit-identical to the per-row calls above.  Every method takes
+  // either a row-major DataMatrix or a column-major ExampleBatch -- the
+  // SoA layout the feature extractor fills in place, which reaches the
+  // SIMD kernels without transposition.
 
   /// Predicted alpha_hat for every row of `x`.
   std::vector<double> PredictAlphaBatch(const gbdt::DataMatrix& x) const;
+  std::vector<double> PredictAlphaBatch(const gbdt::ExampleBatch& x) const;
 
   /// Predicted increments, one per row; deltas.size() must equal
   /// x.num_rows().  When `alphas_out` is non-null it receives the per-row
@@ -82,15 +86,24 @@ class HawkesPredictor {
   std::vector<double> PredictIncrementBatch(
       const gbdt::DataMatrix& x, const std::vector<double>& deltas,
       std::vector<double>* alphas_out = nullptr) const;
+  std::vector<double> PredictIncrementBatch(
+      const gbdt::ExampleBatch& x, const std::vector<double>& deltas,
+      std::vector<double>* alphas_out = nullptr) const;
 
   /// Predicted increments over a single shared horizon.
   std::vector<double> PredictIncrementBatch(const gbdt::DataMatrix& x,
+                                            double delta) const;
+  std::vector<double> PredictIncrementBatch(const gbdt::ExampleBatch& x,
                                             double delta) const;
 
   /// Predicted total counts: n_s[i] + increment for row i over deltas[i].
   /// `alphas_out` as in PredictIncrementBatch.
   std::vector<double> PredictCountBatch(
       const gbdt::DataMatrix& x, const std::vector<double>& n_s,
+      const std::vector<double>& deltas,
+      std::vector<double>* alphas_out = nullptr) const;
+  std::vector<double> PredictCountBatch(
+      const gbdt::ExampleBatch& x, const std::vector<double>& n_s,
       const std::vector<double>& deltas,
       std::vector<double>* alphas_out = nullptr) const;
 
@@ -106,6 +119,13 @@ class HawkesPredictor {
   /// re-Deserialize).
   bool Deserialize(const std::string& text);
 
+  /// Serializes the quantized companions of every forest (count models
+  /// then the alpha model, "qhwk v1" framing).  Deterministic for a given
+  /// trained model -- Deserialize recompiles identical quantized forests,
+  /// so checkpoint restore verifies this blob by byte equality.  A model
+  /// whose blocked form did not compile contributes an empty section.
+  std::string SerializeQuantized() const;
+
   bool trained() const { return trained_; }
   size_t num_reference_horizons() const { return params_.reference_horizons.size(); }
   const HawkesPredictorParams& params() const { return params_; }
@@ -117,6 +137,14 @@ class HawkesPredictor {
   /// using the transfer formula and the configured aggregation.
   double CombineIncrement(const double* increments_at_refs, size_t m,
                           double alpha_hat, double delta) const;
+
+  // Layout-generic batch implementations (DataMatrix / ExampleBatch).
+  template <typename Matrix>
+  std::vector<double> PredictAlphaBatchImpl(const Matrix& x) const;
+  template <typename Matrix>
+  std::vector<double> PredictIncrementBatchImpl(
+      const Matrix& x, const std::vector<double>& deltas,
+      std::vector<double>* alphas_out) const;
 
   HawkesPredictorParams params_;
   bool trained_ = false;

@@ -43,4 +43,15 @@ double VelocityHawkesPredictor::PredictIncrement(
   return lambda_hat / alpha_hat * factor;
 }
 
+std::vector<double> VelocityHawkesPredictor::PredictIncrementBatch(
+    const std::vector<stream::TrackerSnapshot>& snapshots,
+    const std::vector<double>& deltas) const {
+  HORIZON_CHECK_EQ(deltas.size(), snapshots.size());
+  std::vector<double> out(snapshots.size());
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    out[i] = PredictIncrement(snapshots[i], deltas[i]);
+  }
+  return out;
+}
+
 }  // namespace horizon::core

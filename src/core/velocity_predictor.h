@@ -14,6 +14,9 @@
 #ifndef HORIZON_CORE_VELOCITY_PREDICTOR_H_
 #define HORIZON_CORE_VELOCITY_PREDICTOR_H_
 
+#include <cstddef>
+#include <vector>
+
 #include "stream/cascade_tracker.h"
 
 namespace horizon::core {
@@ -45,6 +48,15 @@ class VelocityHawkesPredictor {
   /// Predicted view increment over `delta` (may be +inf).
   double PredictIncrement(const stream::TrackerSnapshot& snapshot,
                           double delta) const;
+
+  /// Batch form over many snapshots with per-item horizons
+  /// (deltas.size() must equal snapshots.size()).  The predictor is
+  /// training-free, so there is no forest to vectorize -- this exists so
+  /// serving's batch surface treats both predictor families uniformly.
+  /// Bit-identical to per-snapshot PredictIncrement.
+  std::vector<double> PredictIncrementBatch(
+      const std::vector<stream::TrackerSnapshot>& snapshots,
+      const std::vector<double>& deltas) const;
 
   const Options& options() const { return options_; }
 

@@ -177,6 +177,13 @@ void FeatureExtractor::ExtractInto(const datagen::PageProfile& page,
                                    const datagen::PostProfile& post,
                                    const stream::TrackerSnapshot& snapshot,
                                    float* out) const {
+  ExtractIntoStrided(page, post, snapshot, out, 1);
+}
+
+void FeatureExtractor::ExtractIntoStrided(const datagen::PageProfile& page,
+                                          const datagen::PostProfile& post,
+                                          const stream::TrackerSnapshot& snapshot,
+                                          float* out, size_t stride) const {
   // Extraction runs in tight per-row loops (one call is ~100 ns), so the
   // trace hook is a sampled latency probe plus a wait-free row counter.
   static obs::Histogram* const extract_latency =
@@ -191,7 +198,7 @@ void FeatureExtractor::ExtractInto(const datagen::PageProfile& page,
   EmitAll(page, post, snapshot, tracker_config_,
           [&](const std::string& /*name*/, FeatureCategory /*cat*/, float value) {
             HORIZON_DCHECK(std::isfinite(value));
-            out[i++] = value;
+            out[i++ * stride] = value;
           });
   HORIZON_CHECK_EQ(i, schema_.size());
 }

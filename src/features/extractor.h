@@ -5,6 +5,7 @@
 #ifndef HORIZON_FEATURES_EXTRACTOR_H_
 #define HORIZON_FEATURES_EXTRACTOR_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "datagen/cascade.h"
@@ -34,6 +35,16 @@ class FeatureExtractor {
   void ExtractInto(const datagen::PageProfile& page,
                    const datagen::PostProfile& post,
                    const stream::TrackerSnapshot& snapshot, float* out) const;
+
+  /// Strided form: feature i is written to out[i * stride].  With
+  /// stride = batch.feature_stride() and out = batch.MutableRowBase(row)
+  /// this fills one row of a column-major gbdt::ExampleBatch in place, so
+  /// batches reach the SIMD inference kernels without a transposition
+  /// pass.  ExtractInto is the stride-1 case.
+  void ExtractIntoStrided(const datagen::PageProfile& page,
+                          const datagen::PostProfile& post,
+                          const stream::TrackerSnapshot& snapshot, float* out,
+                          size_t stride) const;
 
   /// Convenience: replays a generated cascade's engagement events with age
   /// < observe_age into a fresh tracker and returns its snapshot.  (Real

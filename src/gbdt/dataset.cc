@@ -39,6 +39,38 @@ void DataMatrix::AppendRow(const std::vector<float>& row) {
   ++num_rows_;
 }
 
+ExampleBatch::ExampleBatch(size_t num_rows, size_t num_features)
+    : num_rows_(num_rows),
+      num_features_(num_features),
+      values_(num_rows * num_features, 0.0f) {}
+
+void ExampleBatch::Set(size_t row, size_t col, float v) {
+  HORIZON_DCHECK(row < num_rows_ && col < num_features_);
+  values_[col * num_rows_ + row] = v;
+}
+
+float ExampleBatch::Get(size_t row, size_t col) const {
+  HORIZON_DCHECK(row < num_rows_ && col < num_features_);
+  return values_[col * num_rows_ + row];
+}
+
+float* ExampleBatch::MutableRowBase(size_t row) {
+  HORIZON_DCHECK(row < num_rows_);
+  return values_.data() + row;
+}
+
+const float* ExampleBatch::Column(size_t feature) const {
+  HORIZON_DCHECK(feature < num_features_);
+  return values_.data() + feature * num_rows_;
+}
+
+void ExampleBatch::CopyRowTo(size_t row, float* out) const {
+  HORIZON_DCHECK(row < num_rows_);
+  for (size_t f = 0; f < num_features_; ++f) {
+    out[f] = values_[f * num_rows_ + row];
+  }
+}
+
 BinnedDataset BinnedDataset::Create(const DataMatrix& data, int max_bins) {
   HORIZON_CHECK(max_bins >= 2 && max_bins <= 256);
   BinnedDataset out;

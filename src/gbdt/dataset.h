@@ -38,6 +38,45 @@ class DataMatrix {
   std::vector<float> values_;  // row-major
 };
 
+/// Column-major (structure-of-arrays) batch of dense feature rows -- the
+/// layout the vectorized inference kernels consume directly.
+///
+/// Feature f of row r lives at data()[f * feature_stride() + r], so one
+/// feature's values across the whole batch are contiguous.  Feature
+/// extraction writes each example straight into its column slots
+/// (FeatureExtractor::ExtractIntoStrided), which feeds the traversal
+/// kernels without any transposition step, and per-feature passes
+/// (quantization, binning) stream sequentially.
+class ExampleBatch {
+ public:
+  ExampleBatch() = default;
+  ExampleBatch(size_t num_rows, size_t num_features);
+
+  void Set(size_t row, size_t col, float v);
+  float Get(size_t row, size_t col) const;
+
+  /// Base pointer for writing one example: feature f of this row goes to
+  /// base[f * feature_stride()].  Pairs with ExtractIntoStrided.
+  float* MutableRowBase(size_t row);
+
+  /// Pointer to the contiguous column of one feature (num_rows floats).
+  const float* Column(size_t feature) const;
+
+  /// Copies row `row` into out[0..num_features) (row-major order) -- the
+  /// escape hatch for per-row consumers such as single-row Predict.
+  void CopyRowTo(size_t row, float* out) const;
+
+  const float* data() const { return values_.data(); }
+  size_t feature_stride() const { return num_rows_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_features() const { return num_features_; }
+
+ private:
+  size_t num_rows_ = 0;
+  size_t num_features_ = 0;
+  std::vector<float> values_;  // column-major
+};
+
 /// Per-feature quantile binning of a DataMatrix.
 ///
 /// Each feature is discretized into at most `max_bins` bins delimited by

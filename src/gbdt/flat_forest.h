@@ -52,6 +52,18 @@ class FlatForest {
   /// global thread pool.
   std::vector<double> PredictBatch(const DataMatrix& x) const;
 
+  // --- Raw node pools ----------------------------------------------------
+  // For the blocked-layout compiler (BlockForest/QuantizedForest) and the
+  // traversal kernels, all of which live in src/gbdt.  Code above the
+  // forest must use the Predict* traversal API instead of indexing node
+  // arrays -- enforced by the `forest-traversal` rule of
+  // tools/horizon_lint.py.
+  const std::vector<int32_t>& raw_features() const { return feature_; }
+  const std::vector<float>& raw_thresholds() const { return threshold_; }
+  const std::vector<int32_t>& raw_left() const { return left_; }
+  const std::vector<double>& raw_values() const { return value_; }
+  const std::vector<int32_t>& raw_roots() const { return roots_; }
+
  private:
   bool compiled_ = false;
   double base_score_ = 0.0;

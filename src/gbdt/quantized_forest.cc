@@ -1,0 +1,286 @@
+#include "gbdt/quantized_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "gbdt/forest_kernels.h"
+#include "gbdt/simd_dispatch.h"
+#include "obs/metrics.h"
+
+namespace horizon::gbdt {
+
+namespace {
+
+/// Minimum rows per ParallelFor chunk (matches the float batch path).
+constexpr size_t kParallelGrain = 256;
+
+// Deserialization bounds (same family as GbdtRegressor::Deserialize).
+constexpr size_t kMaxFeatures = 1u << 20;
+constexpr size_t kMaxTrees = 1u << 20;
+constexpr size_t kMaxTotalNodes = 1u << 22;
+
+}  // namespace
+
+QuantizedForest QuantizedForest::Compile(const BlockForest& blocked,
+                                         size_t num_features) {
+  QuantizedForest out;
+  if (!blocked.compiled()) return out;
+  if (blocked.max_feature() >= static_cast<int32_t>(num_features)) return out;
+
+  const std::vector<int32_t>& feat = blocked.raw_features();
+  const std::vector<float>& thresh = blocked.raw_thresholds();
+  const float inf = std::numeric_limits<float>::infinity();
+
+  // Per-feature sorted distinct thresholds.  +inf marks a pseudo node
+  // (real thresholds are finite by construction: training bins and the
+  // hardened model deserializer both reject non-finite splits).
+  std::vector<std::vector<float>> cuts(num_features);
+  for (size_t i = 0; i < thresh.size(); ++i) {
+    if (thresh[i] != inf) {
+      cuts[static_cast<size_t>(feat[i])].push_back(thresh[i]);
+    }
+  }
+  for (std::vector<float>& c : cuts) {
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+    if (c.size() > kMaxCutsPerFeature) return out;  // stay on float path
+  }
+
+  out.depth_ = blocked.depth();
+  out.num_trees_ = blocked.num_trees();
+  out.num_features_ = num_features;
+  out.nodes_per_tree_ = blocked.nodes_per_tree();
+  out.leaves_per_tree_ = blocked.leaves_per_tree();
+  out.base_score_ = blocked.base_score();
+  out.learning_rate_ = blocked.learning_rate();
+  out.max_feature_ = blocked.max_feature();
+  out.cuts_ = std::move(cuts);
+  out.feat_ = feat;
+  out.leaves_ = blocked.raw_leaves();
+  out.qthresh_.assign(thresh.size() + 1, kPseudoThreshold);  // +1 gather pad
+  for (size_t i = 0; i < thresh.size(); ++i) {
+    if (thresh[i] == inf) continue;
+    const std::vector<float>& c = out.cuts_[static_cast<size_t>(feat[i])];
+    const auto it = std::lower_bound(c.begin(), c.end(), thresh[i]);
+    HORIZON_DCHECK(it != c.end() && *it == thresh[i]);
+    out.qthresh_[i] = static_cast<uint16_t>(it - c.begin());
+  }
+  out.compiled_ = true;
+  return out;
+}
+
+const std::vector<float>& QuantizedForest::cuts(size_t feature) const {
+  HORIZON_DCHECK(feature < num_features_);
+  return cuts_[feature];
+}
+
+uint16_t QuantizedForest::QuantizeValue(size_t feature, float v) const {
+  HORIZON_DCHECK(feature < num_features_);
+  const std::vector<float>& c = cuts_[feature];
+  if (std::isnan(v)) {
+    // The float predicate !(v <= t) sends NaN right at every real node;
+    // the past-every-cut code does the same under code > rank.
+    return static_cast<uint16_t>(c.size());
+  }
+  const auto it = std::lower_bound(c.begin(), c.end(), v);
+  return static_cast<uint16_t>(it - c.begin());
+}
+
+std::vector<uint16_t> QuantizedForest::Quantize(const ExampleBatch& x) const {
+  HORIZON_DCHECK(compiled_);
+  HORIZON_CHECK_EQ(x.num_features(), num_features_);
+  const size_t n = x.num_rows();
+  std::vector<uint16_t> codes(n * num_features_ + 1, 0);
+  for (size_t f = 0; f < num_features_; ++f) {
+    if (cuts_[f].empty()) continue;  // never split on: code 0 everywhere
+    const float* col = x.Column(f);
+    uint16_t* dst = codes.data() + f * n;
+    for (size_t r = 0; r < n; ++r) dst[r] = QuantizeValue(f, col[r]);
+  }
+  return codes;
+}
+
+std::vector<uint16_t> QuantizedForest::Quantize(const DataMatrix& x) const {
+  HORIZON_DCHECK(compiled_);
+  HORIZON_CHECK_EQ(x.num_features(), num_features_);
+  const size_t n = x.num_rows();
+  std::vector<uint16_t> codes(n * num_features_ + 1, 0);
+  for (size_t f = 0; f < num_features_; ++f) {
+    if (cuts_[f].empty()) continue;
+    uint16_t* dst = codes.data() + f * n;
+    for (size_t r = 0; r < n; ++r) dst[r] = QuantizeValue(f, x.Get(r, f));
+  }
+  return codes;
+}
+
+void QuantizedForest::PredictCodes(const uint16_t* codes, size_t num_rows,
+                                   size_t row_stride, size_t feat_stride,
+                                   double* out) const {
+  HORIZON_DCHECK(compiled_);
+  if (num_rows == 0) return;
+  const kernels::QuantForestSpan span{
+      feat_.data(),  qthresh_.data(), leaves_.data(), num_trees_,
+      depth_,        base_score_,     learning_rate_};
+  SimdKernel kernel = ActiveKernel();
+  const uint64_t max_offset =
+      static_cast<uint64_t>(num_rows - 1) * row_stride +
+      (max_feature_ > 0
+           ? static_cast<uint64_t>(max_feature_) * feat_stride
+           : 0);
+  if (max_offset > static_cast<uint64_t>(std::numeric_limits<int32_t>::max())) {
+    kernel = SimdKernel::kScalar;
+  }
+  switch (kernel) {
+    case SimdKernel::kAvx2:
+      kernels::PredictQuantAvx2(span, codes, num_rows, row_stride, feat_stride,
+                                out);
+      break;
+    case SimdKernel::kSse:
+      kernels::PredictQuantSse(span, codes, num_rows, row_stride, feat_stride,
+                               out);
+      break;
+    case SimdKernel::kScalar:
+      kernels::PredictQuantScalar(span, codes, num_rows, row_stride,
+                                  feat_stride, out);
+      break;
+  }
+}
+
+namespace {
+
+std::vector<double> PredictQuantizedImpl(const QuantizedForest& forest,
+                                         std::vector<uint16_t> codes,
+                                         size_t num_rows) {
+  static obs::Histogram* const batch_latency =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "horizon_gbdt_quantized_batch_inference_latency_seconds");
+  static obs::Counter* const rows_scored =
+      obs::MetricsRegistry::Global().GetCounter(
+          "horizon_gbdt_quantized_rows_scored_total");
+  const obs::ScopedTimer timer(batch_latency);
+  rows_scored->Add(num_rows);
+  std::vector<double> out(num_rows);
+  if (num_rows == 0) return out;
+  const uint16_t* base = codes.data();
+  ParallelFor(num_rows, kParallelGrain, [&](size_t begin, size_t end) {
+    forest.PredictCodes(base + begin, end - begin, 1, num_rows,
+                        out.data() + begin);
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> QuantizedForest::PredictBatch(const ExampleBatch& x) const {
+  return PredictQuantizedImpl(*this, Quantize(x), x.num_rows());
+}
+
+std::vector<double> QuantizedForest::PredictBatch(const DataMatrix& x) const {
+  return PredictQuantizedImpl(*this, Quantize(x), x.num_rows());
+}
+
+std::string QuantizedForest::Serialize() const {
+  HORIZON_CHECK(compiled_);
+  std::ostringstream os;
+  os.precision(17);
+  os << "qforest v1\n";
+  os << num_features_ << " " << num_trees_ << " " << depth_ << " "
+     << base_score_ << " " << learning_rate_ << "\n";
+  for (size_t f = 0; f < num_features_; ++f) {
+    os << cuts_[f].size();
+    for (const float c : cuts_[f]) os << " " << c;
+    os << "\n";
+  }
+  const size_t num_nodes = num_trees_ * nodes_per_tree_;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    os << feat_[i] << " " << qthresh_[i] << "\n";
+  }
+  for (size_t i = 0; i < num_trees_ * leaves_per_tree_; ++i) {
+    os << leaves_[i] << "\n";
+  }
+  return os.str();
+}
+
+bool QuantizedForest::Deserialize(const std::string& text) {
+  // Must be safe on untrusted bytes: every count is bounded before
+  // allocation and every index checked before use.  Traversal itself is
+  // memory-safe for any node contents (the implicit-heap step arithmetic
+  // is bounded by depth), so validation only has to pin the array shapes
+  // and value ranges.
+  compiled_ = false;
+  std::istringstream is(text);
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != "qforest" || version != "v1") {
+    return false;
+  }
+  size_t num_features = 0, num_trees = 0;
+  int depth = 0;
+  double base = 0.0, lr = 0.0;
+  if (!(is >> num_features >> num_trees >> depth >> base >> lr)) return false;
+  if (num_features == 0 || num_features > kMaxFeatures ||
+      num_trees > kMaxTrees || depth < 0 ||
+      depth > BlockForest::kMaxBlockedDepth || !std::isfinite(base) ||
+      !std::isfinite(lr) || lr <= 0.0) {
+    return false;
+  }
+  const size_t npt = (size_t{1} << depth) - 1;
+  const size_t lpt = size_t{1} << depth;
+  if (num_trees * npt > kMaxTotalNodes || num_trees * lpt > kMaxTotalNodes) {
+    return false;
+  }
+  std::vector<std::vector<float>> cuts(num_features);
+  for (size_t f = 0; f < num_features; ++f) {
+    size_t k = 0;
+    if (!(is >> k) || k > kMaxCutsPerFeature) return false;
+    cuts[f].resize(k);
+    float prev = -std::numeric_limits<float>::infinity();
+    for (size_t j = 0; j < k; ++j) {
+      if (!(is >> cuts[f][j]) || !std::isfinite(cuts[f][j]) ||
+          cuts[f][j] <= prev) {
+        return false;  // cuts must be finite and strictly increasing
+      }
+      prev = cuts[f][j];
+    }
+  }
+  const size_t num_nodes = num_trees * npt;
+  std::vector<int32_t> feat(num_nodes);
+  std::vector<uint16_t> qthresh(num_nodes + 1, kPseudoThreshold);
+  int32_t max_feature = -1;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    int32_t f = 0;
+    uint32_t q = 0;
+    if (!(is >> f >> q)) return false;
+    if (f < 0 || static_cast<size_t>(f) >= num_features) return false;
+    if (q != kPseudoThreshold &&
+        static_cast<size_t>(q) >= cuts[static_cast<size_t>(f)].size()) {
+      return false;  // rank must name an existing cut (or be the pseudo mark)
+    }
+    feat[i] = f;
+    qthresh[i] = static_cast<uint16_t>(q);
+    max_feature = std::max(max_feature, f);
+  }
+  std::vector<double> leaves(num_trees * lpt);
+  for (double& v : leaves) {
+    if (!(is >> v) || !std::isfinite(v)) return false;
+  }
+  num_features_ = num_features;
+  num_trees_ = num_trees;
+  depth_ = depth;
+  nodes_per_tree_ = npt;
+  leaves_per_tree_ = lpt;
+  base_score_ = base;
+  learning_rate_ = lr;
+  max_feature_ = max_feature;
+  cuts_ = std::move(cuts);
+  feat_ = std::move(feat);
+  qthresh_ = std::move(qthresh);
+  leaves_ = std::move(leaves);
+  compiled_ = true;
+  return true;
+}
+
+}  // namespace horizon::gbdt

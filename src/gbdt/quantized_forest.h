@@ -1,0 +1,128 @@
+// Quantized blocked forest: integer-compare traversal over uint16
+// histogram-bin codes.
+//
+// The compiler extracts, per feature, the sorted distinct thresholds that
+// actually appear in the ensemble (its "cuts") and replaces every node
+// threshold with its rank -- a uint16 bin index.  A feature value is
+// quantized to code(v) = index of the first cut >= v (same lower_bound
+// convention as BinnedDataset).  Because
+//
+//   v <= cuts[j]  <=>  code(v) <= j
+//
+// every traversal decision -- and therefore every prediction, which is a
+// sum over the same leaf values in the same order -- is EXACTLY the float
+// path's.  The documented quantization error bound of this built-in
+// rank-space quantizer is therefore zero.  The general bound, for an
+// external quantizer with coarser bins: a decision can flip only when a
+// bin boundary separates v from the node threshold, so |prediction error|
+// <= num_trees * learning_rate * max_leaf_spread for rows within one bin
+// width of a threshold, and zero elsewhere (see DESIGN.md).
+//
+// Node shape mirrors BlockForest (implicit-heap, padded to forest depth);
+// pseudo nodes carry qthreshold 0xFFFF, which no code exceeds (codes are
+// capped at 0xFFFE), so padded levels send every row left.  The uint16
+// pools carry one trailing pad element so the AVX2 kernels may gather 4
+// bytes per lane at scale 2 without reading past the allocation.
+//
+// The quantized form is also the checkpointable one: Serialize/
+// Deserialize round-trip the cuts and node pools through the same
+// hardened ASCII format family as GbdtRegressor ("qforest v1").
+#ifndef HORIZON_GBDT_QUANTIZED_FOREST_H_
+#define HORIZON_GBDT_QUANTIZED_FOREST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gbdt/block_forest.h"
+#include "gbdt/dataset.h"
+
+namespace horizon::gbdt {
+
+/// Immutable quantized ensemble.  Cheap to move; safe to share across
+/// threads (all methods const, no mutable state).
+class QuantizedForest {
+ public:
+  /// qthreshold of padded pseudo nodes; greater than every code.
+  static constexpr uint16_t kPseudoThreshold = 0xFFFF;
+  /// Codes span [0, cuts+1) and must stay below kPseudoThreshold, so a
+  /// feature may contribute at most this many distinct thresholds.
+  static constexpr size_t kMaxCutsPerFeature = 0xFFFE;
+
+  QuantizedForest() = default;
+
+  /// Quantizes a compiled BlockForest.  `num_features` bounds the split
+  /// feature ids (callers pass the model's feature count).  The result is
+  /// uncompiled() when the input is uncompiled or a feature exceeds
+  /// kMaxCutsPerFeature distinct thresholds; callers then stay on the
+  /// float path.
+  static QuantizedForest Compile(const BlockForest& blocked,
+                                 size_t num_features);
+
+  bool compiled() const { return compiled_; }
+  int depth() const { return depth_; }
+  size_t num_trees() const { return num_trees_; }
+  size_t num_features() const { return num_features_; }
+  double base_score() const { return base_score_; }
+  double learning_rate() const { return learning_rate_; }
+  /// Sorted distinct thresholds of one feature (may be empty).
+  const std::vector<float>& cuts(size_t feature) const;
+
+  /// Bin code of one value: index of the first cut >= v, i.e. the count
+  /// of cuts < v... NaN maps past every cut (the float path sends NaN
+  /// right at every real node, and so does the largest code).
+  uint16_t QuantizeValue(size_t feature, float v) const;
+
+  /// Quantizes a whole batch into column-major codes (feature f of row r
+  /// at [f * num_rows + r]) with one trailing pad element for the AVX2
+  /// gathers.
+  std::vector<uint16_t> Quantize(const ExampleBatch& x) const;
+  std::vector<uint16_t> Quantize(const DataMatrix& x) const;
+
+  /// Predicts pre-quantized codes laid out at
+  /// codes[r*row_stride + f*feat_stride] through the runtime-dispatched
+  /// integer kernel.  The buffer must carry one trailing pad element.
+  /// Runs on the calling thread.
+  void PredictCodes(const uint16_t* codes, size_t num_rows, size_t row_stride,
+                    size_t feat_stride, double* out) const;
+
+  /// Quantizes then predicts every row, parallelized over row ranges.
+  /// Bit-identical to the float path (see file comment).
+  std::vector<double> PredictBatch(const ExampleBatch& x) const;
+  std::vector<double> PredictBatch(const DataMatrix& x) const;
+
+  /// Serializes to a portable ASCII string ("qforest v1"), byte-stable
+  /// for a given forest (checkpoint digests compare equal iff the forests
+  /// are identical).
+  std::string Serialize() const;
+  /// Restores from Serialize() output.  Safe on untrusted bytes: returns
+  /// false (leaving the forest uncompiled) on any malformed input.
+  bool Deserialize(const std::string& text);
+
+  // --- Raw node pools ----------------------------------------------------
+  // For the traversal kernels in src/gbdt; enforced out of bounds
+  // elsewhere by the `forest-traversal` lint rule.
+  const std::vector<int32_t>& raw_features() const { return feat_; }
+  const std::vector<uint16_t>& raw_qthresholds() const { return qthresh_; }
+  const std::vector<double>& raw_leaves() const { return leaves_; }
+
+ private:
+  bool compiled_ = false;
+  int depth_ = 0;
+  size_t num_trees_ = 0;
+  size_t num_features_ = 0;
+  size_t nodes_per_tree_ = 0;
+  size_t leaves_per_tree_ = 0;
+  double base_score_ = 0.0;
+  double learning_rate_ = 0.0;
+  int32_t max_feature_ = -1;
+  std::vector<std::vector<float>> cuts_;  ///< per-feature sorted thresholds
+  std::vector<int32_t> feat_;             ///< as BlockForest (pseudo: 0)
+  std::vector<uint16_t> qthresh_;         ///< rank thresholds, +1 pad element
+  std::vector<double> leaves_;
+};
+
+}  // namespace horizon::gbdt
+
+#endif  // HORIZON_GBDT_QUANTIZED_FOREST_H_

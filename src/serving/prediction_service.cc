@@ -244,12 +244,15 @@ StatusOr<QueryResponse> PredictionService::QueryByIds(
   if (resolved.empty()) return response;
 
   // Inference runs outside the shard locks, batched over every resolved
-  // item: one flat-forest pass per model.
-  gbdt::DataMatrix x(resolved.size(), extractor_->schema().size());
+  // item: one vectorized-forest pass per model.  The extractor writes the
+  // column-major SoA batch in place (strided emit), so the SIMD kernels
+  // consume it without a transposition pass.
+  gbdt::ExampleBatch x(resolved.size(), extractor_->schema().size());
   std::vector<double> observed(resolved.size());
   for (size_t i = 0; i < resolved.size(); ++i) {
-    extractor_->ExtractInto(resolved[i].page, resolved[i].post,
-                            resolved[i].snapshot, x.MutableRow(i));
+    extractor_->ExtractIntoStrided(resolved[i].page, resolved[i].post,
+                                   resolved[i].snapshot, x.MutableRowBase(i),
+                                   x.feature_stride());
     observed[i] = static_cast<double>(resolved[i].snapshot.views().total);
   }
   const std::vector<double> deltas(resolved.size(), request.delta);
@@ -301,12 +304,14 @@ std::vector<PredictionService::ScanCandidate> PredictionService::ShardScanTopK(
   }
   if (candidates.empty()) return {};
 
-  // Batch the whole shard through the flat forests in one pass.
+  // Batch the whole shard through the vectorized forests in one pass,
+  // extracting straight into the SoA layout the kernels read.
   const size_t width = extractor_->schema().size();
-  gbdt::DataMatrix x(candidates.size(), width);
+  gbdt::ExampleBatch x(candidates.size(), width);
   for (size_t i = 0; i < candidates.size(); ++i) {
-    extractor_->ExtractInto(candidates[i].page, candidates[i].post,
-                            candidates[i].snapshot, x.MutableRow(i));
+    extractor_->ExtractIntoStrided(candidates[i].page, candidates[i].post,
+                                   candidates[i].snapshot, x.MutableRowBase(i),
+                                   x.feature_stride());
   }
   const std::vector<double> increments = model_->PredictIncrementBatch(x, delta);
 
@@ -323,11 +328,12 @@ std::vector<PredictionService::ScanCandidate> PredictionService::ShardScanTopK(
   out.reserve(take);
   for (size_t i = 0; i < take; ++i) {
     const size_t idx = order[i];
-    const float* row = x.Row(idx);
+    std::vector<float> row(width);
+    x.CopyRowTo(idx, row.data());
     out.push_back(
         {candidates[idx].id,
          static_cast<double>(candidates[idx].snapshot.views().total),
-         increments[idx], std::vector<float>(row, row + width)});
+         increments[idx], std::move(row)});
   }
   return out;
 }
@@ -355,7 +361,9 @@ StatusOr<QueryResponse> PredictionService::QueryScan(
 
   QueryResponse response;
   if (merged.empty()) return response;
-  // Only the global winners pay for the alpha forest.
+  // Only the global winners pay for the alpha forest.  Their feature rows
+  // were already materialized row-major by the shard scans, so a row-major
+  // matrix (strided kernel path) is the no-copy-beyond-this layout here.
   gbdt::DataMatrix x(merged.size(), extractor_->schema().size());
   for (size_t i = 0; i < merged.size(); ++i) {
     std::copy(merged[i].row.begin(), merged[i].row.end(), x.MutableRow(i));
@@ -578,6 +586,10 @@ Status PredictionService::Checkpoint(const std::string& dir) const {
   // shards are being copied belong to the next checkpoint.
   const ServiceStats counters = stats();
   const std::string model_blob = model_->Serialize();
+  // Quantized companions of every forest, in the same epoch dir.  The blob
+  // is a deterministic function of the trained model, which is what lets
+  // Restore verify it by byte equality instead of a tolerance check.
+  const std::string qforest_blob = model_->SerializeQuantized();
 
   // Snapshot each shard under its lock (a copy of the O(1)-state items),
   // then serialize and write the file outside the lock so ingest/query
@@ -624,12 +636,16 @@ Status PredictionService::Checkpoint(const std::string& dir) const {
   HORIZON_RETURN_IF_ERROR(shard_error);
   HORIZON_RETURN_IF_ERROR(
       io::WriteFileAtomic(ckpt + "/model.hwk", io::WrapCrcFrame(model_blob)));
+  HORIZON_RETURN_IF_ERROR(io::WriteFileAtomic(ckpt + "/model.qforest",
+                                              io::WrapCrcFrame(qforest_blob)));
 
   std::ostringstream manifest;
   manifest.precision(17);
   manifest << "manifest v1\n";
   manifest << "epoch " << epoch << "\n";
   manifest << "model " << io::Crc32(model_blob) << " " << model_blob.size() << "\n";
+  manifest << "qforest " << io::Crc32(qforest_blob) << " " << qforest_blob.size()
+           << "\n";
   const stream::TrackerConfig& tracker = config_.tracker;
   manifest << "windows " << tracker.window_lengths.size();
   for (double w : tracker.window_lengths) manifest << " " << w;
@@ -700,6 +716,11 @@ Status PredictionService::Restore(const std::string& dir) {
   }
   if (!(is >> key >> model_crc >> model_size) || key != "model") {
     return CountError(Status::Corruption("manifest: missing model digest"));
+  }
+  uint32_t qforest_crc = 0;
+  size_t qforest_size = 0;
+  if (!(is >> key >> qforest_crc >> qforest_size) || key != "qforest") {
+    return CountError(Status::Corruption("manifest: missing qforest digest"));
   }
 
   // The restored trackers only make sense if this service interprets their
@@ -773,6 +794,25 @@ Status PredictionService::Restore(const std::string& dir) {
     return CountError(Status::ConfigMismatch(
         "checkpoint was written by a different model (serialization digest "
         "mismatch)"));
+  }
+  // Same contract for the quantized companions: recompiling them from the
+  // live model must reproduce the checkpointed blob byte for byte, or the
+  // quantized query path would disagree with whoever wrote the checkpoint.
+  const std::string qforest_blob = model_->SerializeQuantized();
+  if (io::Crc32(qforest_blob) != qforest_crc ||
+      qforest_blob.size() != qforest_size) {
+    return CountError(Status::ConfigMismatch(
+        "checkpoint was written by a different quantized forest (digest "
+        "mismatch)"));
+  }
+  const auto qforest_file = io::ReadFile(ckpt + "/model.qforest");
+  if (!qforest_file.ok()) {
+    return CountError(
+        Status::Corruption("checkpoint qforest file missing or unreadable"));
+  }
+  const auto qforest_payload = io::UnwrapCrcFrame(*qforest_file);
+  if (!qforest_payload.ok() || *qforest_payload != qforest_blob) {
+    return CountError(Status::Corruption("checkpoint qforest file damaged"));
   }
 
   // Stage every item first; the live service is only touched once the

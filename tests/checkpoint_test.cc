@@ -334,6 +334,33 @@ TEST_F(CheckpointTest, RestoreRejectsCorruptedShardFile) {
   ExpectIdentical(Snapshot(restored, 3, kAge, 1 * kDay), before);
 }
 
+TEST_F(CheckpointTest, RestoreRejectsCorruptedQuantizedForestFile) {
+  PredictionService source = MakeService();
+  Load(&source, kItems, kAge);
+  ASSERT_TRUE(source.Checkpoint(Dir()));
+
+  const auto current = io::ReadFile(Dir() + "/CURRENT");
+  ASSERT_TRUE(current.has_value());
+  std::string pointer = *current;
+  while (!pointer.empty() && (pointer.back() == '\n' || pointer.back() == ' ')) {
+    pointer.pop_back();
+  }
+  const std::string qforest_file = Dir() + "/" + pointer + "/model.qforest";
+  auto bytes = io::ReadFile(qforest_file);
+  ASSERT_TRUE(bytes.has_value());
+  ASSERT_GT(bytes->size(), 0u);
+  (*bytes)[bytes->size() / 2] =
+      static_cast<char>((*bytes)[bytes->size() / 2] ^ 0x01);
+  {
+    std::ofstream out(qforest_file, std::ios::binary | std::ios::trunc);
+    out.write(bytes->data(), static_cast<std::streamsize>(bytes->size()));
+  }
+
+  PredictionService restored = MakeService();
+  EXPECT_FALSE(restored.Restore(Dir()));
+  EXPECT_EQ(restored.LiveItems(), 0u);
+}
+
 TEST_F(CheckpointTest, RestoreRejectsMismatchedModel) {
   PredictionService source = MakeService();
   Load(&source, 8, kAge);

@@ -1,0 +1,197 @@
+#include "gbdt/quantized_forest.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gbdt/gbdt.h"
+
+// Like block_forest_test, this suite does not guard HORIZON_SIMD: the
+// quantized path is decision-exact in every kernel flavor, and the ctest
+// variants pin the flavor per process.
+
+namespace horizon::gbdt {
+namespace {
+
+DataMatrix RandomMatrix(size_t rows, size_t features, uint64_t seed,
+                        double lo = -2.0, double hi = 2.0) {
+  Rng rng(seed);
+  DataMatrix x(rows, features);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t f = 0; f < features; ++f) {
+      x.Set(i, f, static_cast<float>(rng.Uniform(lo, hi)));
+    }
+  }
+  return x;
+}
+
+GbdtRegressor TrainRandomModel(uint64_t seed, int num_trees = 60,
+                               int depth = 6) {
+  const size_t rows = 3000, features = 25;
+  Rng rng(seed);
+  DataMatrix x(rows, features);
+  std::vector<double> y(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    double target = 0.0;
+    for (size_t f = 0; f < features; ++f) {
+      const double v = rng.Uniform(-1.0, 1.0);
+      x.Set(i, f, static_cast<float>(v));
+      if (f < 6) target += (f % 2 == 0 ? v : v * v);
+    }
+    y[i] = target + rng.Normal(0.0, 0.05);
+  }
+  GbdtParams params;
+  params.num_trees = num_trees;
+  params.tree.max_depth = depth;
+  params.seed = seed;
+  GbdtRegressor model(params);
+  model.Fit(x, y);
+  return model;
+}
+
+TEST(QuantizedForestTest, CompilesTrainedModel) {
+  const GbdtRegressor model = TrainRandomModel(3);
+  const QuantizedForest& quant = model.quantized_forest();
+  ASSERT_TRUE(quant.compiled());
+  EXPECT_EQ(quant.num_trees(), model.trees().size());
+  EXPECT_EQ(quant.num_features(), model.num_features());
+  EXPECT_EQ(quant.depth(), model.block_forest().depth());
+  // max_bins = 255 at training caps the distinct thresholds per feature
+  // far below the uint16 ceiling.
+  for (size_t f = 0; f < quant.num_features(); ++f) {
+    EXPECT_LE(quant.cuts(f).size(), QuantizedForest::kMaxCutsPerFeature);
+  }
+}
+
+TEST(QuantizedForestTest, QuantizeValueBoundarySemantics) {
+  const GbdtRegressor model = TrainRandomModel(5, /*num_trees=*/20);
+  const QuantizedForest& quant = model.quantized_forest();
+  ASSERT_TRUE(quant.compiled());
+  // Find a feature with at least one cut and probe around each boundary:
+  // v <= cuts[j] must hold exactly when code(v) <= j.
+  bool probed = false;
+  for (size_t f = 0; f < quant.num_features(); ++f) {
+    const std::vector<float>& cuts = quant.cuts(f);
+    if (cuts.empty()) continue;
+    probed = true;
+    for (size_t j = 0; j < cuts.size(); ++j) {
+      EXPECT_EQ(quant.QuantizeValue(f, cuts[j]), j) << "at cut " << j;
+      EXPECT_GT(quant.QuantizeValue(
+                    f, std::nextafter(cuts[j],
+                                      std::numeric_limits<float>::infinity())),
+                j)
+          << "above cut " << j;
+    }
+    EXPECT_EQ(quant.QuantizeValue(
+                  f, -std::numeric_limits<float>::infinity()),
+              0u);
+    EXPECT_EQ(quant.QuantizeValue(f, std::numeric_limits<float>::infinity()),
+              cuts.size());
+    // NaN maps past every cut: always right, like the float predicate.
+    EXPECT_EQ(quant.QuantizeValue(f, std::numeric_limits<float>::quiet_NaN()),
+              cuts.size());
+  }
+  ASSERT_TRUE(probed);
+}
+
+// Acceptance gate: the quantized path on 100k random examples stays
+// within the documented bin-boundary error bound.  For the built-in
+// rank-space quantizer that bound is ZERO (v <= cuts[j] <=> code(v) <= j,
+// so every traversal decision matches), which the assertion states in its
+// strongest form: bitwise equality with the float reference.
+TEST(QuantizedForestTest, BoundedErrorOn100kRandomExamples) {
+  const GbdtRegressor model = TrainRandomModel(7);
+  const QuantizedForest& quant = model.quantized_forest();
+  ASSERT_TRUE(quant.compiled());
+  // Values beyond the training range exercise codes at both extremes.
+  const DataMatrix x = RandomMatrix(100000, model.num_features(), 99, -4.0, 4.0);
+  const std::vector<double> reference = model.flat_forest().PredictBatch(x);
+  const std::vector<double> quantized = quant.PredictBatch(x);
+  ASSERT_EQ(quantized.size(), reference.size());
+  constexpr double kDocumentedBound = 0.0;  // see quantized_forest.h
+  for (size_t i = 0; i < quantized.size(); ++i) {
+    ASSERT_LE(std::fabs(quantized[i] - reference[i]), kDocumentedBound)
+        << "row " << i;
+  }
+}
+
+TEST(QuantizedForestTest, ColumnMajorBatchMatchesFloatPath) {
+  const GbdtRegressor model = TrainRandomModel(11, /*num_trees=*/30);
+  const DataMatrix x = RandomMatrix(1537, model.num_features(), 4);
+  ExampleBatch soa(x.num_rows(), x.num_features());
+  for (size_t r = 0; r < x.num_rows(); ++r) {
+    for (size_t f = 0; f < x.num_features(); ++f) soa.Set(r, f, x.Get(r, f));
+  }
+  const std::vector<double> via_float = model.PredictBatch(soa);
+  const std::vector<double> via_quant = model.PredictBatchQuantized(soa);
+  ASSERT_EQ(via_quant.size(), via_float.size());
+  for (size_t i = 0; i < via_quant.size(); ++i) {
+    ASSERT_EQ(via_quant[i], via_float[i]) << "row " << i;
+  }
+}
+
+TEST(QuantizedForestTest, SerializeRoundTripsBitExact) {
+  const GbdtRegressor model = TrainRandomModel(13, /*num_trees=*/25);
+  const QuantizedForest& quant = model.quantized_forest();
+  const std::string blob = quant.Serialize();
+  QuantizedForest restored;
+  ASSERT_TRUE(restored.Deserialize(blob));
+  ASSERT_TRUE(restored.compiled());
+  // Byte-stable: re-serializing reproduces the blob exactly (checkpoint
+  // digests rely on this).
+  EXPECT_EQ(restored.Serialize(), blob);
+  const DataMatrix x = RandomMatrix(999, model.num_features(), 31);
+  const std::vector<double> before = quant.PredictBatch(x);
+  const std::vector<double> after = restored.PredictBatch(x);
+  for (size_t i = 0; i < before.size(); ++i) {
+    ASSERT_EQ(after[i], before[i]) << "row " << i;
+  }
+}
+
+TEST(QuantizedForestTest, DeserializeRejectsMalformedBlobs) {
+  const GbdtRegressor model = TrainRandomModel(17, /*num_trees=*/5);
+  const std::string good = model.quantized_forest().Serialize();
+  QuantizedForest q;
+  EXPECT_FALSE(q.Deserialize(""));
+  EXPECT_FALSE(q.Deserialize("qforest v2\n"));
+  EXPECT_FALSE(q.Deserialize("gbdt v1\n"));
+  EXPECT_FALSE(q.Deserialize(good.substr(0, good.size() / 2)));  // truncated
+  // Oversized counts must be rejected before allocation.
+  EXPECT_FALSE(q.Deserialize("qforest v1\n999999999 1 5 0.0 0.1\n"));
+  EXPECT_FALSE(q.Deserialize("qforest v1\n1 999999999 5 0.0 0.1\n"));
+  EXPECT_FALSE(q.Deserialize("qforest v1\n1 1 40 0.0 0.1\n"));   // depth
+  EXPECT_FALSE(q.Deserialize("qforest v1\n1 1 5 nan 0.1\n"));
+  EXPECT_FALSE(q.Deserialize("qforest v1\n1 1 5 0.0 -0.1\n"));
+  // A rank past the feature's cut list must be rejected.
+  EXPECT_FALSE(q.Deserialize("qforest v1\n1 1 1 0.0 0.1\n1 0.5\n0 7\n1 2\n"));
+  // Cuts must be strictly increasing and finite.
+  EXPECT_FALSE(
+      q.Deserialize("qforest v1\n1 1 1 0.0 0.1\n2 0.5 0.5\n0 0\n1 2\n"));
+  EXPECT_FALSE(
+      q.Deserialize("qforest v1\n1 1 1 0.0 0.1\n1 inf\n0 0\n1 2\n"));
+  EXPECT_FALSE(q.compiled());
+  // And the unmodified blob still parses.
+  EXPECT_TRUE(q.Deserialize(good));
+  EXPECT_TRUE(q.compiled());
+}
+
+TEST(QuantizedForestTest, MinimalHandAuthoredBlobPredicts) {
+  // One feature, one tree, depth 1: split at 0.5, left leaf 1, right 2.
+  QuantizedForest q;
+  ASSERT_TRUE(q.Deserialize("qforest v1\n1 1 1 0.0 1.0\n1 0.5\n0 0\n1 2\n"));
+  DataMatrix x(2, 1);
+  x.Set(0, 0, 0.25f);  // <= 0.5 -> left
+  x.Set(1, 0, 0.75f);  // > 0.5 -> right
+  const std::vector<double> out = q.PredictBatch(x);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1.0);
+  EXPECT_EQ(out[1], 2.0);
+}
+
+}  // namespace
+}  // namespace horizon::gbdt

@@ -31,6 +31,15 @@ serving-status  Public *mutating* member functions declared in
               accessors are exempt (they cannot fail by contract);
               count-returning batch helpers carry an allow-comment
               justifying the exception.
+forest-traversal  Outside src/gbdt/, no direct indexing into a compiled
+              forest's node arrays (the raw_features / raw_thresholds /
+              raw_left / raw_values / raw_roots / raw_qthresholds /
+              raw_leaves accessors): call sites must go through the
+              traversal API (Predict / PredictBatch / PredictStrided /
+              PredictCodes), which is what keeps the node layout --
+              depth-first flat vs breadth-first blocked vs quantized --
+              free to change without breaking callers.  The raw spans
+              exist for the gbdt kernels, serialization, and tests.
 
 Suppression
 -----------
@@ -279,6 +288,24 @@ def check_serving_status(f: File, findings):
              f"`{ret}`; fallible serving APIs must return Status/StatusOr")
 
 
+FOREST_RAW_RE = re.compile(
+    r"(?<![\w])raw_(features|thresholds|left|values|roots|qthresholds|"
+    r"leaves)\s*\(")
+
+
+def check_forest_traversal(f: File, findings):
+    if f.rel.startswith("src/gbdt/"):
+        return  # the kernels and compilers own the node layout
+    for lineno, line in enumerate(f.code_lines, start=1):
+        m = FOREST_RAW_RE.search(line)
+        if m:
+            emit(findings, f, "forest-traversal", lineno,
+                 f"raw_{m.group(1)}() indexes forest node arrays directly; "
+                 "use the traversal API (Predict*/PredictStrided/"
+                 "PredictCodes) so the node layout stays private to "
+                 "src/gbdt/")
+
+
 def emit(findings, f: File, rule: str, lineno: int, message: str):
     hit = f.allowed(rule, lineno)
     if hit:
@@ -292,7 +319,7 @@ def emit(findings, f: File, rule: str, lineno: int, message: str):
 
 
 CHECKS = [check_determinism, check_naked_new, check_raw_mutex,
-          check_serving_status]
+          check_serving_status, check_forest_traversal]
 
 
 # --------------------------------------------------------------------------
@@ -329,6 +356,10 @@ def run_self_test(repo_root: str) -> int:
          "serving-status"),
         ("bad_allow_no_reason.cc", "src/common/bad_allow_no_reason.cc",
          "bad-allow"),
+        ("bad_forest_index.cc", "src/core/bad_forest_index.cc",
+         "forest-traversal"),
+        ("bad_forest_index.cc", "src/serving/bad_forest_index.cc",
+         "forest-traversal"),
     ]
     failures = []
     for fixture, dest_rel, rule in cases:
@@ -342,6 +373,20 @@ def run_self_test(repo_root: str) -> int:
             else:
                 print(f"self-test ok: {rule:>14} fired on {fixture} "
                       f"({len(found)} finding(s))")
+    # The forest-traversal rule is scoped: the identical raw-accessor
+    # fixture under src/gbdt/ is the kernels' own territory and must stay
+    # silent there.
+    with tempfile.TemporaryDirectory(prefix="horizon_lint_") as tree:
+        dest = os.path.join(tree, "src/gbdt/bad_forest_index.cc")
+        os.makedirs(os.path.dirname(dest), exist_ok=True)
+        shutil.copyfile(os.path.join(fixtures, "bad_forest_index.cc"), dest)
+        noise = [fi for fi in lint_tree(tree)
+                 if fi.rule == "forest-traversal"]
+        if noise:
+            failures.append("forest-traversal fired inside src/gbdt/: "
+                            + "; ".join(str(n) for n in noise))
+        else:
+            print("self-test ok: forest-traversal is silent inside src/gbdt/")
     # The good fixture exercises every allow-comment escape and the
     # deterministic idioms; it must be silent under every rule.
     with tempfile.TemporaryDirectory(prefix="horizon_lint_") as tree:
