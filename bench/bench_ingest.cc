@@ -1,0 +1,275 @@
+// Micro-benchmark (google-benchmark): ingest-pipeline saturation.
+//
+// Compares the synchronous mutex-per-commit ingest path against the
+// asynchronous MPSC-queue + applier pipeline at 1/2/4/8 producer
+// threads.  With kBlock backpressure the async numbers are the honest
+// end-to-end rate: once the rings fill, producers run at exactly the
+// appliers' group-commit drain rate, so items_per_second measures
+// applied events, not merely enqueued ones (the final drain barrier is
+// inside the timed region via the blocking pushes).
+//
+// Also measures single-item query latency while every queue sits at
+// capacity -- the epoch-snapshot read path must not queue behind the
+// appliers' shard locks.
+//
+// Unless --benchmark_out is given, results are written to
+// BENCH_ingest.json (google-benchmark JSON format).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/trainer.h"
+#include "obs/metrics.h"
+#include "serving/prediction_service.h"
+
+namespace {
+
+using namespace horizon;
+
+/// Dataset + trained model shared by every benchmark (built once).
+struct Env {
+  datagen::SyntheticDataset dataset;
+  features::FeatureExtractor extractor{stream::TrackerConfig{}};
+  core::HawkesPredictor model;
+
+  Env()
+      : dataset([] {
+          datagen::GeneratorConfig config;
+          config.num_pages = 30;
+          config.num_posts = 200;
+          config.base_mean_size = 60.0;
+          config.seed = 91;
+          return datagen::Generator(config).Generate();
+        }()),
+        model([] {
+          core::HawkesPredictorParams params;
+          params.reference_horizons = {1 * kDay};
+          params.gbdt_count.num_trees = 40;
+          params.gbdt_alpha.num_trees = 40;
+          return params;
+        }()) {
+    std::vector<size_t> indices;
+    for (size_t i = 0; i < dataset.cascades.size(); ++i) indices.push_back(i);
+    core::ExampleSetOptions options;
+    options.reference_horizons = {1 * kDay};
+    const auto examples =
+        core::BuildExampleSet(dataset, indices, extractor, options);
+    model.Fit(examples.x, examples.log1p_increments, examples.alpha_targets);
+  }
+};
+
+Env& GetEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+constexpr int64_t kItems = 512;
+
+serving::PredictionService* MakeService(serving::IngestMode mode,
+                                        int num_shards = 0) {
+  Env& env = GetEnv();
+  serving::ServiceConfig config;
+  config.ingest_mode = mode;  // pinned: the env var must not leak in
+  if (num_shards > 0) config.num_shards = num_shards;
+  // Deep rings absorb producer bursts between group commits.
+  config.ingest_queue_capacity = 1 << 15;
+  auto* service =
+      new serving::PredictionService(&env.model, &env.extractor, config);
+  for (int64_t id = 0; id < kItems; ++id) {
+    const auto& cascade =
+        env.dataset
+            .cascades[static_cast<size_t>(id) % env.dataset.cascades.size()];
+    // Setup over generated data; ids are unique so registration cannot fail.
+    (void)service->RegisterItem(id, 0.0, env.dataset.PageOf(cascade.post),
+                                cascade.post);
+  }
+  return service;
+}
+
+/// Publishes the pipeline's own accounting into the JSON report.
+void PublishPipelineCounters(benchmark::State& state) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  state.counters["backpressure"] = static_cast<double>(
+      registry.GetCounter("horizon_serving_ingest_backpressure_total")->Value());
+  const obs::Histogram* batches = registry.GetHistogram(
+      "horizon_serving_apply_batch_events", obs::CountBuckets());
+  if (batches->Count() > 0) {
+    state.counters["mean_commit_batch"] =
+        batches->Sum() / static_cast<double>(batches->Count());
+  }
+}
+
+// -- Aggregate pipeline throughput: spawn P producer threads, stream a
+//    fixed event count each, join, drain.  Timed in WALL CLOCK from the
+//    single benchmark thread (UseRealTime), so items_per_second is the
+//    unambiguous aggregate rate INCLUDING the drain barrier -- none of
+//    google-benchmark's per-thread CPU averaging applies.  Arg(0): 0 =
+//    sync (the PR-3 mutex path), 1 = async MPSC pipeline.  Arg(1):
+//    producer threads.
+
+constexpr int64_t kEventsPerProducer = 1 << 16;
+
+void BM_IngestPipeline(benchmark::State& state) {
+  const auto mode = state.range(0) == 0 ? serving::IngestMode::kSync
+                                        : serving::IngestMode::kAsync;
+  const int producers = static_cast<int>(state.range(1));
+  // Async shard count sized to the machine: one applier per core keeps
+  // the appliers busy (large group commits) instead of 16 mostly-idle
+  // threads waking per event.  Sync keeps the default shard fan-out
+  // (more shards only ever HELP the mutex path by splitting contention).
+  const int shards = mode == serving::IngestMode::kAsync
+                         ? static_cast<int>(std::max(
+                               1u, std::thread::hardware_concurrency()))
+                         : 0;
+  serving::PredictionService* service = MakeService(mode, shards);
+  double base_t = 1.0;
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(producers));
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        // Per-producer item stripe; per-item times strictly increase
+        // across iterations via base_t.
+        int64_t id = p;
+        double t = base_t;
+        for (int64_t i = 0; i < kEventsPerProducer; ++i) {
+          (void)service->Ingest(id, stream::EngagementType::kView, t);  // measured op; status checked by tests, not benches
+          id += producers;
+          if (id >= kItems) {
+            id = p;
+            // Advance by a window-scale step: realistic streams spread
+            // events over time, so the trackers keep evicting instead of
+            // accumulating every event into the largest window.
+            t += 1 * kHour;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    // The drain barrier is part of the measured cost: throughput means
+    // APPLIED events per second, not enqueued.
+    if (mode == serving::IngestMode::kAsync) (void)service->Flush();
+    base_t += kEventsPerProducer * kHour;  // coarse upper bound keeps times monotone
+  }
+  state.SetItemsProcessed(state.iterations() * producers * kEventsPerProducer);
+  state.SetLabel(mode == serving::IngestMode::kSync ? "sync" : "async");
+  if (mode == serving::IngestMode::kAsync) PublishPipelineCounters(state);
+  delete service;
+}
+BENCHMARK(BM_IngestPipeline)
+    ->Args({0, 1})
+    ->Args({0, 2})
+    ->Args({0, 4})
+    ->Args({0, 8})
+    ->Args({1, 1})
+    ->Args({1, 2})
+    ->Args({1, 4})
+    ->Args({1, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// -- IngestBatch under both pipelines: one caller, 8192-event batches. ---
+
+void BM_IngestBatch(benchmark::State& state) {
+  const auto mode = state.range(0) == 0 ? serving::IngestMode::kSync
+                                        : serving::IngestMode::kAsync;
+  const int shards = mode == serving::IngestMode::kAsync
+                         ? static_cast<int>(std::max(
+                               1u, std::thread::hardware_concurrency()))
+                         : 0;
+  serving::PredictionService* service = MakeService(mode, shards);
+  constexpr size_t kBatch = 8192;
+  std::vector<serving::IngestEvent> events(kBatch);
+  double t = 1.0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < kBatch; ++i) {
+      events[i] = {static_cast<int64_t>(i % kItems),
+                   stream::EngagementType::kView, t};
+    }
+    benchmark::DoNotOptimize(service->IngestBatch(events));
+    t += 1 * kHour;  // window-scale step; see BM_IngestPipeline
+  }
+  if (mode == serving::IngestMode::kAsync) (void)service->Flush();
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kBatch));
+  state.SetLabel(mode == serving::IngestMode::kSync ? "sync" : "async");
+  delete service;
+}
+BENCHMARK(BM_IngestBatch)->Arg(0)->Arg(1)->UseRealTime();
+
+// -- Query latency at queue capacity: 7 producers park the rings at
+//    their bound while one caller queries through the epoch snapshots.
+
+void BM_QueryUnderIngestSaturation(benchmark::State& state) {
+  Env& env = GetEnv();
+  serving::ServiceConfig config;
+  config.ingest_mode = serving::IngestMode::kAsync;
+  config.num_shards = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  config.ingest_queue_capacity = 256;  // small ring: saturates instantly
+  auto* service =
+      new serving::PredictionService(&env.model, &env.extractor, config);
+  for (int64_t id = 0; id < kItems; ++id) {
+    const auto& cascade =
+        env.dataset
+            .cascades[static_cast<size_t>(id) % env.dataset.cascades.size()];
+    (void)service->RegisterItem(id, 0.0, env.dataset.PageOf(cascade.post),
+                                cascade.post);
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> producers;
+  constexpr int kProducers = 7;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      double t = 1.0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int64_t id = p; id < kItems; id += kProducers) {
+          (void)service->Ingest(id, stream::EngagementType::kView, t);
+        }
+        t += 1 * kHour;  // window-scale step; see BM_IngestPipeline
+      }
+    });
+  }
+
+  int64_t id = 0;
+  for (auto _ : state) {
+    // s far past every producer timestamp keeps the snapshot contract.
+    benchmark::DoNotOptimize(service->Query(id, 1e12, 1 * kDay));
+    id = (id + 1) % kItems;
+  }
+  state.SetItemsProcessed(state.iterations());
+
+  stop.store(true);
+  for (auto& t : producers) t.join();
+  PublishPipelineCounters(state);
+  delete service;
+}
+BENCHMARK(BM_QueryUnderIngestSaturation)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Default to emitting BENCH_ingest.json unless the caller already
+  // directs the report elsewhere.
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  static char out_flag[] = "--benchmark_out=BENCH_ingest.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int argc_adj = static_cast<int>(args.size());
+  benchmark::Initialize(&argc_adj, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc_adj, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

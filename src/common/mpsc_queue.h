@@ -1,0 +1,144 @@
+// Bounded lock-free multi-producer / single-consumer queue.
+//
+// This is the Vyukov bounded-queue design specialized to one consumer:
+// a power-of-two ring of cells, each carrying an atomic sequence number
+// that encodes whether the cell is empty (seq == pos), full
+// (seq == pos + 1) or still owned by a lapped producer.  Producers claim
+// a cell with one CAS on `enqueue_pos_`; the single consumer dequeues
+// with plain loads/stores on `dequeue_pos_` (kept atomic only so
+// SizeApprox() is readable from any thread).  There are no locks and no
+// allocation after construction, so a producer can never block a
+// producer and the consumer can never block anyone.
+//
+// Memory ordering: a producer's release store of `seq = pos + 1`
+// publishes the cell's value; the consumer's acquire load of `seq`
+// synchronizes with it.  Symmetrically the consumer's release store of
+// `seq = pos + capacity` hands the cell back to the producer that will
+// claim it a lap later.  TSan sees both edges, so the concurrency suites
+// verify this file on every CI run.
+//
+// Per-producer FIFO: a producer's pushes claim strictly increasing
+// positions (the CAS loop retries on a fresh ticket), and the consumer
+// drains positions in order, so two events pushed by the same thread are
+// always dequeued in push order.  Cross-producer order is whatever the
+// CAS race says -- callers that need a global order must not want this
+// queue.
+//
+// Blocking, backpressure and counters live in the serving-layer wrapper
+// (src/serving/ingest_queue.h); this header stays policy-free.
+#ifndef HORIZON_COMMON_MPSC_QUEUE_H_
+#define HORIZON_COMMON_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace horizon {
+
+template <typename T>
+class MpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit MpscQueue(size_t capacity) : buffer_(RoundUpPow2(capacity)) {
+    mask_ = buffer_.size() - 1;
+    for (size_t i = 0; i < buffer_.size(); ++i) {
+      buffer_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  size_t capacity() const { return buffer_.size(); }
+
+  /// Multi-producer enqueue.  Returns false when the queue is full.
+  bool TryPush(T value) {
+    uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = buffer_[pos & mask_];
+      const uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+      if (dif == 0) {
+        // The cell is free at this lap: claim the ticket.
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded `pos`; retry with the fresh ticket.
+      } else if (dif < 0) {
+        // The cell still holds the value from one lap ago: full.
+        return false;
+      } else {
+        // Another producer claimed this ticket; catch up.
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single-consumer dequeue of up to `max` values, appended to `out`.
+  /// Returns the number dequeued.  Must only be called from one thread.
+  size_t PopBatch(std::vector<T>* out, size_t max) {
+    size_t popped = 0;
+    uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    while (popped < max) {
+      Cell& cell = buffer_[pos & mask_];
+      const uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      if (static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1) < 0) {
+        break;  // cell not yet published: queue drained
+      }
+      out->push_back(std::move(cell.value));
+      // Hand the cell back for the producers' next lap.
+      cell.seq.store(pos + buffer_.size(), std::memory_order_release);
+      ++pos;
+      ++popped;
+    }
+    dequeue_pos_.store(pos, std::memory_order_release);
+    return popped;
+  }
+
+  /// Total values ever accepted by TryPush.  Monotone; exact.
+  uint64_t pushed() const { return enqueue_pos_.load(std::memory_order_acquire); }
+
+  /// Total values ever returned by PopBatch.  Monotone; exact.
+  uint64_t popped() const { return dequeue_pos_.load(std::memory_order_acquire); }
+
+  /// Racy depth estimate; exact when producers and consumer are quiescent.
+  size_t SizeApprox() const {
+    const uint64_t tail = dequeue_pos_.load(std::memory_order_acquire);
+    const uint64_t head = enqueue_pos_.load(std::memory_order_acquire);
+    return head >= tail ? static_cast<size_t>(head - tail) : 0;
+  }
+
+  bool Empty() const { return SizeApprox() == 0; }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> seq;
+    T value;
+  };
+
+  static size_t RoundUpPow2(size_t n) {
+    HORIZON_CHECK(n >= 1);
+    size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  // Producers CAS enqueue_pos_; only the consumer writes dequeue_pos_.
+  // Padded so producer and consumer tickets do not false-share.
+  alignas(64) std::atomic<uint64_t> enqueue_pos_{0};
+  alignas(64) std::atomic<uint64_t> dequeue_pos_{0};
+  alignas(64) std::vector<Cell> buffer_;
+  size_t mask_ = 0;
+};
+
+}  // namespace horizon
+
+#endif  // HORIZON_COMMON_MPSC_QUEUE_H_

@@ -13,6 +13,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kConfigMismatch: return "config_mismatch";
     case StatusCode::kAlreadyExists: return "already_exists";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
   }
   return "unknown";
 }

@@ -32,6 +32,7 @@ enum class StatusCode : int {
   kConfigMismatch = 6,  ///< persisted state disagrees with this process' config
   kAlreadyExists = 7,   ///< uniqueness violated (e.g. duplicate item id)
   kInternal = 8,        ///< invariant violation; always a bug
+  kResourceExhausted = 9, ///< a bounded resource (ingest queue) is full
 };
 
 /// Stable lower-case name of a code ("ok", "not_found", ...), used as the
@@ -60,6 +61,7 @@ class [[nodiscard]] Status {
   static Status ConfigMismatch(std::string m) { return {StatusCode::kConfigMismatch, std::move(m)}; }
   static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

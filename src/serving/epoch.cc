@@ -1,0 +1,89 @@
+#include "serving/epoch.h"
+
+#include <functional>
+#include <limits>
+
+#include "common/check.h"
+
+namespace horizon::serving {
+
+EpochDomain::EpochDomain() : slots_(kReaderSlots) {}
+
+EpochDomain::~EpochDomain() { DrainAll(); }
+
+size_t EpochDomain::Enter() {
+  // Spread threads across slots so two concurrent readers rarely CAS the
+  // same cache line; fall back to a linear probe, then to yielding when
+  // every slot is held.
+  const size_t start =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % slots_.size();
+  for (;;) {
+    const uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      const size_t idx = (start + i) % slots_.size();
+      uint64_t expected = 0;
+      if (slots_[idx].epoch.compare_exchange_strong(
+              expected, epoch, std::memory_order_seq_cst)) {
+        return idx;
+      }
+    }
+    std::this_thread::yield();
+  }
+}
+
+void EpochDomain::Exit(size_t slot) {
+  slots_[slot].epoch.store(0, std::memory_order_seq_cst);
+}
+
+uint64_t EpochDomain::MinActiveEpoch() const {
+  uint64_t min = std::numeric_limits<uint64_t>::max();
+  for (const Slot& s : slots_) {
+    const uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && e < min) min = e;
+  }
+  return min;
+}
+
+void EpochDomain::Retire(void* p, void (*deleter)(void*)) {
+  const uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+  MutexLock lock(retire_mu_);
+  retired_.push_back(Retired{p, deleter, epoch});
+}
+
+void EpochDomain::Advance() {
+  global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+
+  // Collect the frees under the mutex, run them outside it.
+  std::vector<Retired> free_now;
+  {
+    MutexLock lock(retire_mu_);
+    if (retired_.empty()) return;
+    const uint64_t min_active = MinActiveEpoch();
+    size_t kept = 0;
+    for (Retired& r : retired_) {
+      if (r.epoch < min_active) {
+        free_now.push_back(r);
+      } else {
+        retired_[kept++] = r;
+      }
+    }
+    retired_.resize(kept);
+  }
+  for (const Retired& r : free_now) r.deleter(r.p);
+}
+
+void EpochDomain::DrainAll() {
+  std::vector<Retired> free_now;
+  {
+    MutexLock lock(retire_mu_);
+    free_now.swap(retired_);
+  }
+  for (const Retired& r : free_now) r.deleter(r.p);
+}
+
+size_t EpochDomain::RetiredApprox() const {
+  MutexLock lock(retire_mu_);
+  return retired_.size();
+}
+
+}  // namespace horizon::serving

@@ -1,0 +1,129 @@
+// Epoch-based reclamation for read-mostly snapshots.
+//
+// The async ingest path publishes an immutable `ShardView` per group
+// commit; queries read the current view without taking any lock.  The
+// view that was replaced cannot be freed while a reader may still hold
+// it -- that is this domain's job.
+//
+// Protocol (all epoch atomics are seq_cst; the proof below leans on the
+// single total order S that seq_cst provides):
+//
+//   * Readers: EpochGuard claims a reader slot (CAS 0 -> current epoch),
+//     then loads whatever pointers it wants, then releases the slot
+//     (store 0) on destruction.  The slot claim precedes every pointer
+//     load in program order.
+//   * Writers: publish the replacement pointer (seq_cst store), then
+//     Retire() the old pointer (records the current epoch), then
+//     Advance() -- bump the global epoch and free every retired node
+//     whose epoch is below the minimum epoch held by any active slot
+//     (minimum = +inf when no slot is active).
+//
+// Safety argument: suppose a retired node N (replaced by store P, retired
+// at epoch e) is freed by a writer whose slot scan saw no active slot
+// with value <= e.  Any reader that dereferences N must have loaded the
+// pre-P pointer value, and its slot claim precedes that load in S.  If
+// the claim preceded the scan in S, the scan would have observed the slot
+// active with value <= e (slot values only exceed e after the Advance
+// that follows N's retirement) and not freed N.  So the claim follows the
+// scan in S; but the scan follows P in S (program order of the writer),
+// so the reader's pointer load follows P in S and seq_cst coherence
+// forbids it from returning the stale pre-P value.  Contradiction --
+// readers of N always hold a slot the scan can see.  Stale slot values
+// only ever *delay* reclamation (the minimum is conservative), never
+// enable a premature free.
+//
+// The happens-before edge TSan needs for the free itself comes from the
+// slot release-store (or the release sequence continued through later
+// CAS claims of the same slot) being read by the freeing writer's scan.
+#ifndef HORIZON_SERVING_EPOCH_H_
+#define HORIZON_SERVING_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace horizon::serving {
+
+class EpochDomain {
+ public:
+  /// Upper bound on concurrent readers; Enter() spins (yielding) when all
+  /// slots are taken, so exceeding it is a throughput bug, not a crash.
+  static constexpr size_t kReaderSlots = 64;
+
+  EpochDomain();
+  ~EpochDomain();
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Hands `p` to the domain; `deleter(p)` runs once no reader that could
+  /// have seen `p` remains.  Writer-side (takes the retire mutex).
+  // horizon-lint: allow(serving-status) -- infallible by contract: taking
+  // ownership of a pointer cannot fail.
+  void Retire(void* p, void (*deleter)(void*));
+
+  /// Bumps the global epoch and frees every retired node proven
+  /// unreachable.  Writers call this once per publication.
+  // horizon-lint: allow(serving-status) -- infallible reclamation tick;
+  // deferred nodes are retried on the next Advance.
+  void Advance();
+
+  /// Frees everything still retired.  Caller must guarantee no concurrent
+  /// readers or writers (service destructor).
+  // horizon-lint: allow(serving-status) -- destructor-path cleanup,
+  // nothing can fail or be reported.
+  void DrainAll();
+
+  /// Number of retired-but-not-yet-freed nodes (test hook).
+  size_t RetiredApprox() const;
+
+ private:
+  friend class EpochGuard;
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{0};  // 0 = inactive
+  };
+
+  size_t Enter();           // returns the claimed slot index
+  void Exit(size_t slot);
+
+  uint64_t MinActiveEpoch() const;
+
+  std::atomic<uint64_t> global_epoch_{1};  // starts above the 0 sentinel
+  std::vector<Slot> slots_;
+
+  struct Retired {
+    void* p;
+    void (*deleter)(void*);
+    uint64_t epoch;
+  };
+  mutable Mutex retire_mu_;
+  std::vector<Retired> retired_ HORIZON_GUARDED_BY(retire_mu_);
+};
+
+/// RAII reader critical section.  Cheap: one CAS to claim a slot, one
+/// store to release it.  Pointers loaded while the guard is alive stay
+/// valid until the guard is destroyed.
+class EpochGuard {
+ public:
+  // horizon-lint: allow(serving-status) -- RAII constructor; acquisition
+  // spins until a slot frees, it never fails.
+  explicit EpochGuard(EpochDomain& domain)
+      : domain_(domain), slot_(domain.Enter()) {}
+  ~EpochGuard() { domain_.Exit(slot_); }
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochDomain& domain_;
+  size_t slot_;
+};
+
+}  // namespace horizon::serving
+
+#endif  // HORIZON_SERVING_EPOCH_H_

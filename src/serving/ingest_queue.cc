@@ -1,0 +1,95 @@
+#include "serving/ingest_queue.h"
+
+namespace horizon::serving {
+namespace {
+
+// Timed-wait backstop for the eventcount fast path: a missed notify
+// costs at most this much latency.  Long enough to keep idle appliers
+// asleep, short enough that a lost wakeup is invisible at the barrier.
+constexpr std::chrono::milliseconds kWaitSlice{1};
+
+}  // namespace
+
+IngestQueue::IngestQueue(size_t capacity, BackpressurePolicy policy)
+    : ring_(capacity), policy_(policy) {}
+
+Status IngestQueue::Push(const QueuedEvent& event) {
+  for (;;) {
+    if (stopped_.load(std::memory_order_acquire)) {
+      return Status::ResourceExhausted("ingest queue stopped");
+    }
+    if (ring_.TryPush(event)) {
+      // Wake the applier if it parked.  The flag read is seq_cst and the
+      // ring push precedes it, so either the applier's pre-park re-check
+      // sees the event or this load sees the flag (or the 1ms slice
+      // catches the residue of the race).
+      if (consumer_waiting_.load(std::memory_order_seq_cst)) {
+        MutexLock lock(mu_);
+        consumer_waiting_.store(false, std::memory_order_seq_cst);
+        consumer_cv_.NotifyAll();
+      }
+      return Status::Ok();
+    }
+    backpressure_.fetch_add(1, std::memory_order_relaxed);
+    if (policy_ == BackpressurePolicy::kReject) {
+      return Status::ResourceExhausted("ingest queue full");
+    }
+    // kBlock: park until the applier frees space.
+    MutexLock lock(mu_);
+    producer_waiting_.store(true, std::memory_order_seq_cst);
+    if (ring_.SizeApprox() < ring_.capacity() &&
+        !stopped_.load(std::memory_order_acquire)) {
+      continue;  // space appeared while we were taking the lock
+    }
+    (void)producer_cv_.WaitFor(mu_, kWaitSlice);
+  }
+}
+
+size_t IngestQueue::PopBatch(std::vector<QueuedEvent>* out, size_t max) {
+  const size_t n = ring_.PopBatch(out, max);
+  if (n > 0 && producer_waiting_.load(std::memory_order_seq_cst)) {
+    MutexLock lock(mu_);
+    producer_waiting_.store(false, std::memory_order_seq_cst);
+    producer_cv_.NotifyAll();
+  }
+  return n;
+}
+
+bool IngestQueue::WaitForEvents() {
+  for (;;) {
+    if (!ring_.Empty()) return true;
+    if (stopped_.load(std::memory_order_acquire)) return !ring_.Empty();
+    MutexLock lock(mu_);
+    consumer_waiting_.store(true, std::memory_order_seq_cst);
+    if (!ring_.Empty() || stopped_.load(std::memory_order_acquire)) {
+      consumer_waiting_.store(false, std::memory_order_seq_cst);
+      continue;
+    }
+    (void)consumer_cv_.WaitFor(mu_, kWaitSlice);
+  }
+}
+
+void IngestQueue::MarkConsumed(uint64_t n) {
+  consumed_.fetch_add(n, std::memory_order_release);
+  MutexLock lock(mu_);
+  consumed_cv_.NotifyAll();
+}
+
+void IngestQueue::WaitConsumed(uint64_t target) const {
+  if (consumed_.load(std::memory_order_acquire) >= target) return;
+  MutexLock lock(mu_);
+  while (consumed_.load(std::memory_order_acquire) < target &&
+         !stopped_.load(std::memory_order_acquire)) {
+    (void)consumed_cv_.WaitFor(mu_, kWaitSlice);
+  }
+}
+
+void IngestQueue::Stop() {
+  stopped_.store(true, std::memory_order_release);
+  MutexLock lock(mu_);
+  consumer_cv_.NotifyAll();
+  producer_cv_.NotifyAll();
+  consumed_cv_.NotifyAll();
+}
+
+}  // namespace horizon::serving

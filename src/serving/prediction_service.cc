@@ -5,9 +5,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <optional>
 #include <sstream>
+#include <string>
 
 #include "common/check.h"
 #include "common/file_io.h"
@@ -44,6 +46,36 @@ double PredictedIncrement(const ItemPrediction& p) {
   return p.prediction.predicted_views - p.prediction.observed_views;
 }
 
+/// Apply-lag is sampled at the same 1-in-64 rate as ingest latency.
+constexpr uint64_t kLagSampleRate = 64;
+
+/// Events drained per group commit (one lock acquisition).  Big enough
+/// that a saturated queue amortizes the view republish over thousands of
+/// events, small enough to bound commit latency.
+constexpr size_t kMaxApplyBatch = 16384;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          SteadyClock::now().time_since_epoch())
+          .count());
+}
+
+bool ResolveAsyncIngest(IngestMode mode) {
+  switch (mode) {
+    case IngestMode::kSync:
+      return false;
+    case IngestMode::kAsync:
+      return true;
+    case IngestMode::kAuto:
+      break;
+  }
+  const char* env = std::getenv("HORIZON_ASYNC_INGEST");
+  if (env == nullptr) return false;
+  const std::string v(env);
+  return v == "on" || v == "1" || v == "true";
+}
+
 }  // namespace
 
 Status ServiceConfig::Validate(const features::FeatureExtractor* extractor) const {
@@ -61,6 +93,10 @@ Status ServiceConfig::Validate(const features::FeatureExtractor* extractor) cons
   if (tracker.window_lengths.empty() || tracker.landmark_ages.empty()) {
     return Status::InvalidArgument(
         "ServiceConfig: tracker needs at least one window and landmark");
+  }
+  if (ingest_queue_capacity < 2) {
+    return Status::InvalidArgument(
+        "ServiceConfig: ingest_queue_capacity must be >= 2");
   }
   if (extractor != nullptr) {
     const stream::TrackerConfig& other = extractor->tracker_config();
@@ -87,6 +123,7 @@ PredictionService::PredictionService(const core::HawkesPredictor* model,
     std::fprintf(stderr, "rejected ServiceConfig: %s\n", valid.ToString().c_str());
   }
   HORIZON_CHECK(valid.ok());
+  async_ = ResolveAsyncIngest(config_.ingest_mode);
   shards_.reserve(static_cast<size_t>(config_.num_shards));
   for (int i = 0; i < config_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -100,12 +137,29 @@ PredictionService::PredictionService(const core::HawkesPredictor* model,
   m_scan_results_ = registry_->GetCounter("horizon_serving_scan_results_total");
   m_items_retired_ = registry_->GetCounter("horizon_serving_items_retired_total");
   m_errors_[0] = nullptr;  // kOk is not an error
-  for (int c = 1; c <= 8; ++c) {
+  for (int c = 1; c <= 9; ++c) {
     m_errors_[c] = registry_->GetCounter(
         "horizon_serving_errors_" +
         std::string(StatusCodeName(static_cast<StatusCode>(c))) + "_total");
   }
   m_live_items_ = registry_->GetGauge("horizon_serving_live_items");
+  m_ingest_enqueued_ =
+      registry_->GetCounter("horizon_serving_ingest_enqueued_total");
+  m_ingest_dropped_ =
+      registry_->GetCounter("horizon_serving_ingest_dropped_total");
+  m_ingest_backpressure_ =
+      registry_->GetCounter("horizon_serving_ingest_backpressure_total");
+  m_ingest_commits_ =
+      registry_->GetCounter("horizon_serving_ingest_commits_total");
+  m_apply_wakeups_ =
+      registry_->GetCounter("horizon_serving_apply_wakeups_total");
+  m_queue_depth_ = registry_->GetGauge("horizon_serving_ingest_queue_depth");
+  m_apply_batch_events_ = registry_->GetHistogram(
+      "horizon_serving_apply_batch_events", obs::CountBuckets());
+  m_apply_lag_ =
+      registry_->GetHistogram("horizon_serving_apply_lag_seconds");
+  m_flush_latency_ =
+      registry_->GetHistogram("horizon_serving_flush_latency_seconds");
   m_ingest_latency_ = registry_->GetHistogram("horizon_serving_ingest_latency_seconds");
   m_ingest_batch_latency_ =
       registry_->GetHistogram("horizon_serving_ingest_batch_latency_seconds");
@@ -118,11 +172,130 @@ PredictionService::PredictionService(const core::HawkesPredictor* model,
       registry_->GetHistogram("horizon_serving_checkpoint_latency_seconds");
   m_restore_latency_ =
       registry_->GetHistogram("horizon_serving_restore_latency_seconds");
+
+  if (async_) {
+    for (auto& shard : shards_) {
+      shard->queue = std::make_unique<IngestQueue>(
+          config_.ingest_queue_capacity, config_.ingest_backpressure);
+      {
+        MutexLock lock(shard->mu);
+        PublishView(*shard, epochs_);  // initial (empty) view
+      }
+      shard->applier = std::thread([this, s = shard.get()] { ApplierLoop(*s); });
+    }
+  }
+}
+
+PredictionService::~PredictionService() {
+  if (!async_) return;
+  // Stop() lets each applier drain whatever is still queued and exit;
+  // accepted events are applied, not lost (the documented contract: only
+  // a real crash drops the volatile queue contents, and then wholesale).
+  for (auto& shard : shards_) shard->queue->Stop();
+  for (auto& shard : shards_) {
+    if (shard->applier.joinable()) shard->applier.join();
+  }
+  for (auto& shard : shards_) {
+    // horizon-lint: allow(naked-new) -- reclaims the last published view; appliers are joined, so no reader can hold it
+    delete shard->view.exchange(nullptr, std::memory_order_seq_cst);
+  }
+  // epochs_ frees any still-retired views in its destructor.
+}
+
+Status PredictionService::Flush() {
+  const obs::ScopedTimer timer(m_flush_latency_);
+  if (async_) {
+    DrainAllQueues();
+    m_queue_depth_->Set(static_cast<double>(TotalQueueDepth()));
+  }
+  return Status::Ok();
+}
+
+void PredictionService::DrainAllQueues() const {
+  if (!async_) return;
+  std::vector<uint64_t> targets(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    targets[i] = shards_[i]->queue->pushed();
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->queue->WaitConsumed(targets[i]);
+  }
+}
+
+size_t PredictionService::TotalQueueDepth() const {
+  size_t depth = 0;
+  for (const auto& shard : shards_) {
+    const uint64_t pushed = shard->queue->pushed();
+    const uint64_t consumed = shard->queue->consumed();
+    if (pushed > consumed) depth += static_cast<size_t>(pushed - consumed);
+  }
+  return depth;
+}
+
+uint64_t PredictionService::MaybeSampleEnqueueNs() const {
+  if (lag_sample_tick_.fetch_add(1, std::memory_order_relaxed) %
+          kLagSampleRate !=
+      0) {
+    return 0;
+  }
+  const uint64_t ns = NowNs();
+  return ns == 0 ? 1 : ns;  // 0 is the "unsampled" sentinel
+}
+
+void PredictionService::ApplierLoop(Shard& shard) {
+  std::vector<QueuedEvent> batch;
+  batch.reserve(kMaxApplyBatch);
+  uint64_t backpressure_synced = 0;
+  while (shard.queue->WaitForEvents()) {
+    bool counted_wakeup = false;
+    for (;;) {
+      batch.clear();
+      const size_t n = shard.queue->PopBatch(&batch, kMaxApplyBatch);
+      if (n == 0) break;
+      if (!counted_wakeup) {
+        m_apply_wakeups_->Increment();
+        counted_wakeup = true;
+      }
+      size_t dropped = 0;
+      {
+        MutexLock lock(shard.mu);
+        ApplyEvents(shard, batch.data(), n, &dropped);
+        PublishView(shard, epochs_);
+      }
+      const size_t applied = n - dropped;
+      // Instrument updates precede MarkConsumed so a Flush barrier that
+      // releases on this commit already sees them (the DST conservation
+      // checks scrape right after Flush).
+      events_ingested_.fetch_add(applied, std::memory_order_relaxed);
+      m_events_ingested_->Add(applied);
+      if (dropped > 0) m_ingest_dropped_->Add(dropped);
+      m_ingest_commits_->Increment();
+      m_apply_batch_events_->Observe(static_cast<double>(n));
+      uint64_t lag_now = 0;
+      for (const QueuedEvent& e : batch) {
+        if (e.enqueue_ns == 0) continue;
+        if (lag_now == 0) lag_now = NowNs();
+        if (lag_now > e.enqueue_ns) {
+          m_apply_lag_->Observe(static_cast<double>(lag_now - e.enqueue_ns) *
+                                1e-9);
+        }
+      }
+      const uint64_t stalls = shard.queue->backpressure_events();
+      if (stalls > backpressure_synced) {
+        m_ingest_backpressure_->Add(stalls - backpressure_synced);
+        backpressure_synced = stalls;
+      }
+      // This commit's n is not yet marked consumed, so subtract it out.
+      const size_t raw_depth = TotalQueueDepth();
+      m_queue_depth_->Set(static_cast<double>(raw_depth >= n ? raw_depth - n : 0));
+      shard.queue->MarkConsumed(n);
+    }
+  }
 }
 
 Status PredictionService::CountError(Status status) const {
   const int code = static_cast<int>(status.code());
-  if (code >= 1 && code <= 8) m_errors_[code]->Increment();
+  if (code >= 1 && code <= 9) m_errors_[code]->Increment();
   return status;
 }
 
@@ -137,12 +310,13 @@ Status PredictionService::RegisterItem(int64_t item_id, double creation_time,
   bool inserted = false;
   {
     MutexLock lock(shard.mu);
-    inserted = shard.items
-                   .try_emplace(item_id,
-                                Item{stream::CascadeTracker(creation_time,
-                                                            config_.tracker),
-                                     page, post})
-                   .second;
+    inserted = ApplyRegister(
+        shard, item_id,
+        Item{stream::CascadeTracker(creation_time, config_.tracker), page,
+             post});
+    // Republish before returning so an async Ingest enqueued after this
+    // call observes the item at its view-side existence check.
+    if (inserted && async_) PublishView(shard, epochs_);
   }
   if (!inserted) {
     return CountError(Status::AlreadyExists("item id already registered"));
@@ -156,6 +330,11 @@ Status PredictionService::RegisterItem(int64_t item_id, double creation_time,
 
 bool PredictionService::HasItem(int64_t item_id) const {
   const Shard& shard = *shards_[ShardOf(item_id)];
+  if (async_) {
+    const EpochGuard guard(epochs_);
+    const ShardView* view = shard.view.load(std::memory_order_seq_cst);
+    return view->items.count(item_id) > 0;
+  }
   MutexLock lock(shard.mu);
   return shard.items.count(item_id) > 0;
 }
@@ -165,13 +344,33 @@ Status PredictionService::Ingest(int64_t item_id, stream::EngagementType type,
   const obs::ScopedTimer timer(
       obs::SampleEvery(kIngestSampleRate, m_ingest_latency_));
   Shard& shard = *shards_[ShardOf(item_id)];
+  if (async_) {
+    // Existence is decided at enqueue time against the published view,
+    // which the barrier ops keep current -- so the caller sees the same
+    // kNotFound a synchronous service would return.  Applying happens in
+    // the shard's applier; counters move when it does.
+    {
+      const EpochGuard guard(epochs_);
+      const ShardView* view = shard.view.load(std::memory_order_seq_cst);
+      if (view->items.find(item_id) == view->items.end()) {
+        return CountError(
+            Status::NotFound("unknown item (dropped straggler?)"));
+      }
+    }
+    const QueuedEvent event{item_id, type, t, MaybeSampleEnqueueNs()};
+    const Status pushed = shard.queue->Push(event);
+    if (!pushed.ok()) return CountError(pushed);
+    m_ingest_enqueued_->Increment();
+    return Status::Ok();
+  }
   {
     MutexLock lock(shard.mu);
-    const auto it = shard.items.find(item_id);
-    if (it == shard.items.end()) {
+    size_t dropped = 0;
+    const QueuedEvent event{item_id, type, t, 0};
+    ApplyEvents(shard, &event, 1, &dropped);
+    if (dropped > 0) {
       return CountError(Status::NotFound("unknown item (dropped straggler?)"));
     }
-    it->second.tracker.Observe(type, t);
   }
   events_ingested_.fetch_add(1, std::memory_order_relaxed);
   m_events_ingested_->Increment();
@@ -180,32 +379,60 @@ Status PredictionService::Ingest(int64_t item_id, stream::EngagementType type,
 
 size_t PredictionService::IngestBatch(const std::vector<IngestEvent>& events) {
   const obs::ScopedTimer timer(m_ingest_batch_latency_);
+  if (async_) {
+    // Enqueue in caller order (per-item order rides per-producer FIFO);
+    // the count returned is the accepted count, decided -- like Ingest --
+    // against the published views at enqueue time.  The appliers coalesce
+    // the whole batch into a handful of group commits.
+    size_t accepted = 0;
+    const EpochGuard guard(epochs_);
+    for (const IngestEvent& e : events) {
+      Shard& shard = *shards_[ShardOf(e.item_id)];
+      const ShardView* view = shard.view.load(std::memory_order_seq_cst);
+      if (view->items.find(e.item_id) == view->items.end()) continue;
+      const QueuedEvent event{e.item_id, e.type, e.time,
+                              MaybeSampleEnqueueNs()};
+      if (!shard.queue->Push(event).ok()) continue;  // kReject under load
+      ++accepted;
+    }
+    m_ingest_enqueued_->Add(accepted);
+    return accepted;
+  }
   // Group event indices by shard (stable, so per-item order is kept),
-  // then apply each shard's group under one lock acquisition.
+  // then apply each shard's group under ONE lock acquisition -- the
+  // group-commit contract IngestBatch shares with the async appliers,
+  // counted by horizon_serving_ingest_commits_total either way.
   std::vector<std::vector<uint32_t>> by_shard(shards_.size());
   for (uint32_t i = 0; i < events.size(); ++i) {
     by_shard[ShardOf(events[i].item_id)].push_back(i);
   }
   std::atomic<size_t> ingested{0};
+  std::atomic<size_t> commits{0};
   ParallelFor(shards_.size(), 1, [&](size_t begin, size_t end) {
+    std::vector<QueuedEvent> group;
     for (size_t sh = begin; sh < end; ++sh) {
       if (by_shard[sh].empty()) continue;
       Shard& shard = *shards_[sh];
-      size_t applied = 0;
-      MutexLock lock(shard.mu);
+      group.clear();
+      group.reserve(by_shard[sh].size());
       for (const uint32_t i : by_shard[sh]) {
         const IngestEvent& e = events[i];
-        const auto it = shard.items.find(e.item_id);
-        if (it == shard.items.end()) continue;
-        it->second.tracker.Observe(e.type, e.time);
-        ++applied;
+        group.push_back(QueuedEvent{e.item_id, e.type, e.time, 0});
+      }
+      size_t dropped = 0;
+      size_t applied = 0;
+      {
+        MutexLock lock(shard.mu);
+        applied = ApplyEvents(shard, group.data(), group.size(), &dropped);
       }
       ingested.fetch_add(applied, std::memory_order_relaxed);
+      commits.fetch_add(1, std::memory_order_relaxed);
     }
   });
   const size_t total = ingested.load(std::memory_order_relaxed);
   events_ingested_.fetch_add(total, std::memory_order_relaxed);
   m_events_ingested_->Add(total);
+  m_ingest_commits_->Add(commits.load(std::memory_order_relaxed));
   return total;
 }
 
@@ -223,23 +450,37 @@ StatusOr<QueryResponse> PredictionService::QueryByIds(
   QueryResponse response;
   std::vector<Resolved> resolved;
   resolved.reserve(request.ids.size());
-  for (const int64_t id : request.ids) {
-    const Shard& shard = *shards_[ShardOf(id)];
-    MutexLock lock(shard.mu);
-    const auto it = shard.items.find(id);
-    if (it == shard.items.end()) {
+  const auto resolve = [&](int64_t id, const Item* item) {
+    if (item == nullptr) {
       response.errors.push_back(
           {id, CountError(Status::NotFound("unknown item"))});
-      continue;
+      return;
     }
-    const Item& item = it->second;
-    if (request.s < item.tracker.creation_time()) {
+    if (request.s < item->tracker.creation_time()) {
       response.errors.push_back(
           {id, CountError(Status::NotYetLive("item goes live after s"))});
-      continue;
+      return;
     }
     resolved.push_back(
-        {id, item.tracker.Snapshot(request.s), item.page, item.post});
+        {id, item->tracker.Snapshot(request.s), item->page, item->post});
+  };
+  if (async_) {
+    // Lock-free: every lookup reads the shard's published (frozen) view
+    // under one epoch guard, so queries never contend with group commits.
+    const EpochGuard guard(epochs_);
+    for (const int64_t id : request.ids) {
+      const ShardView* view =
+          shards_[ShardOf(id)]->view.load(std::memory_order_seq_cst);
+      const auto it = view->items.find(id);
+      resolve(id, it == view->items.end() ? nullptr : it->second.get());
+    }
+  } else {
+    for (const int64_t id : request.ids) {
+      const Shard& shard = *shards_[ShardOf(id)];
+      MutexLock lock(shard.mu);
+      const auto it = shard.items.find(id);
+      resolve(id, it == shard.items.end() ? nullptr : it->second.get());
+    }
   }
   if (resolved.empty()) return response;
 
@@ -294,13 +535,22 @@ std::vector<PredictionService::ScanCandidate> PredictionService::ShardScanTopK(
     datagen::PostProfile post;
   };
   std::vector<Candidate> candidates;
-  {
-    MutexLock lock(shard.mu);
-    candidates.reserve(shard.items.size());
-    for (const auto& [id, item] : shard.items) {
+  const auto collect = [&](const ItemMap& items) {
+    candidates.reserve(items.size());
+    for (const auto& [id, ptr] : items) {
+      const Item& item = *ptr;
       if (s < item.tracker.creation_time()) continue;  // not yet live
       candidates.push_back({id, item.tracker.Snapshot(s), item.page, item.post});
     }
+  };
+  if (async_) {
+    // Scan the frozen view under an epoch guard: the whole-shard walk
+    // never blocks a group commit (and vice versa).
+    const EpochGuard guard(epochs_);
+    collect(shard.view.load(std::memory_order_seq_cst)->items);
+  } else {
+    MutexLock lock(shard.mu);
+    collect(shard.items);
   }
   if (candidates.empty()) return {};
 
@@ -439,46 +689,43 @@ std::vector<std::pair<int64_t, double>> PredictionService::TopK(double s,
 
 size_t PredictionService::RetireDeadItems(double now) {
   const obs::ScopedTimer timer(m_retire_latency_);
+  // Barrier op: drain accepted-but-unapplied events first so the liveness
+  // decision sees every event the caller has been acknowledged for --
+  // exactly what the synchronous service would have seen.
+  DrainAllQueues();
   std::atomic<size_t> retired_total{0};
   ParallelFor(shards_.size(), 1, [&](size_t begin, size_t end) {
     std::vector<float> row(extractor_->schema().size());
+    const auto dead = [&](const Item& item) {
+      if (now < item.tracker.creation_time()) {
+        return false;  // not yet live; nothing to retire
+      }
+      const auto snapshot = item.tracker.Snapshot(now);
+      const auto& views = snapshot.views();
+      if (views.last_event_age >= 0.0) {
+        const double idle = snapshot.age - views.last_event_age;
+        if (idle >= config_.idle_retirement_age) return true;
+      } else if (snapshot.age >= config_.idle_retirement_age) {
+        return true;  // never received a single view
+      }
+      if (views.ewma_rate > 0.0) {
+        // Eager retirement: with the EWMA rate as the lambda(now) proxy
+        // and the model's alpha as the decay scale, the probability that
+        // the cascade produces no further views (Appendix A.14, u = 0
+        // transform) exceeds the threshold.
+        extractor_->ExtractInto(item.page, item.post, snapshot, row.data());
+        const double alpha = model_->PredictAlpha(row.data());
+        const double p_dead = pp::ProbabilityNoNewEvents(
+            views.ewma_rate, std::numeric_limits<double>::infinity(), alpha);
+        if (p_dead >= config_.death_probability_threshold) return true;
+      }
+      return false;
+    };
     for (size_t sh = begin; sh < end; ++sh) {
       Shard& shard = *shards_[sh];
-      size_t retired = 0;
       MutexLock lock(shard.mu);
-      for (auto it = shard.items.begin(); it != shard.items.end();) {
-        const Item& item = it->second;
-        if (now < item.tracker.creation_time()) {
-          ++it;  // not yet live; nothing to retire
-          continue;
-        }
-        const auto snapshot = item.tracker.Snapshot(now);
-        const auto& views = snapshot.views();
-        bool dead = false;
-        if (views.last_event_age >= 0.0) {
-          const double idle = snapshot.age - views.last_event_age;
-          if (idle >= config_.idle_retirement_age) dead = true;
-        } else if (snapshot.age >= config_.idle_retirement_age) {
-          dead = true;  // never received a single view
-        }
-        if (!dead && views.ewma_rate > 0.0) {
-          // Eager retirement: with the EWMA rate as the lambda(now) proxy
-          // and the model's alpha as the decay scale, the probability that
-          // the cascade produces no further views (Appendix A.14, u = 0
-          // transform) exceeds the threshold.
-          extractor_->ExtractInto(item.page, item.post, snapshot, row.data());
-          const double alpha = model_->PredictAlpha(row.data());
-          const double p_dead = pp::ProbabilityNoNewEvents(
-              views.ewma_rate, std::numeric_limits<double>::infinity(), alpha);
-          if (p_dead >= config_.death_probability_threshold) dead = true;
-        }
-        if (dead) {
-          it = shard.items.erase(it);
-          ++retired;
-        } else {
-          ++it;
-        }
-      }
+      const size_t retired = ApplyRetireSweep(shard, dead);
+      if (async_ && retired > 0) PublishView(shard, epochs_);
       retired_total.fetch_add(retired, std::memory_order_relaxed);
     }
   });
@@ -573,6 +820,11 @@ bool DeserializePost(std::istream& is, datagen::PostProfile* p) {
 
 Status PredictionService::Checkpoint(const std::string& dir) const {
   const obs::ScopedTimer latency(m_checkpoint_latency_);
+  // Linearization barrier: every event accepted before this call is
+  // applied before any state is copied.  The drain is memory-only and
+  // precedes all checkpoint IO, so a crash mid-checkpoint loses the
+  // volatile queues wholesale -- never a half-applied batch.
+  DrainAllQueues();
   HORIZON_RETURN_IF_ERROR(io::EnsureDir(dir));
   uint64_t epoch = 1;
   if (const auto current = io::ReadFile(dir + "/CURRENT")) {
@@ -608,7 +860,7 @@ Status PredictionService::Checkpoint(const std::string& dir) const {
         MutexLock lock(shard.mu);
         snapshot.reserve(shard.items.size());
         for (const auto& [id, item] : shard.items) {
-          snapshot.emplace_back(id, item);
+          snapshot.emplace_back(id, *item);
         }
       }
       std::ostringstream os;
@@ -681,6 +933,10 @@ Status PredictionService::Checkpoint(const std::string& dir) const {
 
 Status PredictionService::Restore(const std::string& dir) {
   const obs::ScopedTimer latency(m_restore_latency_);
+  // Barrier op: in-flight events against the pre-restore state must be
+  // applied (to the state being replaced) before the swap, not smeared
+  // into the restored state afterwards.
+  DrainAllQueues();
   const auto current = io::ReadFile(dir + "/CURRENT");
   if (!current.ok()) {
     if (current.code() == StatusCode::kNotFound) {
@@ -875,12 +1131,20 @@ Status PredictionService::Restore(const std::string& dir) {
   // service may even use a different shard count than the writer.
   for (const auto& shard : shards_) {
     MutexLock lock(shard->mu);
-    shard->items.clear();
+    ApplyClear(*shard);
   }
   for (auto& [id, item] : staged) {
     Shard& shard = *shards_[ShardOf(id)];
     MutexLock lock(shard.mu);
-    shard.items.emplace(id, std::move(item));
+    ApplyInsert(shard, id, std::move(item));
+  }
+  if (async_) {
+    // Republish every shard so queries (and enqueue-time existence
+    // checks) see the restored state immediately.
+    for (const auto& shard : shards_) {
+      MutexLock lock(shard->mu);
+      PublishView(*shard, epochs_);
+    }
   }
   live_items_.store(staged.size(), std::memory_order_relaxed);
   m_live_items_->Set(static_cast<double>(staged.size()));

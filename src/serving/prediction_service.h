@@ -29,6 +29,20 @@
 // inference (feature extraction + flat-forest walks) always runs OUTSIDE
 // the shard locks, against an immutable tracker snapshot.
 //
+// Ingest modes (DESIGN.md section 13): in the default synchronous mode
+// every Ingest applies under the shard mutex, exactly the pre-async
+// behavior.  In asynchronous mode (ServiceConfig::ingest_mode, or
+// HORIZON_ASYNC_INGEST=on under kAuto) each shard owns a bounded MPSC
+// ingest queue drained by a dedicated applier thread in group commits;
+// producers only CAS into the queue, queries read an epoch-protected
+// immutable ShardView and take NO lock, and Flush()/Checkpoint/Restore/
+// RetireDeadItems act as drain barriers at which async state is exactly
+// the state a synchronous service would have (the DST-checked
+// linearization contract).  Ingest still returns kNotFound for unknown
+// ids (checked against the current view at enqueue time) and, under the
+// kReject backpressure policy, kResourceExhausted when the shard queue
+// is full.
+//
 // Observability: the service registers counters, a live-items gauge, and
 // per-operation latency histograms in an obs::MetricsRegistry (the
 // process-wide default unless ServiceConfig.metrics overrides it).
@@ -53,9 +67,22 @@
 #include "datagen/profiles.h"
 #include "features/extractor.h"
 #include "obs/metrics.h"
+#include "serving/epoch.h"
+#include "serving/ingest_queue.h"
+#include "serving/shard.h"
 #include "stream/cascade_tracker.h"
 
 namespace horizon::serving {
+
+/// How Ingest/IngestBatch apply events.
+enum class IngestMode {
+  /// kSync unless the HORIZON_ASYNC_INGEST environment variable says
+  /// "on"/"1"/"true" at construction time (the ctest *_async pinned
+  /// variants flip whole suites this way).
+  kAuto = 0,
+  kSync,   ///< apply under the shard mutex in the caller's thread
+  kAsync,  ///< enqueue; per-shard applier threads group-commit
+};
 
 /// Service configuration.
 struct ServiceConfig {
@@ -73,6 +100,15 @@ struct ServiceConfig {
   /// registry share instruments, so per-service assertions in tests
   /// should inject private registries.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Sync / async ingest selection (see IngestMode).
+  IngestMode ingest_mode = IngestMode::kAuto;
+  /// Async mode: per-shard ingest queue capacity, rounded up to a power
+  /// of two (>= 2).
+  size_t ingest_queue_capacity = 1 << 14;
+  /// Async mode: what a producer does when its shard queue is full.
+  /// kBlock (default) parks it -- accepted events are never capacity-
+  /// dropped; kReject returns kResourceExhausted so callers can shed.
+  BackpressurePolicy ingest_backpressure = BackpressurePolicy::kBlock;
 
   /// Rejects malformed configurations: num_shards < 1, non-positive
   /// retirement age, a death-probability threshold outside (0, 1], and --
@@ -155,6 +191,20 @@ class PredictionService {
                     const features::FeatureExtractor* extractor,
                     const ServiceConfig& config);
 
+  /// Drains the ingest queues (async mode), stops the applier threads
+  /// and frees the published views.  No method may run concurrently with
+  /// destruction.
+  ~PredictionService();
+
+  /// Whether this service resolved to asynchronous ingest.
+  bool async_ingest() const { return async_; }
+
+  /// Drain barrier: returns once every event accepted before the call
+  /// has been applied (or accounted as dropped).  A no-op in sync mode.
+  /// After Flush, queries/stats observe exactly the state a synchronous
+  /// service would hold -- the DST linearization point.
+  Status Flush();
+
   /// Registers a new content item.  kAlreadyExists if the id is taken.
   Status RegisterItem(int64_t item_id, double creation_time,
                       const datagen::PageProfile& page,
@@ -235,20 +285,6 @@ class PredictionService {
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
  private:
-  struct Item {
-    stream::CascadeTracker tracker;
-    datagen::PageProfile page;
-    datagen::PostProfile post;
-  };
-
-  /// One lock domain: a mutex plus the items hashed to it.  `items` may
-  /// only be touched under `mu`; model inference always happens outside
-  /// it, against snapshots copied under the lock.
-  struct Shard {
-    mutable Mutex mu;
-    std::unordered_map<int64_t, Item> items HORIZON_GUARDED_BY(mu);
-  };
-
   /// Scan-mode candidate surviving a per-shard top-k cut: enough state to
   /// finish the full prediction for the global winners.
   struct ScanCandidate {
@@ -271,10 +307,30 @@ class PredictionService {
   /// Increments the per-code error counter and forwards `status`.
   Status CountError(Status status) const;
 
+  // --- async-ingest internals ------------------------------------------
+
+  /// The per-shard applier: drains the queue in group commits, applies
+  /// under the shard mutex, publishes a fresh view, updates the obs
+  /// instruments, releases barrier waiters.
+  void ApplierLoop(Shard& shard);
+
+  /// Waits until every shard's consumed count catches its accepted count
+  /// as of entry.  Const: a pure barrier (Checkpoint drains through it).
+  void DrainAllQueues() const;
+
+  /// Racy total of accepted-but-unapplied events across shards.
+  size_t TotalQueueDepth() const;
+
+  /// steady_clock ns for 1-in-64 enqueues (apply-lag sampling), else 0.
+  uint64_t MaybeSampleEnqueueNs() const;
+
   const core::HawkesPredictor* model_;
   const features::FeatureExtractor* extractor_;
   ServiceConfig config_;
+  bool async_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
+  mutable EpochDomain epochs_;
+  mutable std::atomic<uint64_t> lag_sample_tick_{0};
 
   std::atomic<size_t> live_items_{0};
   // Counters are independent atomics: cheap on the hot path; stats()
@@ -292,8 +348,18 @@ class PredictionService {
   obs::Counter* m_queries_;
   obs::Counter* m_scan_results_;
   obs::Counter* m_items_retired_;
-  obs::Counter* m_errors_[9];  // indexed by StatusCode
+  obs::Counter* m_errors_[10];  // indexed by StatusCode
   obs::Gauge* m_live_items_;
+  // Async-ingest instruments (registered in both modes; flat in sync).
+  obs::Counter* m_ingest_enqueued_;      // events accepted into queues
+  obs::Counter* m_ingest_dropped_;       // accepted, unknown id at apply
+  obs::Counter* m_ingest_backpressure_;  // full-queue producer stalls
+  obs::Counter* m_ingest_commits_;       // group commits (lock acquisitions)
+  obs::Counter* m_apply_wakeups_;        // applier activations with work
+  obs::Gauge* m_queue_depth_;            // accepted - consumed, approximate
+  obs::Histogram* m_apply_batch_events_; // events per group commit
+  obs::Histogram* m_apply_lag_;          // enqueue->apply, sampled 1-in-64
+  obs::Histogram* m_flush_latency_;
   obs::Histogram* m_ingest_latency_;
   obs::Histogram* m_ingest_batch_latency_;
   obs::Histogram* m_query_latency_;

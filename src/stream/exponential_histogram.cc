@@ -19,6 +19,9 @@ void ExponentialHistogram::Add(double t) {
   HORIZON_CHECK_GE(t, last_t_);
   last_t_ = t;
   ++total_;
+  // Expire on the write path, never in Count: reads stay pure so the
+  // async serving layer can Count() concurrently on a frozen snapshot.
+  Expire(t);
   buckets_.push_back({t, 1});
   // Cascade merges: whenever more than max_per_size_ buckets share a size,
   // merge the two oldest of that size into one of double the size.  Because
@@ -44,7 +47,7 @@ void ExponentialHistogram::Add(double t) {
   }
 }
 
-void ExponentialHistogram::Expire(double now) const {
+void ExponentialHistogram::Expire(double now) {
   const double cutoff = now - window_;
   while (!buckets_.empty() && buckets_.front().newest <= cutoff) {
     buckets_.pop_front();
@@ -52,14 +55,20 @@ void ExponentialHistogram::Expire(double now) const {
 }
 
 uint64_t ExponentialHistogram::Count(double now) const {
-  Expire(now);
-  if (buckets_.empty()) return 0;
+  // Pure read: expired buckets (only pruned by Add) are skipped
+  // arithmetically rather than popped, so any number of threads may
+  // Count() the same histogram concurrently.
+  const double cutoff = now - window_;
   uint64_t sum = 0;
-  for (const Bucket& b : buckets_) sum += b.size;
-  // The oldest bucket straddles the window boundary; count half of it
-  // (rounded up), which is what bounds the relative error.
-  sum -= buckets_.front().size / 2;
-  return sum;
+  uint64_t straddler = 0;  // oldest surviving bucket's size
+  for (const Bucket& b : buckets_) {
+    if (b.newest <= cutoff) continue;  // fully expired
+    if (straddler == 0) straddler = b.size;
+    sum += b.size;
+  }
+  // The oldest surviving bucket straddles the window boundary; count half
+  // of it, which is what bounds the relative error.
+  return sum - straddler / 2;
 }
 
 void ExponentialHistogram::SerializeTo(std::ostream& os) const {

@@ -56,12 +56,14 @@ class ExponentialHistogram {
     uint64_t size;   // number of events represented (power of two)
   };
 
-  void Expire(double now) const;
+  void Expire(double now);
 
   double window_;
   size_t max_per_size_;  // ceil(1/eps) + 1
-  // Front = oldest.  Mutable so queries can lazily drop expired buckets.
-  mutable std::deque<Bucket> buckets_;
+  // Front = oldest.  Expired buckets are dropped on the write path (Add)
+  // only: Count() is a PURE read, so concurrent readers of a frozen item
+  // snapshot (the async serving views) need no synchronization.
+  std::deque<Bucket> buckets_;
   uint64_t total_ = 0;
   double last_t_ = -1e300;
 };

@@ -32,7 +32,8 @@ class ExactSlidingWindow {
 
  private:
   double window_;
-  mutable std::deque<double> times_;
+  // Pruned by Add only; Count() is a pure read (concurrent-reader safe).
+  std::deque<double> times_;
   uint64_t total_ = 0;
   double last_t_ = -1e300;
 };

@@ -1,0 +1,278 @@
+// IngestQueue unit + concurrency suite: the bounded MPSC queue's policy
+// layer (backpressure, drain barriers, shutdown) and the lock-free
+// ordering contracts the async serving path depends on.  The
+// multi-producer tests run under the TSan CI job (`concurrency` label).
+#include "serving/ingest_queue.h"
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace horizon::serving {
+namespace {
+
+QueuedEvent Event(int64_t id, double t) {
+  QueuedEvent e;
+  e.item_id = id;
+  e.type = stream::EngagementType::kView;
+  e.time = t;
+  return e;
+}
+
+TEST(IngestQueueTest, PushPopRoundTripPreservesPayload) {
+  IngestQueue q(/*capacity=*/16, BackpressurePolicy::kReject);
+  ASSERT_TRUE(q.Push(Event(42, 1.5)).ok());
+  ASSERT_TRUE(q.Push(Event(43, 2.5)).ok());
+  EXPECT_EQ(q.pushed(), 2u);
+  EXPECT_EQ(q.SizeApprox(), 2u);
+
+  std::vector<QueuedEvent> out;
+  EXPECT_EQ(q.PopBatch(&out, 64), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].item_id, 42);
+  EXPECT_DOUBLE_EQ(out[0].time, 1.5);
+  EXPECT_EQ(out[1].item_id, 43);
+  EXPECT_DOUBLE_EQ(out[1].time, 2.5);
+  EXPECT_EQ(q.SizeApprox(), 0u);
+}
+
+TEST(IngestQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  IngestQueue q(/*capacity=*/10, BackpressurePolicy::kReject);
+  EXPECT_EQ(q.capacity(), 16u);
+}
+
+TEST(IngestQueueTest, RejectPolicyFailsFastWithResourceExhausted) {
+  IngestQueue q(/*capacity=*/8, BackpressurePolicy::kReject);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.Push(Event(i, i)).ok()) << "push " << i;
+  }
+  EXPECT_EQ(q.backpressure_events(), 0u);
+
+  const Status full = q.Push(Event(99, 99.0));
+  EXPECT_FALSE(full.ok());
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
+  // Every full-queue encounter is accounted, none silently dropped.
+  EXPECT_EQ(q.backpressure_events(), 1u);
+  EXPECT_EQ(q.pushed(), 8u);
+
+  // Draining one slot makes the next push succeed again.
+  std::vector<QueuedEvent> out;
+  ASSERT_EQ(q.PopBatch(&out, 1), 1u);
+  q.MarkConsumed(1);
+  EXPECT_TRUE(q.Push(Event(100, 100.0)).ok());
+  EXPECT_EQ(q.pushed(), 9u);
+}
+
+TEST(IngestQueueTest, BlockPolicyParksProducerUntilSpaceFrees) {
+  IngestQueue q(/*capacity=*/4, BackpressurePolicy::kBlock);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.Push(Event(i, i)).ok());
+
+  // This producer must park on the full ring, then complete once the
+  // consumer below frees a slot.  kBlock never drops: the push returns
+  // kOk, not kResourceExhausted.
+  std::atomic<bool> push_done{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(Event(1000, 1000.0)).ok());
+    push_done.store(true);
+  });
+
+  // The ring is full and nothing is draining yet, so the producer's
+  // first attempt must hit the full ring and account the stall; wait for
+  // that (deterministic) before freeing any space.
+  while (q.backpressure_events() == 0) std::this_thread::yield();
+  EXPECT_FALSE(push_done.load());
+
+  // Consumer side: drain slots until the parked producer gets through.
+  std::vector<QueuedEvent> out;
+  while (!push_done.load()) {
+    if (q.PopBatch(&out, 1) == 1) q.MarkConsumed(1);
+    std::this_thread::yield();
+  }
+  producer.join();
+  EXPECT_GE(q.backpressure_events(), 1u);  // the stall was accounted
+  EXPECT_EQ(q.pushed(), 5u);
+
+  // Everything pushed is eventually popped exactly once.
+  while (q.PopBatch(&out, 64) > 0) {
+  }
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(IngestQueueTest, PushAfterStopIsRejectedUnderBothPolicies) {
+  for (const auto policy :
+       {BackpressurePolicy::kBlock, BackpressurePolicy::kReject}) {
+    IngestQueue q(/*capacity=*/8, policy);
+    ASSERT_TRUE(q.Push(Event(1, 1.0)).ok());
+    q.Stop();
+    EXPECT_TRUE(q.stopped());
+    const Status s = q.Push(Event(2, 2.0));
+    EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(q.pushed(), 1u);
+  }
+}
+
+TEST(IngestQueueTest, WaitForEventsReturnsFalseOnlyWhenStoppedAndDrained) {
+  IngestQueue q(/*capacity=*/8, BackpressurePolicy::kReject);
+  ASSERT_TRUE(q.Push(Event(1, 1.0)).ok());
+  q.Stop();
+  // Stopped but not drained: the applier must keep draining.
+  EXPECT_TRUE(q.WaitForEvents());
+  std::vector<QueuedEvent> out;
+  ASSERT_EQ(q.PopBatch(&out, 64), 1u);
+  q.MarkConsumed(1);
+  // Stopped and drained: the applier may exit.
+  EXPECT_FALSE(q.WaitForEvents());
+}
+
+TEST(IngestQueueTest, WaitConsumedBlocksUntilApplierCatchesUp) {
+  IngestQueue q(/*capacity=*/64, BackpressurePolicy::kBlock);
+  constexpr uint64_t kEvents = 32;
+  for (uint64_t i = 0; i < kEvents; ++i) {
+    ASSERT_TRUE(q.Push(Event(static_cast<int64_t>(i), 0.0)).ok());
+  }
+
+  std::atomic<bool> barrier_released{false};
+  std::thread waiter([&] {
+    q.WaitConsumed(kEvents);  // "everything accepted so far is applied"
+    barrier_released.store(true);
+  });
+
+  std::vector<QueuedEvent> out;
+  uint64_t drained = 0;
+  while (drained < kEvents) {
+    out.clear();
+    const size_t n = q.PopBatch(&out, 8);
+    // The barrier may only release once consumed() reaches the target.
+    if (drained + n < kEvents) EXPECT_FALSE(barrier_released.load());
+    q.MarkConsumed(n);
+    drained += n;
+  }
+  waiter.join();
+  EXPECT_TRUE(barrier_released.load());
+  EXPECT_EQ(q.consumed(), kEvents);
+  EXPECT_EQ(q.consumed(), q.pushed());  // the drained <=> linearized state
+}
+
+// Multi-producer hammer: every event arrives exactly once and FIFO per
+// producer (the Vyukov ring's ordering guarantee the applier relies on
+// for the tracker's non-decreasing-timestamps precondition).
+TEST(IngestQueueTest, MultiProducerDeliversEveryEventFifoPerProducer) {
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 5000;
+  IngestQueue q(/*capacity=*/256, BackpressurePolicy::kBlock);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // item_id encodes (producer, sequence) so the consumer can check
+        // per-producer order without any extra synchronization.
+        ASSERT_TRUE(q.Push(Event(p * 1000000 + i, i)).ok());
+      }
+    });
+  }
+
+  std::vector<int> next_seq(kProducers, 0);
+  uint64_t received = 0;
+  std::vector<QueuedEvent> out;
+  while (received < static_cast<uint64_t>(kProducers) * kPerProducer) {
+    out.clear();
+    const size_t n = q.PopBatch(&out, 128);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (const QueuedEvent& e : out) {
+      const int p = static_cast<int>(e.item_id / 1000000);
+      const int seq = static_cast<int>(e.item_id % 1000000);
+      ASSERT_LT(p, kProducers);
+      EXPECT_EQ(seq, next_seq[p]) << "producer " << p << " out of order";
+      next_seq[p] = seq + 1;
+    }
+    q.MarkConsumed(n);
+    received += n;
+  }
+  for (auto& t : producers) t.join();
+
+  EXPECT_EQ(q.pushed(), static_cast<uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(q.consumed(), q.pushed());
+  EXPECT_EQ(q.SizeApprox(), 0u);
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next_seq[p], kPerProducer);
+}
+
+// Seeded interleaving stress: a tiny ring + randomized producer pacing
+// drives the full/empty/park/wake edges far harder than steady-state
+// throughput does.  Each seed fixes one interleaving family; the loop
+// makes the edge coverage reproducible rather than load-dependent.
+TEST(IngestQueueTest, SeededInterleavingStressConservesEvents) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  for (const uint32_t seed : {1u, 7u, 1234u}) {
+    IngestQueue q(/*capacity=*/8, BackpressurePolicy::kBlock);
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p, seed] {
+        std::mt19937 rng(seed * 97 + static_cast<uint32_t>(p));
+        for (int i = 0; i < kPerProducer; ++i) {
+          ASSERT_TRUE(q.Push(Event(p * 1000000 + i, i)).ok());
+          if (rng() % 4 == 0) std::this_thread::yield();
+        }
+      });
+    }
+
+    std::mt19937 rng(seed);
+    std::vector<int> next_seq(kProducers, 0);
+    uint64_t received = 0;
+    std::vector<QueuedEvent> out;
+    while (received < static_cast<uint64_t>(kProducers) * kPerProducer) {
+      out.clear();
+      const size_t max = 1 + rng() % 16;  // vary group-commit sizes
+      const size_t n = q.PopBatch(&out, max);
+      if (n == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (const QueuedEvent& e : out) {
+        const int p = static_cast<int>(e.item_id / 1000000);
+        const int seq = static_cast<int>(e.item_id % 1000000);
+        EXPECT_EQ(seq, next_seq[p]);
+        next_seq[p] = seq + 1;
+      }
+      q.MarkConsumed(n);
+      received += n;
+      if (rng() % 8 == 0) std::this_thread::yield();
+    }
+    for (auto& t : producers) t.join();
+    EXPECT_EQ(q.pushed(), q.consumed()) << "seed " << seed;
+    EXPECT_GT(q.backpressure_events(), 0u)
+        << "seed " << seed
+        << ": a capacity-8 ring under 4 fast producers must stall";
+  }
+}
+
+// Stop() unparks blocked producers rather than deadlocking them; events
+// that were already accepted stay poppable afterwards.
+TEST(IngestQueueTest, StopUnparksBlockedProducers) {
+  IngestQueue q(/*capacity=*/4, BackpressurePolicy::kBlock);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.Push(Event(i, i)).ok());
+
+  std::thread blocked([&] {
+    const Status s = q.Push(Event(99, 99.0));  // parks: ring is full
+    EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);  // woken by Stop
+  });
+  q.Stop();
+  blocked.join();
+
+  std::vector<QueuedEvent> out;
+  while (q.PopBatch(&out, 64) > 0) {
+  }
+  EXPECT_EQ(out.size(), 4u);  // the accepted events survive shutdown
+}
+
+}  // namespace
+}  // namespace horizon::serving

@@ -1,0 +1,35 @@
+// Known-bad fixture for the `shard-mutation` rule: direct writes to
+// Shard state outside shard_apply.cc.  Every mutation idiom the rule
+// watches appears once.  Not compiled; consumed by horizon_lint
+// --self-test, which copies it under src/serving/ and asserts the rule
+// fires (and that the same file named shard_apply.cc stays silent).
+#include "serving/shard.h"
+
+namespace horizon::serving {
+
+void SneakyInsert(Shard& shard, int64_t id, Item item) {
+  shard.items.emplace(id, std::make_shared<Item>(std::move(item)));  // BAD
+}
+
+void SneakyAssign(Shard& shard, int64_t id) {
+  shard.items[id] = nullptr;  // BAD: operator[] default-inserts
+}
+
+void SneakyErase(Shard& shard, int64_t id) {
+  shard.items.erase(id);  // BAD
+}
+
+void SneakyClear(Shard& shard) {
+  shard.items.clear();  // BAD
+}
+
+void SneakyObserve(Item& item, double t) {
+  item.tracker.Observe(stream::EngagementType::kView, t);  // BAD
+}
+
+void AllowedObserve(Item& item, double t) {
+  // horizon-lint: allow(shard-mutation) -- fixture: justified escape
+  item.tracker.Observe(stream::EngagementType::kView, t);
+}
+
+}  // namespace horizon::serving

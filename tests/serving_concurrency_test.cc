@@ -12,6 +12,20 @@
 
 #include "core/trainer.h"
 
+// Wall-clock latency bounds are meaningless under the 10-20x slowdown
+// plus scheduler distortion of TSan/ASan; those builds still run the
+// functional parts of timing-sensitive tests but skip the bound itself.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define HORIZON_TEST_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define HORIZON_TEST_UNDER_SANITIZER 1
+#endif
+#endif
+#ifndef HORIZON_TEST_UNDER_SANITIZER
+#define HORIZON_TEST_UNDER_SANITIZER 0
+#endif
+
 namespace horizon::serving {
 namespace {
 
@@ -109,6 +123,7 @@ TEST_F(ServingConcurrencyTest, EightThreadIngestQueryHammer) {
     });
   }
   for (auto& th : threads) th.join();
+  ASSERT_TRUE(service.Flush().ok());  // async drain barrier (no-op in sync)
 
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.items_registered, static_cast<uint64_t>(kItems));
@@ -198,6 +213,8 @@ TEST_F(ServingConcurrencyTest, IngestBatchMatchesSerialIngest) {
   }
   const size_t batch_ok = batched.IngestBatch(events);
   EXPECT_EQ(batch_ok, serial_ok);
+  ASSERT_TRUE(serial.Flush().ok());   // async drain barriers
+  ASSERT_TRUE(batched.Flush().ok());  // (no-ops in sync mode)
   EXPECT_EQ(batched.stats().events_ingested, serial.stats().events_ingested);
 
   for (int64_t id = 0; id < kItems; ++id) {
@@ -232,12 +249,215 @@ TEST_F(ServingConcurrencyTest, ParallelTopKMatchesSingleShardService) {
       ASSERT_TRUE(flat.Ingest(id, stream::EngagementType::kView, e.time).ok());
     }
   }
+  ASSERT_TRUE(sharded.Flush().ok());  // async drain barriers
+  ASSERT_TRUE(flat.Flush().ok());     // (no-ops in sync mode)
   const auto a = sharded.TopK(3 * kHour, 1 * kDay, 7);
   const auto b = flat.TopK(3 * kHour, 1 * kDay, 7);
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].first, b[i].first) << "rank " << i;
     EXPECT_DOUBLE_EQ(a[i].second, b[i].second) << "rank " << i;
+  }
+}
+
+// Satellite of the async-ingest PR: group commit must coalesce a whole
+// batch into O(shard groups) lock acquisitions, not one per event.  The
+// commits counter increments once per shard-lock acquisition, so with a
+// single shard a 300-event batch that costs more than one commit IS the
+// old lock-per-group regression.
+TEST_F(ServingConcurrencyTest, IngestBatchGroupCommitCoalescesLockAcquisitions) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.num_shards = 1;
+  config.ingest_mode = IngestMode::kSync;
+  config.metrics = &registry;
+  PredictionService service = MakeService(config);
+
+  constexpr int64_t kItems = 12;
+  std::vector<IngestEvent> events;
+  for (int64_t id = 0; id < kItems; ++id) {
+    const auto& cascade = CascadeFor(id);
+    ASSERT_TRUE(service.RegisterItem(id, 0.0, dataset_->PageOf(cascade.post),
+                                     cascade.post)
+                    .ok());
+    size_t fed = 0;
+    for (const auto& e : cascade.views) {
+      if (e.time >= 6 * kHour || fed >= 25) break;
+      events.push_back({id, stream::EngagementType::kView, e.time});
+      ++fed;
+    }
+  }
+  ASSERT_GE(events.size(), 100u);
+
+  const auto* commits =
+      registry.GetCounter("horizon_serving_ingest_commits_total");
+  const uint64_t commits_before = commits->Value();
+  const size_t ok = service.IngestBatch(events);
+  EXPECT_EQ(ok, events.size());
+  // One shard, one group, ONE lock acquisition for the whole batch.
+  EXPECT_EQ(commits->Value() - commits_before, 1u)
+      << "IngestBatch took " << (commits->Value() - commits_before)
+      << " commits for " << events.size() << " events on one shard";
+
+  // Across shards the bound is one commit per NON-EMPTY shard group, not
+  // per event: a second service with 4 shards may spend at most 4.
+  obs::MetricsRegistry sharded_registry;
+  ServiceConfig sharded_config;
+  sharded_config.num_shards = 4;
+  sharded_config.ingest_mode = IngestMode::kSync;
+  sharded_config.metrics = &sharded_registry;
+  PredictionService sharded = MakeService(sharded_config);
+  for (int64_t id = 0; id < kItems; ++id) {
+    const auto& cascade = CascadeFor(id);
+    ASSERT_TRUE(sharded.RegisterItem(id, 0.0, dataset_->PageOf(cascade.post),
+                                     cascade.post)
+                    .ok());
+  }
+  const auto* sharded_commits =
+      sharded_registry.GetCounter("horizon_serving_ingest_commits_total");
+  EXPECT_EQ(sharded.IngestBatch(events), events.size());
+  EXPECT_GE(sharded_commits->Value(), 1u);
+  EXPECT_LE(sharded_commits->Value(), 4u)
+      << sharded_commits->Value() << " commits for " << events.size()
+      << " events over 4 shards";
+}
+
+// The async applier's side of the same contract: one wakeup drains many
+// events, so wakeups <= commits <= events, with real coalescing (a
+// 2000-event burst must not cost anywhere near one commit per event --
+// every commit republishes the shard view, which is what makes
+// per-event commits the regression this guards against).
+TEST_F(ServingConcurrencyTest, AsyncApplierGroupCommitsBatches) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.num_shards = 1;
+  config.ingest_mode = IngestMode::kAsync;
+  config.ingest_queue_capacity = 1 << 12;
+  config.metrics = &registry;
+  PredictionService service = MakeService(config);
+  ASSERT_TRUE(service.async_ingest());
+
+  constexpr int64_t kItems = 8;
+  for (int64_t id = 0; id < kItems; ++id) {
+    const auto& cascade = CascadeFor(id);
+    ASSERT_TRUE(service.RegisterItem(id, 0.0, dataset_->PageOf(cascade.post),
+                                     cascade.post)
+                    .ok());
+  }
+  constexpr size_t kRepeats = 250;  // 8 * 250 = 2000 events
+  std::vector<IngestEvent> burst;
+  for (size_t rep = 0; rep < kRepeats; ++rep) {
+    for (int64_t id = 0; id < kItems; ++id) {
+      burst.push_back({id, stream::EngagementType::kView,
+                       static_cast<double>(rep) * 0.5});
+    }
+  }
+  const size_t accepted = service.IngestBatch(burst);
+  EXPECT_EQ(accepted, burst.size());
+  ASSERT_TRUE(service.Flush().ok());
+
+  const uint64_t wakeups =
+      registry.GetCounter("horizon_serving_apply_wakeups_total")->Value();
+  const uint64_t commits =
+      registry.GetCounter("horizon_serving_ingest_commits_total")->Value();
+  const obs::Histogram* batches = registry.GetHistogram(
+      "horizon_serving_apply_batch_events", obs::CountBuckets());
+  EXPECT_GE(wakeups, 1u);
+  EXPECT_LE(wakeups, commits);  // a wakeup drains >= 1 commit
+  EXPECT_LE(commits, burst.size());
+  // Group-commit coalescing: the mean apply batch must be well above one
+  // event per lock acquisition.  (Enqueue is orders of magnitude cheaper
+  // than a commit's view republish, so the applier always finds a backlog;
+  // the bound is loose enough for TSan scheduling.)
+  EXPECT_LE(commits, burst.size() / 2)
+      << commits << " commits for " << burst.size() << " events";
+  EXPECT_EQ(batches->Count(), commits);
+  EXPECT_DOUBLE_EQ(batches->Sum(), static_cast<double>(burst.size()));
+  EXPECT_EQ(registry.GetCounter("horizon_serving_events_ingested_total")->Value(),
+            burst.size());
+}
+
+// Satellite of the async-ingest PR: queries never take the ingest lock,
+// so saturating every queue to capacity may not wreck query tail
+// latency.  p99 is scraped from the obs histogram, exactly like the
+// production dashboards would.
+TEST_F(ServingConcurrencyTest, QueryP99BoundedUnderIngestSaturation) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.ingest_mode = IngestMode::kAsync;
+  config.num_shards = 4;
+  config.ingest_queue_capacity = 256;  // small: saturates under 7 producers
+  config.ingest_backpressure = BackpressurePolicy::kBlock;
+  config.metrics = &registry;
+  PredictionService service = MakeService(config);
+
+  constexpr int64_t kItems = 64;
+  std::vector<int64_t> query_ids;
+  for (int64_t id = 0; id < kItems; ++id) {
+    const auto& cascade = CascadeFor(id);
+    ASSERT_TRUE(service.RegisterItem(id, 0.0, dataset_->PageOf(cascade.post),
+                                     cascade.post)
+                    .ok());
+    if (id % 8 == 0) query_ids.push_back(id);
+  }
+  ASSERT_TRUE(service.Flush().ok());
+
+  obs::Histogram* latency =
+      registry.GetHistogram("horizon_serving_batch_query_latency_seconds");
+  const auto run_queries = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      QueryRequest request;
+      request.ids = query_ids;
+      request.s = 6 * kHour;
+      request.delta = 1 * kDay;
+      const auto response = service.BatchQuery(request);
+      ASSERT_TRUE(response.ok());
+    }
+  };
+
+  // Baseline: idle service.
+  constexpr int kQueries = 300;
+  latency->Reset();
+  run_queries(kQueries);
+  const double p99_idle = latency->Quantile(0.99);
+
+  // Saturation: kNumThreads - 1 producers hammer the queues (kBlock --
+  // they park on full rings), queries run concurrently.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kNumThreads - 1; ++t) {
+    producers.emplace_back([&, t] {
+      // Each producer owns items == t mod (threads-1): per-item times
+      // stay non-decreasing without cross-thread coordination.
+      double now = 12 * kHour;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int64_t id = t; id < kItems; id += kNumThreads - 1) {
+          (void)service.Ingest(id, stream::EngagementType::kView, now);
+        }
+        now += 1.0;
+      }
+    });
+  }
+  latency->Reset();
+  run_queries(kQueries);
+  const double p99_saturated = latency->Quantile(0.99);
+  stop.store(true);
+  for (auto& t : producers) t.join();
+  ASSERT_TRUE(service.Flush().ok());
+
+  // The queues really were saturated: producers stalled on full rings.
+  EXPECT_GT(registry.GetCounter("horizon_serving_ingest_backpressure_total")
+                ->Value(),
+            0u);
+  // Lock-free epoch reads: <= 2x p99 regression at queue capacity, plus
+  // an absolute slack floor so scheduler noise on tiny baselines (tens
+  // of microseconds) cannot flake the bound.  Sanitizer builds still
+  // exercised the saturated path above but the wall-clock bound only
+  // holds at native speed.
+  if (!HORIZON_TEST_UNDER_SANITIZER) {
+    EXPECT_LE(p99_saturated, 2.0 * p99_idle + 0.005)
+        << "idle p99 " << p99_idle << "s, saturated p99 " << p99_saturated
+        << "s";
   }
 }
 

@@ -76,6 +76,9 @@ TEST_F(PredictionServiceTest, RegisterAndQueryLifecycle) {
     EXPECT_TRUE(service.Ingest(1, stream::EngagementType::kView, e.time));
     ++ingested;
   }
+  // Drain barrier: under HORIZON_ASYNC_INGEST=on the events are queued,
+  // and the query/stats assertions below are linearization-point checks.
+  ASSERT_TRUE(service.Flush().ok());
   const auto result = service.Query(1, 6 * kHour, 1 * kDay);
   ASSERT_TRUE(result.has_value());
   EXPECT_DOUBLE_EQ(result->observed_views, static_cast<double>(ingested));
@@ -117,6 +120,7 @@ TEST_F(PredictionServiceTest, QueryMatchesOfflineReplay) {
     if (t >= s) break;
     ASSERT_TRUE(service.Ingest(7, stream::EngagementType::kReaction, t).ok());
   }
+  ASSERT_TRUE(service.Flush().ok());  // async drain barrier (no-op in sync)
   const auto online = service.Query(7, s, 2 * kDay);
   ASSERT_TRUE(online.has_value());
 
@@ -138,6 +142,7 @@ TEST_F(PredictionServiceTest, TopKRanksByPredictedIncrement) {
       ASSERT_TRUE(service.Ingest(i, stream::EngagementType::kView, e.time).ok());
     }
   }
+  ASSERT_TRUE(service.Flush().ok());  // async drain barrier (no-op in sync)
   const auto top = service.TopK(s, 1 * kDay, 5);
   ASSERT_EQ(top.size(), 5u);
   for (size_t i = 1; i < top.size(); ++i) {
@@ -518,6 +523,7 @@ TEST_F(PredictionServiceTest, ErrorCountersTrackTypedFailures) {
   const auto& cascade = dataset_->cascades[0];
   ASSERT_TRUE(service.RegisterItem(7, 0.0, dataset_->PageOf(cascade.post), cascade.post).ok());
   ASSERT_TRUE(service.Ingest(7, stream::EngagementType::kView, kHour).ok());
+  ASSERT_TRUE(service.Flush().ok());  // async drain barrier (no-op in sync)
   (void)service.Query(7, 6 * kHour, kDay);
   EXPECT_EQ(registry.GetCounter("horizon_serving_items_registered_total")->Value(),
             1u);

@@ -39,6 +39,8 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
       {Status::AlreadyExists("g"), StatusCode::kAlreadyExists,
        "already_exists"},
       {Status::Internal("h"), StatusCode::kInternal, "internal"},
+      {Status::ResourceExhausted("i"), StatusCode::kResourceExhausted,
+       "resource_exhausted"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
@@ -61,6 +63,7 @@ TEST(StatusTest, CodeValuesAreStable) {
   EXPECT_EQ(static_cast<int>(StatusCode::kConfigMismatch), 6);
   EXPECT_EQ(static_cast<int>(StatusCode::kAlreadyExists), 7);
   EXPECT_EQ(static_cast<int>(StatusCode::kInternal), 8);
+  EXPECT_EQ(static_cast<int>(StatusCode::kResourceExhausted), 9);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -36,12 +36,14 @@
 //       exposition format (default) or as JSON.
 //
 //   horizon_tool sim --seed N [--seeds K] [--steps M] [--faults F]
-//                    [--items I] [--verbose 1]
+//                    [--items I] [--async 1] [--verbose 1]
 //       Deterministic simulation: drive a sharded PredictionService and a
 //       single-threaded reference model through the seeded op schedule
 //       (--steps rounds, fault schedule F in
 //       none|crash|transient|corrupt|mixed) and compare them after every
-//       op.  --seeds K runs seeds N..N+K-1.  On divergence prints the
+//       op.  --seeds K runs seeds N..N+K-1.  --async 1 pins the service
+//       to the MPSC-queue ingest pipeline (drained at every comparison
+//       point) instead of synchronous ingest.  On divergence prints the
 //       failing seed, the divergence, and a minimized repro trace, and
 //       exits 1.  Rerunning with the same flags reproduces the run
 //       exactly.
@@ -441,6 +443,7 @@ int CmdSim(const std::map<std::string, std::string>& flags) {
   const int steps = std::atoi(FlagOr(flags, "steps", "24").c_str());
   const int items = std::atoi(FlagOr(flags, "items", "10").c_str());
   const std::string faults = FlagOr(flags, "faults", "mixed");
+  const bool async = FlagOr(flags, "async", "0") != "0";
   const bool verbose = FlagOr(flags, "verbose", "0") != "0";
   if (num_seeds <= 0) return Fail("--seeds must be positive");
   if (steps <= 0) return Fail("--steps must be positive");
@@ -455,6 +458,7 @@ int CmdSim(const std::map<std::string, std::string>& flags) {
   config.schedule.rounds = steps;
   config.schedule.num_items = items;
   config.schedule.faults = faults;
+  config.async_ingest = async;
   const char* tmp = std::getenv("TMPDIR");
   config.scratch_dir = tmp != nullptr ? tmp : "/tmp";
   sim::Simulator simulator(&context, config);
@@ -467,9 +471,9 @@ int CmdSim(const std::map<std::string, std::string>& flags) {
     if (!report.ok) {
       ++failures;
       std::printf("reproduce with: horizon_tool sim --seed %llu --steps %d "
-                  "--items %d --faults %s\n",
+                  "--items %d --faults %s%s\n",
                   static_cast<unsigned long long>(report.seed), steps, items,
-                  faults.c_str());
+                  faults.c_str(), async ? " --async 1" : "");
       std::printf("--- minimized repro trace ---\n%s",
                   report.minimized_trace.empty() ? report.trace.c_str()
                                                  : report.minimized_trace.c_str());
