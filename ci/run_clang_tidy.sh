@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # Tree-wide clang-tidy at zero warnings.
 #
-# Configures a throwaway build dir with a compilation database, then runs
-# clang-tidy (the curated profile in .clang-tidy) over every first-party
-# translation unit in src/, tools/, bench/, and examples/ with
-# --warnings-as-errors=* so a single finding fails the job.
+# Runs clang-tidy (the curated profile in .clang-tidy) over every
+# first-party translation unit in src/, tools/, bench/, and examples/
+# with --warnings-as-errors=* so a single finding fails the job.
 #
-# Usage: ci/run_clang_tidy.sh [build-dir]   (default: build-tidy)
+# Reuses an existing compilation database when the named build dir has
+# one (the top-level CMakeLists exports compile_commands.json on every
+# configure), so the regular `build/` dir serves tidy, the analyzer's
+# libclang backend, and compilation alike.  Configures only when the
+# database is missing.
+#
+# Usage: ci/run_clang_tidy.sh [build-dir]   (default: build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,11 +21,12 @@ if ! command -v "$TIDY" >/dev/null 2>&1; then
   exit 1
 fi
 
-BUILD_DIR="${1:-build-tidy}"
-cmake -B "$BUILD_DIR" -S . \
-    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-    -DCMAKE_CXX_COMPILER="${CXX:-clang++}" \
-    >/dev/null
+BUILD_DIR="${1:-build}"
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . \
+      -DCMAKE_CXX_COMPILER="${CXX:-clang++}" \
+      >/dev/null
+fi
 
 # First-party sources only: generated/third-party code (gtest, benchmark)
 # lives outside these roots, and the tests are covered by the compilers'

@@ -47,6 +47,9 @@ class MpscQueue {
   explicit MpscQueue(size_t capacity) : buffer_(RoundUpPow2(capacity)) {
     mask_ = buffer_.size() - 1;
     for (size_t i = 0; i < buffer_.size(); ++i) {
+      // order: relaxed; construction-time init.  The queue is handed to
+      // other threads via thread creation / mutex publication, which
+      // already provides the happens-before edge.
       buffer_[i].seq.store(i, std::memory_order_relaxed);
     }
   }
@@ -58,16 +61,26 @@ class MpscQueue {
 
   /// Multi-producer enqueue.  Returns false when the queue is full.
   bool TryPush(T value) {
+    // order: relaxed; the ticket is only a hint -- cell ownership is
+    // decided by the acquire load of cell.seq below.
     uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = buffer_[pos & mask_];
+      // order: acquire pairs with the consumer's release hand-back in
+      // PopBatch (seq = pos + capacity) so the producer reads the cell
+      // only after the consumer is done moving the previous value out.
       const uint64_t seq = cell.seq.load(std::memory_order_acquire);
       const int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
       if (dif == 0) {
         // The cell is free at this lap: claim the ticket.
+        // order: relaxed; the CAS only arbitrates ticket ownership
+        // between producers.  Publication of the value is the release
+        // store of cell.seq below, not the ticket.
         if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
                                                std::memory_order_relaxed)) {
           cell.value = std::move(value);
+          // order: release publishes cell.value; pairs with the
+          // consumer's acquire load of cell.seq in PopBatch.
           cell.seq.store(pos + 1, std::memory_order_release);
           return true;
         }
@@ -77,6 +90,7 @@ class MpscQueue {
         return false;
       } else {
         // Another producer claimed this ticket; catch up.
+        // order: relaxed; same hint-only role as the load on entry.
         pos = enqueue_pos_.load(std::memory_order_relaxed);
       }
     }
@@ -86,32 +100,49 @@ class MpscQueue {
   /// Returns the number dequeued.  Must only be called from one thread.
   size_t PopBatch(std::vector<T>* out, size_t max) {
     size_t popped = 0;
+    // order: relaxed; dequeue_pos_ is written by this (single consumer)
+    // thread only -- it is atomic purely so SizeApprox() can read it.
     uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
     while (popped < max) {
       Cell& cell = buffer_[pos & mask_];
+      // order: acquire pairs with the producer's release store of
+      // cell.seq in TryPush; after it we may read cell.value.
       const uint64_t seq = cell.seq.load(std::memory_order_acquire);
       if (static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1) < 0) {
         break;  // cell not yet published: queue drained
       }
       out->push_back(std::move(cell.value));
       // Hand the cell back for the producers' next lap.
+      // order: release pairs with the acquire load of cell.seq in
+      // TryPush one lap later; the producer must not overwrite
+      // cell.value before our move-out completes.
       cell.seq.store(pos + buffer_.size(), std::memory_order_release);
       ++pos;
       ++popped;
     }
+    // order: release publishes consumer progress to popped() /
+    // SizeApprox() acquire readers on other threads.
     dequeue_pos_.store(pos, std::memory_order_release);
     return popped;
   }
 
   /// Total values ever accepted by TryPush.  Monotone; exact.
+  // order: acquire pairs with producers' ticket CASes so a reader that
+  // observed an effect of push N also observes a count >= N.
   uint64_t pushed() const { return enqueue_pos_.load(std::memory_order_acquire); }
 
   /// Total values ever returned by PopBatch.  Monotone; exact.
+  // order: acquire pairs with the consumer's release store of
+  // dequeue_pos_ at the end of PopBatch.
   uint64_t popped() const { return dequeue_pos_.load(std::memory_order_acquire); }
 
   /// Racy depth estimate; exact when producers and consumer are quiescent.
   size_t SizeApprox() const {
+    // order: acquire pairs with the consumer's release store of
+    // dequeue_pos_ in PopBatch; the estimate is racy by contract but
+    // each ticket read individually is a published value.
     const uint64_t tail = dequeue_pos_.load(std::memory_order_acquire);
+    // order: acquire pairs with the producers' ticket CASes in TryPush.
     const uint64_t head = enqueue_pos_.load(std::memory_order_acquire);
     return head >= tail ? static_cast<size_t>(head - tail) : 0;
   }

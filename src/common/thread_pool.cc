@@ -84,25 +84,32 @@ struct LoopState {
   const std::function<void(size_t, size_t)>* fn = nullptr;
   std::atomic<size_t> next_chunk{0};
   std::atomic<bool> failed{false};
-  Mutex mu;
+  Mutex drain_mu;
   CondVar cv;
-  std::exception_ptr eptr HORIZON_GUARDED_BY(mu);
-  size_t done HORIZON_GUARDED_BY(mu) = 0;
+  std::exception_ptr eptr HORIZON_GUARDED_BY(drain_mu);
+  size_t done HORIZON_GUARDED_BY(drain_mu) = 0;
 
   /// Claims and runs chunks until none remain.
   void Drain() {
     size_t completed = 0;
     for (;;) {
+      // order: relaxed; the ticket only partitions chunks between
+      // workers -- completion is published via drain_mu below.
       const size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= num_chunks) break;
+      // order: acquire pairs with the acq_rel exchange in the catch
+      // handler so workers that skip remaining chunks see the failure.
       if (!failed.load(std::memory_order_acquire)) {
         const size_t begin = chunk * grain;
         const size_t end = std::min(begin + grain, n);
         try {
           (*fn)(begin, end);
         } catch (...) {
+          // order: acq_rel; the winning exchange both claims the right
+          // to record eptr and publishes the flag to the acquire load
+          // above.
           if (!failed.exchange(true, std::memory_order_acq_rel)) {
-            MutexLock lock(mu);
+            MutexLock lock(drain_mu);
             eptr = std::current_exception();
           }
         }
@@ -110,7 +117,7 @@ struct LoopState {
       ++completed;
     }
     if (completed > 0) {
-      MutexLock lock(mu);
+      MutexLock lock(drain_mu);
       done += completed;
       if (done == num_chunks) cv.NotifyAll();
     }
@@ -142,8 +149,8 @@ void ParallelFor(ThreadPool& pool, size_t n, size_t grain,
   }
   state->Drain();
 
-  MutexLock lock(state->mu);
-  while (state->done != state->num_chunks) state->cv.Wait(state->mu);
+  MutexLock lock(state->drain_mu);
+  while (state->done != state->num_chunks) state->cv.Wait(state->drain_mu);
   if (state->eptr) std::rethrow_exception(state->eptr);
 }
 

@@ -76,9 +76,14 @@ std::vector<SimdKernel> SupportedKernels() {
 }
 
 SimdKernel ActiveKernel() {
+  // order: relaxed; g_active is a self-contained enum cache -- racing
+  // initializers compute the same value from the same CPU/env, so no
+  // other memory needs to be published with it.
   int cached = g_active.load(std::memory_order_relaxed);
   if (cached < 0) {
     cached = static_cast<int>(ResolveFromEnv());
+    // order: relaxed; same value from any thread, no payload (pairs
+    // with the relaxed load above).
     g_active.store(cached, std::memory_order_relaxed);
   }
   return static_cast<SimdKernel>(cached);
@@ -86,6 +91,8 @@ SimdKernel ActiveKernel() {
 
 SimdKernel RefreshKernelFromEnv() {
   const SimdKernel resolved = ResolveFromEnv();
+  // order: relaxed; test-only refresh of the enum cache, paired with
+  // the relaxed load in ActiveKernel.
   g_active.store(static_cast<int>(resolved), std::memory_order_relaxed);
   return resolved;
 }

@@ -16,6 +16,8 @@ size_t ThreadSlot() {
   // One monotonically assigned slot per thread; cheaper and better spread
   // than hashing std::this_thread::get_id().
   static std::atomic<size_t> next{0};
+  // order: relaxed; the ticket only needs uniqueness, not ordering --
+  // each thread reads its own thread_local afterwards.
   thread_local const size_t slot = next.fetch_add(1, std::memory_order_relaxed);
   return slot;
 }
@@ -86,14 +88,21 @@ void Histogram::Observe(double value) {
   // (inclusive upper edge) semantics.
   const size_t bucket = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin());
+  // order: relaxed (all three); pure statistics paired with the
+  // relaxed reads in BucketCounts/Count/Sum.  Scrapes may observe the
+  // three fields mutually inconsistent; the exporter documents that.
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  // order: relaxed; see above.
   count_.fetch_add(1, std::memory_order_relaxed);
+  // order: relaxed; see above.
   sum_.fetch_add(value, std::memory_order_relaxed);
 }
 
 std::vector<uint64_t> Histogram::BucketCounts() const {
   std::vector<uint64_t> out(buckets_.size());
   for (size_t i = 0; i < buckets_.size(); ++i) {
+    // order: relaxed; pairs with the relaxed fetch_add in Observe --
+    // a racy-by-contract scrape snapshot.
     out[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return out;
@@ -126,8 +135,12 @@ double Histogram::Quantile(double q) const {
 }
 
 void Histogram::Reset() {
+  // order: relaxed (all three); test-only zeroing, same no-payload
+  // contract as Observe.
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  // order: relaxed; see above.
   count_.store(0, std::memory_order_relaxed);
+  // order: relaxed; see above.
   sum_.store(0.0, std::memory_order_relaxed);
 }
 

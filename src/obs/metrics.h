@@ -57,16 +57,23 @@ class Counter {
 
   void Increment() { Add(1); }
   void Add(uint64_t n) {
+    // order: relaxed; pure statistics counter paired with the relaxed
+    // reads in Value() -- no payload is published through it and the
+    // scrape tolerates being a few increments behind.
     slots_[internal::ThreadSlot() % kCounterSlots].v.fetch_add(
         n, std::memory_order_relaxed);
   }
   /// Sum over the slots (a scrape-time snapshot; monotone across calls).
   uint64_t Value() const {
     uint64_t total = 0;
+    // order: relaxed; pairs with the relaxed fetch_add in Add -- the
+    // sum across slots is a racy-by-contract scrape snapshot.
     for (const auto& slot : slots_) total += slot.v.load(std::memory_order_relaxed);
     return total;
   }
   void Reset() {
+    // order: relaxed; test-only zeroing, same no-payload contract as
+    // Add/Value.
     for (auto& slot : slots_) slot.v.store(0, std::memory_order_relaxed);
   }
 
@@ -84,8 +91,13 @@ class Gauge {
   Gauge(const Gauge&) = delete;
   Gauge& operator=(const Gauge&) = delete;
 
+  // order: relaxed on all three; a gauge is a single self-contained
+  // value (store/fetch_add pair with the load) and scrapes tolerate
+  // staleness by contract.
   void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  // order: relaxed; see Set.
   void Add(double v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  // order: relaxed; see Set.
   double Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -112,7 +124,11 @@ class Histogram {
 
   void Observe(double value);
 
+  // order: relaxed; pairs with the relaxed fetch_add in Observe.
+  // count/sum/buckets are scraped independently and may be mutually
+  // inconsistent by a few observations -- documented scrape semantics.
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  // order: relaxed; see Count.
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
   const std::vector<double>& bounds() const { return bounds_; }
 

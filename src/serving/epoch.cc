@@ -18,10 +18,18 @@ size_t EpochDomain::Enter() {
   const size_t start =
       std::hash<std::thread::id>{}(std::this_thread::get_id()) % slots_.size();
   for (;;) {
+    // order: seq_cst; the reclamation proof (epoch.h header comment)
+    // needs one total order across this load, the slot CAS below, and
+    // the writers' Advance/Retire seq_cst ops -- acquire/release alone
+    // would allow a reader to publish a slot epoch that Retire's
+    // MinActiveEpoch scan never observes.
     const uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
     for (size_t i = 0; i < slots_.size(); ++i) {
       const size_t idx = (start + i) % slots_.size();
       uint64_t expected = 0;
+      // order: seq_cst slot claim; pairs with the seq_cst scan in
+      // MinActiveEpoch so an Advance() that follows the claim in the
+      // total order cannot miss this reader.
       if (slots_[idx].epoch.compare_exchange_strong(
               expected, epoch, std::memory_order_seq_cst)) {
         return idx;
@@ -32,12 +40,18 @@ size_t EpochDomain::Enter() {
 }
 
 void EpochDomain::Exit(size_t slot) {
+  // order: seq_cst release of the slot; pairs with the seq_cst scan in
+  // MinActiveEpoch -- all reads the guard protected happen-before the
+  // store, so a scan that sees slot==0 may free the old view.
   slots_[slot].epoch.store(0, std::memory_order_seq_cst);
 }
 
 uint64_t EpochDomain::MinActiveEpoch() const {
   uint64_t min = std::numeric_limits<uint64_t>::max();
   for (const Slot& s : slots_) {
+    // order: seq_cst pairs with the slot CAS in Enter and the zeroing
+    // store in Exit; part of the single total order the reclamation
+    // proof relies on.
     const uint64_t e = s.epoch.load(std::memory_order_seq_cst);
     if (e != 0 && e < min) min = e;
   }
@@ -45,12 +59,18 @@ uint64_t EpochDomain::MinActiveEpoch() const {
 }
 
 void EpochDomain::Retire(void* p, void (*deleter)(void*)) {
+  // order: seq_cst; the retirement must be stamped with an epoch no
+  // older than any concurrent reader's Enter() observed, which only
+  // the global total order (with Enter's seq_cst load) guarantees.
   const uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
   MutexLock lock(retire_mu_);
   retired_.push_back(Retired{p, deleter, epoch});
 }
 
 void EpochDomain::Advance() {
+  // order: seq_cst; the epoch bump must be totally ordered against
+  // every Enter() load so late readers observe the new epoch and the
+  // MinActiveEpoch scan below cannot race past them.
   global_epoch_.fetch_add(1, std::memory_order_seq_cst);
 
   // Collect the frees under the mutex, run them outside it.

@@ -15,6 +15,7 @@ IngestQueue::IngestQueue(size_t capacity, BackpressurePolicy policy)
 
 Status IngestQueue::Push(const QueuedEvent& event) {
   for (;;) {
+    // order: acquire pairs with the release store in Stop().
     if (stopped_.load(std::memory_order_acquire)) {
       return Status::ResourceExhausted("ingest queue stopped");
     }
@@ -23,20 +24,31 @@ Status IngestQueue::Push(const QueuedEvent& event) {
       // ring push precedes it, so either the applier's pre-park re-check
       // sees the event or this load sees the flag (or the 1ms slice
       // catches the residue of the race).
+      // order: seq_cst; the eventcount flag needs a total order with
+      // the consumer's flag-set + ring re-check in WaitForEvents --
+      // with weaker orders both sides could privately reorder and the
+      // wakeup would be lost past the 1ms slice.
       if (consumer_waiting_.load(std::memory_order_seq_cst)) {
         MutexLock lock(mu_);
+        // order: seq_cst; flag handoff under mu_, same protocol.
         consumer_waiting_.store(false, std::memory_order_seq_cst);
         consumer_cv_.NotifyAll();
       }
       return Status::Ok();
     }
+    // order: relaxed; statistics counter read by
+    // backpressure_events(), no payload.
     backpressure_.fetch_add(1, std::memory_order_relaxed);
     if (policy_ == BackpressurePolicy::kReject) {
       return Status::ResourceExhausted("ingest queue full");
     }
     // kBlock: park until the applier frees space.
     MutexLock lock(mu_);
+    // order: seq_cst; pairs with the consumer's seq_cst flag read in
+    // PopBatch -- the flag store must be totally ordered against the
+    // capacity re-check below (eventcount protocol).
     producer_waiting_.store(true, std::memory_order_seq_cst);
+    // order: acquire pairs with the release store in Stop().
     if (ring_.SizeApprox() < ring_.capacity() &&
         !stopped_.load(std::memory_order_acquire)) {
       continue;  // space appeared while we were taking the lock
@@ -47,8 +59,12 @@ Status IngestQueue::Push(const QueuedEvent& event) {
 
 size_t IngestQueue::PopBatch(std::vector<QueuedEvent>* out, size_t max) {
   const size_t n = ring_.PopBatch(out, max);
+  // order: seq_cst; pairs with the producer's seq_cst flag store in
+  // Push -- the ring pop above precedes this read in the total order,
+  // so either we see the flag or the producer's re-check sees space.
   if (n > 0 && producer_waiting_.load(std::memory_order_seq_cst)) {
     MutexLock lock(mu_);
+    // order: seq_cst; flag handoff under mu_, same protocol.
     producer_waiting_.store(false, std::memory_order_seq_cst);
     producer_cv_.NotifyAll();
   }
@@ -58,10 +74,16 @@ size_t IngestQueue::PopBatch(std::vector<QueuedEvent>* out, size_t max) {
 bool IngestQueue::WaitForEvents() {
   for (;;) {
     if (!ring_.Empty()) return true;
+    // order: acquire pairs with the release store in Stop().
     if (stopped_.load(std::memory_order_acquire)) return !ring_.Empty();
     MutexLock lock(mu_);
+    // order: seq_cst; pairs with the producer's seq_cst flag read in
+    // Push -- this store must be totally ordered against the ring
+    // re-check below or a push between check and park is lost.
     consumer_waiting_.store(true, std::memory_order_seq_cst);
+    // order: acquire (stopped_) pairs with the release store in Stop().
     if (!ring_.Empty() || stopped_.load(std::memory_order_acquire)) {
+      // order: seq_cst; flag retraction, same eventcount protocol.
       consumer_waiting_.store(false, std::memory_order_seq_cst);
       continue;
     }
@@ -70,14 +92,19 @@ bool IngestQueue::WaitForEvents() {
 }
 
 void IngestQueue::MarkConsumed(uint64_t n) {
+  // order: release publishes the applied shard state to the acquire
+  // loads in consumed()/WaitConsumed (Flush's completion barrier).
   consumed_.fetch_add(n, std::memory_order_release);
   MutexLock lock(mu_);
   consumed_cv_.NotifyAll();
 }
 
 void IngestQueue::WaitConsumed(uint64_t target) const {
+  // order: acquire pairs with the release fetch_add in MarkConsumed.
   if (consumed_.load(std::memory_order_acquire) >= target) return;
   MutexLock lock(mu_);
+  // order: acquire on both; pairs with MarkConsumed's release
+  // fetch_add and Stop()'s release store respectively.
   while (consumed_.load(std::memory_order_acquire) < target &&
          !stopped_.load(std::memory_order_acquire)) {
     (void)consumed_cv_.WaitFor(mu_, kWaitSlice);
@@ -85,6 +112,9 @@ void IngestQueue::WaitConsumed(uint64_t target) const {
 }
 
 void IngestQueue::Stop() {
+  // order: release pairs with the acquire loads of stopped_ in
+  // Push/WaitForEvents/WaitConsumed/stopped(); everything enqueued
+  // before the stop is visible to whoever observes it.
   stopped_.store(true, std::memory_order_release);
   MutexLock lock(mu_);
   consumer_cv_.NotifyAll();

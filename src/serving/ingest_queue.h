@@ -99,15 +99,22 @@ class IngestQueue {
   // horizon-lint: allow(serving-status) -- idempotent shutdown signal;
   // it cannot fail.
   void Stop();
+  // order: acquire pairs with the release store in Stop(); whatever
+  // preceded the shutdown signal is visible to observers of it.
   bool stopped() const { return stopped_.load(std::memory_order_acquire); }
 
   uint64_t pushed() const { return ring_.pushed(); }
+  // order: acquire pairs with the release fetch_add in MarkConsumed so
+  // a reader that sees count >= N also sees the applied state of the
+  // first N events.
   uint64_t consumed() const { return consumed_.load(std::memory_order_acquire); }
   size_t SizeApprox() const { return ring_.SizeApprox(); }
 
   /// Full-queue encounters (one per Push that found the ring full, both
   /// policies).  Monotone.
   uint64_t backpressure_events() const {
+    // order: relaxed; statistics counter paired with the relaxed
+    // fetch_add in Push -- no payload rides on it.
     return backpressure_.load(std::memory_order_relaxed);
   }
 

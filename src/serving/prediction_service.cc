@@ -197,6 +197,9 @@ PredictionService::~PredictionService() {
   }
   for (auto& shard : shards_) {
     // horizon-lint: allow(naked-new) -- reclaims the last published view; appliers are joined, so no reader can hold it
+    // order: seq_cst keeps the final unpublish in the same total order
+    // as PublishView's exchange; by now appliers are joined so this is
+    // belt-and-braces, not load-bearing.
     delete shard->view.exchange(nullptr, std::memory_order_seq_cst);
   }
   // epochs_ frees any still-retired views in its destructor.
@@ -233,6 +236,8 @@ size_t PredictionService::TotalQueueDepth() const {
 }
 
 uint64_t PredictionService::MaybeSampleEnqueueNs() const {
+  // order: relaxed; sampling ticket -- only 1-in-N selection rides on
+  // it, no payload.
   if (lag_sample_tick_.fetch_add(1, std::memory_order_relaxed) %
           kLagSampleRate !=
       0) {
@@ -266,6 +271,9 @@ void PredictionService::ApplierLoop(Shard& shard) {
       // Instrument updates precede MarkConsumed so a Flush barrier that
       // releases on this commit already sees them (the DST conservation
       // checks scrape right after Flush).
+      // order: relaxed; statistics counter -- cross-thread visibility
+      // for Flush readers is provided by MarkConsumed's release below,
+      // which this update precedes program-order-wise.
       events_ingested_.fetch_add(applied, std::memory_order_relaxed);
       m_events_ingested_->Add(applied);
       if (dropped > 0) m_ingest_dropped_->Add(dropped);
@@ -321,8 +329,12 @@ Status PredictionService::RegisterItem(int64_t item_id, double creation_time,
   if (!inserted) {
     return CountError(Status::AlreadyExists("item id already registered"));
   }
+  // order: relaxed; statistics counter paired with the relaxed load in
+  // stats() -- no payload.
   items_registered_.fetch_add(1, std::memory_order_relaxed);
   m_items_registered_->Increment();
+  // order: relaxed; gauge source paired with LiveItems()'s relaxed
+  // load; fetch_add only so concurrent registrations count exactly.
   m_live_items_->Set(
       static_cast<double>(live_items_.fetch_add(1, std::memory_order_relaxed) + 1));
   return Status::Ok();
@@ -332,6 +344,9 @@ bool PredictionService::HasItem(int64_t item_id) const {
   const Shard& shard = *shards_[ShardOf(item_id)];
   if (async_) {
     const EpochGuard guard(epochs_);
+    // order: seq_cst view load under the EpochGuard; participates in
+    // the publisher exchange / epoch total order (see PublishView in
+    // shard_apply.cc and the epoch.h reclamation proof).
     const ShardView* view = shard.view.load(std::memory_order_seq_cst);
     return view->items.count(item_id) > 0;
   }
@@ -351,6 +366,9 @@ Status PredictionService::Ingest(int64_t item_id, stream::EngagementType type,
     // the shard's applier; counters move when it does.
     {
       const EpochGuard guard(epochs_);
+      // order: seq_cst view load under the EpochGuard; participates in
+      // the publisher exchange / epoch total order (see PublishView in
+      // shard_apply.cc and the epoch.h reclamation proof).
       const ShardView* view = shard.view.load(std::memory_order_seq_cst);
       if (view->items.find(item_id) == view->items.end()) {
         return CountError(
@@ -372,6 +390,8 @@ Status PredictionService::Ingest(int64_t item_id, stream::EngagementType type,
       return CountError(Status::NotFound("unknown item (dropped straggler?)"));
     }
   }
+  // order: relaxed; statistics counter paired with the relaxed load in
+  // stats().
   events_ingested_.fetch_add(1, std::memory_order_relaxed);
   m_events_ingested_->Increment();
   return Status::Ok();
@@ -388,6 +408,9 @@ size_t PredictionService::IngestBatch(const std::vector<IngestEvent>& events) {
     const EpochGuard guard(epochs_);
     for (const IngestEvent& e : events) {
       Shard& shard = *shards_[ShardOf(e.item_id)];
+      // order: seq_cst view load under the EpochGuard; participates in
+      // the publisher exchange / epoch total order (see PublishView in
+      // shard_apply.cc and the epoch.h reclamation proof).
       const ShardView* view = shard.view.load(std::memory_order_seq_cst);
       if (view->items.find(e.item_id) == view->items.end()) continue;
       const QueuedEvent event{e.item_id, e.type, e.time,
@@ -425,13 +448,20 @@ size_t PredictionService::IngestBatch(const std::vector<IngestEvent>& events) {
         MutexLock lock(shard.mu);
         applied = ApplyEvents(shard, group.data(), group.size(), &dropped);
       }
+      // order: relaxed (both); per-task tallies folded after the
+      // ParallelFor barrier, which supplies the happens-before edge.
       ingested.fetch_add(applied, std::memory_order_relaxed);
+      // order: relaxed; see above.
       commits.fetch_add(1, std::memory_order_relaxed);
     }
   });
+  // order: relaxed; reads after the ParallelFor join (drain_mu handoff
+  // orders them); the atomics only arbitrate concurrent adds above.
   const size_t total = ingested.load(std::memory_order_relaxed);
+  // order: relaxed; statistics counter paired with stats().
   events_ingested_.fetch_add(total, std::memory_order_relaxed);
   m_events_ingested_->Add(total);
+  // order: relaxed; same post-join read as `total` above.
   m_ingest_commits_->Add(commits.load(std::memory_order_relaxed));
   return total;
 }
@@ -469,6 +499,9 @@ StatusOr<QueryResponse> PredictionService::QueryByIds(
     // under one epoch guard, so queries never contend with group commits.
     const EpochGuard guard(epochs_);
     for (const int64_t id : request.ids) {
+      // order: seq_cst view load under the EpochGuard; participates in
+      // the publisher exchange / epoch total order (see PublishView in
+      // shard_apply.cc and the epoch.h reclamation proof).
       const ShardView* view =
           shards_[ShardOf(id)]->view.load(std::memory_order_seq_cst);
       const auto it = view->items.find(id);
@@ -521,6 +554,8 @@ StatusOr<QueryResponse> PredictionService::QueryByIds(
                 return PredictedIncrement(a) > PredictedIncrement(b);
               });
   }
+  // order: relaxed; statistics counter paired with the relaxed load in
+  // stats().
   queries_answered_.fetch_add(response.results.size(), std::memory_order_relaxed);
   m_queries_->Add(response.results.size());
   return response;
@@ -547,6 +582,9 @@ std::vector<PredictionService::ScanCandidate> PredictionService::ShardScanTopK(
     // Scan the frozen view under an epoch guard: the whole-shard walk
     // never blocks a group commit (and vice versa).
     const EpochGuard guard(epochs_);
+    // order: seq_cst view load under the EpochGuard; participates in
+    // the publisher exchange / epoch total order (see PublishView in
+    // shard_apply.cc and the epoch.h reclamation proof).
     collect(shard.view.load(std::memory_order_seq_cst)->items);
   } else {
     MutexLock lock(shard.mu);
@@ -726,12 +764,19 @@ size_t PredictionService::RetireDeadItems(double now) {
       MutexLock lock(shard.mu);
       const size_t retired = ApplyRetireSweep(shard, dead);
       if (async_ && retired > 0) PublishView(shard, epochs_);
+      // order: relaxed; per-task tally folded after the ParallelFor
+      // barrier, which supplies the happens-before edge.
       retired_total.fetch_add(retired, std::memory_order_relaxed);
     }
   });
+  // order: relaxed; read after the ParallelFor join (drain_mu handoff
+  // orders it).
   const size_t retired = retired_total.load(std::memory_order_relaxed);
+  // order: relaxed; statistics counter paired with stats().
   items_retired_.fetch_add(retired, std::memory_order_relaxed);
   m_items_retired_->Add(retired);
+  // order: relaxed; gauge source paired with LiveItems()'s relaxed
+  // load; fetch_sub only so concurrent sweeps count exactly.
   m_live_items_->Set(static_cast<double>(
       live_items_.fetch_sub(retired, std::memory_order_relaxed) - retired));
   return retired;
@@ -1146,20 +1191,34 @@ Status PredictionService::Restore(const std::string& dir) {
       PublishView(*shard, epochs_);
     }
   }
+  // order: relaxed (all five); Restore runs before the service takes
+  // traffic -- publication to other threads happens when the caller
+  // hands the service over, and stats() reads are relaxed-paired.
   live_items_.store(staged.size(), std::memory_order_relaxed);
   m_live_items_->Set(static_cast<double>(staged.size()));
+  // order: relaxed; see above.
   items_registered_.store(counters.items_registered, std::memory_order_relaxed);
+  // order: relaxed; see above.
   events_ingested_.store(counters.events_ingested, std::memory_order_relaxed);
+  // order: relaxed; see above.
   queries_answered_.store(counters.queries_answered, std::memory_order_relaxed);
+  // order: relaxed; see above.
   items_retired_.store(counters.items_retired, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 ServiceStats PredictionService::stats() const {
   ServiceStats out;
+  // order: relaxed (all four); statistics snapshot paired with the
+  // relaxed counter updates -- fields may be mutually inconsistent by
+  // a few events, which the DST conservation checks tolerate by
+  // draining (Flush) first.
   out.items_registered = items_registered_.load(std::memory_order_relaxed);
+  // order: relaxed; see above.
   out.events_ingested = events_ingested_.load(std::memory_order_relaxed);
+  // order: relaxed; see above.
   out.queries_answered = queries_answered_.load(std::memory_order_relaxed);
+  // order: relaxed; see above.
   out.items_retired = items_retired_.load(std::memory_order_relaxed);
   return out;
 }

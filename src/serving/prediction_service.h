@@ -211,6 +211,8 @@ class PredictionService {
                       const datagen::PostProfile& post);
 
   bool HasItem(int64_t item_id) const;
+  // order: relaxed; monotone gauge paired with the relaxed updates in
+  // RegisterItem/RetireDeadItems -- a point-in-time count, no payload.
   size_t LiveItems() const { return live_items_.load(std::memory_order_relaxed); }
 
   /// Ingests one engagement event.  kNotFound for unknown items (events

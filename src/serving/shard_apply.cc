@@ -62,6 +62,9 @@ void ApplyInsert(Shard& shard, int64_t id, Item item) {
 void PublishView(Shard& shard, EpochDomain& epochs) {
   // horizon-lint: allow(naked-new) -- ownership passes to the EpochDomain, which deletes the view after the reader grace period
   auto* next = new ShardView{shard.items};  // pointer copies only
+  // order: seq_cst publication; readers load shard.view with seq_cst
+  // inside an EpochGuard, and the reclamation proof needs this exchange
+  // totally ordered against EpochDomain::Enter/Retire (epoch.cc).
   const ShardView* prev = shard.view.exchange(next, std::memory_order_seq_cst);
   if (prev != nullptr) {
     epochs.Retire(const_cast<ShardView*>(prev),

@@ -1,0 +1,23 @@
+// Analyzer self-test fixture (known-bad): suppressions that baseline a
+// finding without saying why, and suppressions naming a rule that does
+// not exist.  Both defeat the audit trail and are findings themselves.
+#include <atomic>
+#include <cstdint>
+
+namespace horizon {
+
+struct Sloppy {
+  std::atomic<uint64_t> n{0};
+
+  void Bump() {
+    // horizon-analyzer: allow(atomic-order)
+    n.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t Read() const {
+    // horizon-analyzer: allow(atomics-are-fine): counters never race
+    return n.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace horizon

@@ -1,0 +1,37 @@
+// Analyzer self-test fixture (known-bad): all three epoch-guard escape
+// shapes.  A ShardView* loaded under an EpochGuard is only valid until
+// the guard exits (the epoch domain may then retire and delete the
+// view); storing it to a field, capturing it in an outliving lambda, or
+// returning it is a use-after-free waiting for an Advance().
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+namespace horizon {
+
+struct ShardView {
+  std::size_t size = 0;
+};
+
+struct Shard {
+  std::atomic<const ShardView*> view{nullptr};
+};
+
+class SnapshotCache {
+ public:
+  const ShardView* Snapshot(Shard& shard, EpochDomain& epochs) {
+    EpochGuard guard(epochs);
+    const ShardView* view = shard.view.load(std::memory_order_acquire);
+    last_ = view;
+    deferred_ = [view] { Consume(view); };
+    return view;
+  }
+
+  static void Consume(const ShardView* view);
+
+ private:
+  const ShardView* last_ = nullptr;
+  std::function<void()> deferred_;
+};
+
+}  // namespace horizon

@@ -1,0 +1,31 @@
+// Analyzer self-test fixture (known-bad): TU "A" of a cross-TU
+// lock-order cycle.  RegistryA::Update acquires RegistryA::mu_ and,
+// while holding it, calls AppendToJournal -- whose definition lives in
+// bad_lock_cycle_b.cc and transitively acquires JournalB::mu_.
+// Neither TU alone contains a cycle; only the cross-TU may-acquire
+// graph does.
+#include <cstdint>
+
+namespace horizon {
+
+class JournalB;
+void AppendToJournal(JournalB& journal, uint64_t value);
+
+class RegistryA {
+ public:
+  void Update(JournalB& journal, uint64_t value) {
+    MutexLock lock(mu_);
+    total_ += value;
+    AppendToJournal(journal, value);
+  }
+
+ private:
+  Mutex mu_;
+  uint64_t total_ = 0;
+};
+
+void TouchRegistry(RegistryA& registry, JournalB& journal, uint64_t value) {
+  registry.Update(journal, value);
+}
+
+}  // namespace horizon

@@ -1,0 +1,33 @@
+// Analyzer self-test fixture (known-bad): TU "B" of the cross-TU
+// lock-order cycle started in bad_lock_cycle_a.cc.  JournalB::Append
+// acquires JournalB::mu_ and, while holding it, calls TouchRegistry --
+// which re-enters RegistryA::Update and acquires RegistryA::mu_.
+// Thread 1: Update (holds RegistryA::mu_) -> Append (wants JournalB::mu_)
+// Thread 2: Append (holds JournalB::mu_) -> Update (wants RegistryA::mu_)
+#include <cstdint>
+
+namespace horizon {
+
+class RegistryA;
+class JournalB;
+void TouchRegistry(RegistryA& registry, JournalB& journal, uint64_t value);
+
+class JournalB {
+ public:
+  void Append(RegistryA& registry, uint64_t value) {
+    MutexLock lock(mu_);
+    entries_ += value;
+    TouchRegistry(registry, *this, value);
+  }
+
+ private:
+  Mutex mu_;
+  uint64_t entries_ = 0;
+};
+
+void AppendToJournal(JournalB& journal, uint64_t value) {
+  RegistryA* registry = nullptr;
+  journal.Append(*registry, value);
+}
+
+}  // namespace horizon

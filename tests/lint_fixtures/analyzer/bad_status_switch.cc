@@ -1,0 +1,20 @@
+// Analyzer self-test fixture (known-bad): a switch over StatusCode that
+// both omits codes and hides the omission behind `default:` -- the
+// exact shape that silently swallowed kResourceExhausted before PR 7
+// retrofitted the serving counters.
+#include "common/status.h"
+
+namespace horizon {
+
+const char* ClassifyForRetry(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "no-retry";
+    case StatusCode::kResourceExhausted:
+      return "retry-with-backoff";
+    default:
+      return "fail";
+  }
+}
+
+}  // namespace horizon

@@ -1,0 +1,27 @@
+// Analyzer self-test fixture (known-good), header half.  Every atomic
+// carries an `// order:` justification and the lock structure is
+// acyclic; the whole synthetic tree must produce zero findings.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace horizon {
+
+class GoodJournal {
+ public:
+  void Log(uint64_t value);
+
+  uint64_t approx() const {
+    // order: acquire pairs with the release fetch_add in
+    // GoodJournal::Log; readers get a published lower bound.
+    return logged_.load(std::memory_order_acquire);
+  }
+
+ private:
+  Mutex mu_;
+  std::atomic<uint64_t> logged_{0};
+  uint64_t entries_ = 0;
+};
+
+}  // namespace horizon

@@ -1,0 +1,21 @@
+// Analyzer self-test fixture: stands in for src/common/status.h inside
+// the synthetic tree so the status-exhaustive rule has an enum to check
+// against.  Enumerators mirror the real StatusCode.
+#pragma once
+
+namespace horizon {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kNotYetLive = 2,
+  kInvalidArgument = 3,
+  kIoError = 4,
+  kCorruption = 5,
+  kConfigMismatch = 6,
+  kAlreadyExists = 7,
+  kInternal = 8,
+  kResourceExhausted = 9,
+};
+
+}  // namespace horizon

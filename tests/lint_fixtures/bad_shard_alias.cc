@@ -1,0 +1,35 @@
+// Known-bad fixture for the `shard-mutation` alias pattern: binding a
+// mutable reference to the Shard items map and mutating through it,
+// which the direct-call patterns cannot see.  Not compiled; consumed by
+// horizon_lint --self-test.
+#include "serving/shard.h"
+
+namespace horizon::serving {
+
+void AliasViaAuto(Shard& shard, int64_t id) {
+  auto& live = shard.items;  // BAD: mutable alias to the items map
+  live.erase(id);
+}
+
+void AliasViaTypedRef(Shard& shard, int64_t id) {
+  ItemMap& m = shard.items;  // BAD: same hole, spelled with the typedef
+  m[id] = nullptr;
+}
+
+void ReadOnlyAliasIsFine(const Shard& shard, int64_t id, bool* hit) {
+  const auto& live = shard.items;  // OK: const view, no mutation
+  *hit = live.count(id) > 0;
+}
+
+void LookupBindingIsFine(Shard& shard, int64_t id, bool* hit) {
+  auto& probe = shard.items.find(id)->second;  // OK: binds an element,
+  *hit = probe != nullptr;                     // not the map itself
+}
+
+void AllowedAlias(Shard& shard) {
+  // horizon-lint: allow(shard-mutation) -- fixture: justified escape
+  auto& live = shard.items;
+  live.clear();
+}
+
+}  // namespace horizon::serving

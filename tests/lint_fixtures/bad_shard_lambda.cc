@@ -1,0 +1,24 @@
+// Known-bad fixture for the `shard-mutation` escaping-lambda pattern:
+// this file is copied to src/serving/shard_apply.cc by the self-test,
+// where direct mutation is legal but returning a closure that carries
+// the mutation capability out of the file is not.  Not compiled.
+#include "serving/shard.h"
+
+namespace horizon::serving {
+
+void ApplyHere(Shard& shard, int64_t id) {
+  shard.items.erase(id);  // OK inside shard_apply.cc: the surface itself
+}
+
+std::function<void()> DeferredApply(Shard& shard, int64_t id) {
+  return [&shard, id] {  // BAD: mutation capability escapes the surface
+    shard.items.erase(id);
+  };
+}
+
+std::function<void()> AllowedDeferredApply(Shard& shard, int64_t id) {
+  // horizon-lint: allow(shard-mutation) -- fixture: justified escape
+  return [&shard, id] { shard.items.erase(id); };
+}
+
+}  // namespace horizon::serving

@@ -306,14 +306,36 @@ SHARD_MUTATION_PATTERNS = [
      "operator[] on a Shard items map (default-inserts)"),
     (re.compile(r"(?<![\w])tracker\s*(?:\.|->)\s*Observe\s*\("),
      "tracker.Observe() outside the apply path"),
+    # Binding a mutable reference to the map sidesteps every pattern
+    # above: `auto& m = shard.items; m.erase(id);` mutates through the
+    # alias.  `const auto&` stays legal (read-only view).
+    (re.compile(r"(?<!const\s)(?:ItemMap\s*&|auto\s*&)\s*\w+\s*=\s*"
+                r"[\w.>\-]*\bitems\b(?!\s*(?:\.|->)\s*(?:at|find|count|"
+                r"size|empty|begin|end|cbegin|cend|contains)\b)"),
+     "mutable reference bound to a Shard items map (alias mutation)"),
 ]
+
+# Inside shard_apply.cc itself the mutation calls are the point, but a
+# lambda returned from the file carries the mutation capability out to
+# callers that run outside the group-commit protocol.
+SHARD_ESCAPE_RE = re.compile(r"\breturn\s*\[")
 
 
 def check_shard_mutation(f: File, findings):
     if not f.rel.startswith("src/serving/"):
         return
     if f.rel == "src/serving/shard_apply.cc":
-        return  # the one mutation surface (see shard.h)
+        # The one mutation surface (see shard.h): direct mutation is
+        # legal here, but handing the capability out via a returned
+        # lambda re-opens every hole this rule closes elsewhere.
+        for lineno, line in enumerate(f.code_lines, start=1):
+            if SHARD_ESCAPE_RE.search(line):
+                emit(findings, f, "shard-mutation", lineno,
+                     "lambda returned from shard_apply.cc; a callable "
+                     "that escapes the mutation surface can run Apply* "
+                     "logic outside the group-commit protocol -- return "
+                     "data, not closures")
+        return
     for lineno, line in enumerate(f.code_lines, start=1):
         for pat, what in SHARD_MUTATION_PATTERNS:
             if pat.search(line):
@@ -397,6 +419,10 @@ def run_self_test(repo_root: str) -> int:
         ("bad_forest_index.cc", "src/serving/bad_forest_index.cc",
          "forest-traversal"),
         ("bad_shard_mutation.cc", "src/serving/bad_shard_mutation.cc",
+         "shard-mutation"),
+        ("bad_shard_alias.cc", "src/serving/bad_shard_alias.cc",
+         "shard-mutation"),
+        ("bad_shard_lambda.cc", "src/serving/shard_apply.cc",
          "shard-mutation"),
     ]
     failures = []
